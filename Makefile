@@ -1,0 +1,39 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test test-short race bench figures figures-paper ablations clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/sparse/ ./internal/core/ ./internal/algorithms/ ./gb/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper figure at the reduced scale (fast).
+figures:
+	$(GO) run ./cmd/gbbench -figure all -scale small
+
+# Regenerate every paper figure at the paper's sizes (needs ~8 GB, ~1 h).
+figures-paper:
+	$(GO) run ./cmd/gbbench -figure all -scale paper
+
+ablations:
+	$(GO) run ./cmd/gbbench -figure ablgather,ablsort,ablatomic,ablgrid -scale paper
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,193 @@
+package repro
+
+// One benchmark per evaluation figure of the paper (Figs 1-5, 7-10; Fig 6 is
+// a diagram). Each benchmark regenerates its figure through the harness in
+// internal/bench at the reduced scale and reports the modeled times of the
+// figure's key points as custom metrics, so `go test -bench=.` both exercises
+// the full pipeline for real and prints the reproduced numbers.
+//
+// Additional micro-benchmarks at the bottom measure the REAL wall-clock cost
+// of the hot kernels (sorting, SPA, generation) on the host machine.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/semiring"
+	"repro/internal/sparse"
+)
+
+// benchFigure runs a figure's harness b.N times and reports selected series
+// points (in modeled milliseconds) as benchmark metrics.
+func benchFigure(b *testing.B, run bench.Runner, picks ...struct {
+	series string
+	x      int
+}) {
+	b.Helper()
+	var fig bench.Figure
+	for i := 0; i < b.N; i++ {
+		fig = run(bench.ScaleSmall)
+	}
+	for _, p := range picks {
+		if v, ok := fig.Get(p.series, p.x); ok {
+			b.ReportMetric(v*1e3, fmt.Sprintf("model-ms/%s@%d", sanitize(p.series), p.x))
+		}
+	}
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch r {
+		case ' ', ',', '=', '%', '(', ')':
+			out = append(out, '_')
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+func pick(series string, x int) struct {
+	series string
+	x      int
+} {
+	return struct {
+		series string
+		x      int
+	}{series, x}
+}
+
+func BenchmarkFig1LeftApplyShared(b *testing.B) {
+	benchFigure(b, bench.Fig1Left, pick("Apply1", 1), pick("Apply2", 24))
+}
+
+func BenchmarkFig1RightApplyDistributed(b *testing.B) {
+	benchFigure(b, bench.Fig1Right, pick("Apply1", 64), pick("Apply2", 64))
+}
+
+func BenchmarkFig2LeftAssignShared(b *testing.B) {
+	benchFigure(b, bench.Fig2Left, pick("Assign1", 1), pick("Assign2", 1))
+}
+
+func BenchmarkFig2RightAssignDistributed(b *testing.B) {
+	benchFigure(b, bench.Fig2Right, pick("Assign1", 64), pick("Assign2", 64))
+}
+
+func BenchmarkFig3AssignTwoSizes(b *testing.B) {
+	benchFigure(b, bench.Fig3, pick("nnz=100K", 64), pick("nnz=10M", 64))
+}
+
+func BenchmarkFig4EWiseMultShared(b *testing.B) {
+	benchFigure(b, bench.Fig4, pick("nnz=10M", 24))
+}
+
+func BenchmarkFig5aEWiseMultDist1T(b *testing.B) {
+	benchFigure(b, bench.Fig5OneThread, pick("nnz=10M", 32))
+}
+
+func BenchmarkFig5bEWiseMultDist24T(b *testing.B) {
+	benchFigure(b, bench.Fig5AllThreads, pick("nnz=10M", 32))
+}
+
+func BenchmarkFig7aSpMSpVShmD16F2(b *testing.B) {
+	benchFigure(b, bench.Fig7(0), pick("SPA", 24), pick("Sorting", 24), pick("Output", 24))
+}
+
+func BenchmarkFig7bSpMSpVShmD4F2(b *testing.B) {
+	benchFigure(b, bench.Fig7(1), pick("Sorting", 24))
+}
+
+func BenchmarkFig7cSpMSpVShmD16F20(b *testing.B) {
+	benchFigure(b, bench.Fig7(2), pick("Sorting", 24))
+}
+
+func BenchmarkFig8aSpMSpVDistD16F2(b *testing.B) {
+	benchFigure(b, bench.Fig8(0),
+		pick("Gather Input", 64), pick("Local Multiply", 64), pick("Scatter Output", 64))
+}
+
+func BenchmarkFig8bSpMSpVDistD4F2(b *testing.B) {
+	benchFigure(b, bench.Fig8(1), pick("Gather Input", 64))
+}
+
+func BenchmarkFig8cSpMSpVDistD16F20(b *testing.B) {
+	benchFigure(b, bench.Fig8(2), pick("Gather Input", 64))
+}
+
+func BenchmarkFig9aSpMSpVDistBigD16F2(b *testing.B) {
+	benchFigure(b, bench.Fig9(0), pick("Gather Input", 64), pick("Local Multiply", 64))
+}
+
+func BenchmarkFig9bSpMSpVDistBigD4F2(b *testing.B) {
+	benchFigure(b, bench.Fig9(1), pick("Gather Input", 64))
+}
+
+func BenchmarkFig9cSpMSpVDistBigD16F20(b *testing.B) {
+	benchFigure(b, bench.Fig9(2), pick("Gather Input", 64))
+}
+
+func BenchmarkFig10AssignColocated(b *testing.B) {
+	benchFigure(b, bench.Fig10, pick("Assign1", 32), pick("Assign2", 32))
+}
+
+// --- Real wall-clock micro-benchmarks of the hot kernels ----------------------
+
+func BenchmarkRealMergeSort1M(b *testing.B) {
+	base := sparse.RandomVec[int64](4_000_000, 1_000_000, 1).Ind
+	buf := make([]int, len(base))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, base)
+		sparse.MergeSortInts(buf, 4)
+	}
+}
+
+func BenchmarkRealRadixSort1M(b *testing.B) {
+	base := sparse.RandomVec[int64](4_000_000, 1_000_000, 1).Ind
+	buf := make([]int, len(base))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, base)
+		sparse.RadixSortInts(buf)
+	}
+}
+
+func BenchmarkRealSpMSpVShm(b *testing.B) {
+	a := sparse.ErdosRenyi[int64](100_000, 16, 1)
+	x := sparse.RandomVec[int64](100_000, 2_000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = core.SpMSpVShm(a, x, core.ShmConfig{})
+	}
+}
+
+func BenchmarkRealSpMSpVSemiring(b *testing.B) {
+	a := sparse.ErdosRenyi[int64](100_000, 16, 1)
+	x := sparse.RandomVec[int64](100_000, 2_000, 2)
+	sr := semiring.PlusTimes[int64]()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = core.SpMSpVShmSemiring(a, x, sr, core.ShmConfig{})
+	}
+}
+
+func BenchmarkRealSpGEMM(b *testing.B) {
+	a := sparse.ErdosRenyi[int64](5_000, 8, 3)
+	c := sparse.ErdosRenyi[int64](5_000, 8, 4)
+	sr := semiring.PlusTimes[int64]()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SpGEMM(a, c, sr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRealErdosRenyiGen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = sparse.ErdosRenyi[int64](100_000, 16, int64(i))
+	}
+}

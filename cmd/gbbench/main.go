@@ -1,0 +1,98 @@
+// gbbench regenerates the evaluation figures of "Towards a GraphBLAS Library
+// in Chapel" (Azad & Buluç, IPDPSW 2017) on the simulated Edison machine
+// model. Every operation executes for real on real data; the reported times
+// come from the calibrated performance model (see DESIGN.md).
+//
+// Usage:
+//
+//	gbbench -figure fig1l            # one figure
+//	gbbench -figure all -scale small # everything, 10x-reduced workloads
+//	gbbench -figure fig7a -format csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		figure = flag.String("figure", "all", "figure id (fig1l fig1r fig2l fig2r fig3 fig4 fig5a fig5b fig7a-c fig8a-c fig9a-c fig10) or 'all'")
+		scale  = flag.String("scale", "small", "workload scale: 'paper' (exact sizes, needs ~8 GB) or 'small' (1/10)")
+		format = flag.String("format", "table", "output format: 'table', 'csv', or 'chart' (ASCII log-scale plot)")
+		quiet  = flag.Bool("q", false, "suppress progress messages on stderr")
+		list   = flag.Bool("list", false, "list the available figure ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Registry() {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+
+	var sc bench.Scale
+	switch *scale {
+	case "paper":
+		sc = bench.ScalePaper
+	case "small":
+		sc = bench.ScaleSmall
+	default:
+		fmt.Fprintf(os.Stderr, "gbbench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	var runs []struct {
+		ID  string
+		Run bench.Runner
+	}
+	if strings.EqualFold(*figure, "all") {
+		runs = bench.Registry()
+	} else {
+		for _, id := range strings.Split(*figure, ",") {
+			r := bench.Lookup(id)
+			if r == nil {
+				fmt.Fprintf(os.Stderr, "gbbench: unknown figure %q\n", id)
+				os.Exit(2)
+			}
+			runs = append(runs, struct {
+				ID  string
+				Run bench.Runner
+			}{strings.ToLower(strings.TrimSpace(id)), r})
+		}
+	}
+
+	csvHeaderDone := false
+	for _, e := range runs {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "gbbench: running %s (scale=%s)...\n", e.ID, sc)
+		}
+		start := time.Now()
+		fig := e.Run(sc)
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "gbbench: %s done in %.1fs\n", e.ID, time.Since(start).Seconds())
+		}
+		switch *format {
+		case "csv":
+			out := fig.CSV()
+			if csvHeaderDone {
+				// Strip the repeated header when emitting multiple figures.
+				if i := strings.IndexByte(out, '\n'); i >= 0 {
+					out = out[i+1:]
+				}
+			}
+			fmt.Print(out)
+			csvHeaderDone = true
+		case "chart":
+			fmt.Println(fig.Chart())
+		default:
+			fmt.Println(fig.Table())
+		}
+	}
+}

@@ -1,0 +1,7 @@
+// Package repro reproduces "Towards a GraphBLAS Library in Chapel"
+// (Ariful Azad, Aydın Buluç; IPDPS Workshops 2017) as a Go library.
+//
+// See README.md for the layout, gb for the public API, DESIGN.md for the
+// system inventory and performance-model rationale, and EXPERIMENTS.md for
+// the figure-by-figure comparison against the paper.
+package repro

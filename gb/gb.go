@@ -1,0 +1,417 @@
+// Package gb is the public face of the GraphBLAS library: a Chapel-paper
+// reproduction of distributed sparse linear algebra for graph computation.
+//
+// The library mirrors "Towards a GraphBLAS Library in Chapel" (Azad & Buluç,
+// IPDPSW 2017): sparse matrices in CSR form, sparse vectors with sorted index
+// lists, 2-D block distribution over a grid of locales, and the GraphBLAS
+// operations Apply, Assign, eWiseMult and SpMSpV — each in the paper's
+// "idiomatic" and "hand-optimized SPMD" variants — plus the primitives needed
+// for complete algorithms (reduce, extract, SpMV, SpGEMM, masks, semirings).
+//
+// A Context fixes the simulated machine configuration (locale count, threads
+// per locale, node placement). All operations execute for real on real data;
+// the Context's simulator additionally models what the execution would cost
+// on the configured machine, which is how the repository regenerates the
+// paper's figures on a laptop. Use Context.Elapsed to read the modeled time.
+//
+// Quick start:
+//
+//	ctx, _ := gb.NewContext(4, 24)               // 4 locales x 24 threads
+//	a := gb.ErdosRenyi[int64](ctx, 100000, 8, 1) // G(n, d/n) random graph
+//	res, _ := gb.BFS(ctx, a, 0)                  // GraphBLAS-composed BFS
+//	fmt.Println(res.Rounds, ctx.Elapsed())       // rounds, modeled seconds
+package gb
+
+import (
+	"fmt"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/locale"
+	"repro/internal/machine"
+	"repro/internal/semiring"
+	"repro/internal/sparse"
+)
+
+// Re-exported algebraic types. See package semiring for the standard
+// instances (PlusTimes, MinPlus, LOrLAnd, MinSecond, ...).
+type (
+	// UnaryOp maps a scalar to a scalar (used by Apply).
+	UnaryOp[T any] = semiring.UnaryOp[T]
+	// BinaryOp combines two scalars (a GraphBLAS "function").
+	BinaryOp[T any] = semiring.BinaryOp[T]
+	// Pred is a binary predicate (used by the filtering eWiseMult).
+	Pred[T any] = semiring.Pred[T]
+	// Monoid is a binary operator with an identity.
+	Monoid[T any] = semiring.Monoid[T]
+	// Semiring is an additive monoid paired with a multiplicative operator.
+	Semiring[T any] = semiring.Semiring[T]
+	// Number constrains the element types of matrices and vectors.
+	Number = semiring.Number
+)
+
+// Standard semiring constructors, re-exported.
+func PlusTimes[T Number]() Semiring[T] { return semiring.PlusTimes[T]() }
+func MinPlus[T Number]() Semiring[T]   { return semiring.MinPlus[T]() }
+func MaxPlus[T Number]() Semiring[T]   { return semiring.MaxPlus[T]() }
+func LOrLAnd[T Number]() Semiring[T]   { return semiring.LOrLAnd[T]() }
+func MinSecond[T Number]() Semiring[T] { return semiring.MinSecond[T]() }
+func PlusMonoid[T Number]() Monoid[T]  { return semiring.PlusMonoid[T]() }
+func MinMonoid[T Number]() Monoid[T]   { return semiring.MinMonoid[T]() }
+func MaxMonoid[T Number]() Monoid[T]   { return semiring.MaxMonoid[T]() }
+
+// Context fixes a simulated machine configuration: a grid of locales (one
+// per node unless colocated), a modeled thread count per locale, and the
+// performance-model state.
+type Context struct {
+	rt *locale.Runtime
+}
+
+// NewContext returns a context with p locales (one per node) and the given
+// modeled thread count per locale, on the Edison machine model.
+func NewContext(p, threads int) (*Context, error) {
+	rt, err := locale.New(machine.Edison(), p, threads)
+	if err != nil {
+		return nil, err
+	}
+	return &Context{rt: rt}, nil
+}
+
+// NewContextOneNode places all p locales on a single node (the configuration
+// of the paper's Fig 10).
+func NewContextOneNode(p, threads int) (*Context, error) {
+	g, err := locale.NewGridOnOneNode(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Context{rt: locale.NewWithGrid(machine.Edison(), g, threads)}, nil
+}
+
+// Locales returns the locale count.
+func (c *Context) Locales() int { return c.rt.G.P }
+
+// Threads returns the modeled threads per locale.
+func (c *Context) Threads() int { return c.rt.Threads }
+
+// SetRealWorkers sets how many goroutines shared-memory kernels actually use
+// (default 1, which makes every operation deterministic).
+func (c *Context) SetRealWorkers(w int) { c.rt.RealWorkers = w }
+
+// Elapsed returns the modeled execution time accumulated so far, in seconds.
+func (c *Context) Elapsed() float64 { return c.rt.S.ElapsedSeconds() }
+
+// ResetClock zeroes the modeled time and traffic counters.
+func (c *Context) ResetClock() { c.rt.S.Reset() }
+
+// Messages returns the modeled communication message count so far.
+func (c *Context) Messages() int64 { return c.rt.S.Traffic().Messages }
+
+// Matrix is a 2-D block-distributed sparse matrix.
+type Matrix[T Number] struct {
+	ctx *Context
+	m   *dist.Mat[T]
+}
+
+// Vector is a 1-D block-distributed sparse vector.
+type Vector[T Number] struct {
+	ctx *Context
+	v   *dist.SpVec[T]
+}
+
+// DenseVector is a 1-D block-distributed dense vector.
+type DenseVector[T Number] struct {
+	ctx *Context
+	d   *dist.DenseVec[T]
+}
+
+// MatrixFromCSR distributes a local CSR matrix over the context's grid.
+func MatrixFromCSR[T Number](ctx *Context, a *sparse.CSR[T]) *Matrix[T] {
+	return &Matrix[T]{ctx: ctx, m: dist.MatFromCSR(ctx.rt, a)}
+}
+
+// MatrixFromTriplets builds a distributed matrix from coordinate triplets,
+// summing duplicates.
+func MatrixFromTriplets[T Number](ctx *Context, nrows, ncols int, rows, cols []int, vals []T) (*Matrix[T], error) {
+	a, err := sparse.CSRFromTriplets(nrows, ncols, rows, cols, vals)
+	if err != nil {
+		return nil, err
+	}
+	return MatrixFromCSR(ctx, a), nil
+}
+
+// ErdosRenyi generates a distributed G(n, d/n) random matrix.
+func ErdosRenyi[T Number](ctx *Context, n int, d float64, seed int64) *Matrix[T] {
+	return MatrixFromCSR(ctx, sparse.ErdosRenyi[T](n, d, seed))
+}
+
+// NRows returns the row count.
+func (m *Matrix[T]) NRows() int { return m.m.NRows }
+
+// NCols returns the column count.
+func (m *Matrix[T]) NCols() int { return m.m.NCols }
+
+// NNZ returns the stored-element count.
+func (m *Matrix[T]) NNZ() int { return m.m.NNZ() }
+
+// Get returns element (i, j).
+func (m *Matrix[T]) Get(i, j int) (T, bool) { return m.m.Get(i, j) }
+
+// NewVector returns an empty distributed sparse vector of capacity n.
+func NewVector[T Number](ctx *Context, n int) *Vector[T] {
+	return &Vector[T]{ctx: ctx, v: dist.NewSpVec[T](ctx.rt, n)}
+}
+
+// VectorFromSlices builds a distributed sparse vector from index/value pairs.
+func VectorFromSlices[T Number](ctx *Context, n int, ind []int, val []T) (*Vector[T], error) {
+	lv, err := sparse.VecOf(n, ind, val)
+	if err != nil {
+		return nil, err
+	}
+	return &Vector[T]{ctx: ctx, v: dist.SpVecFromVec(ctx.rt, lv)}, nil
+}
+
+// RandomVector generates a distributed sparse vector with exactly nnz stored
+// elements at distinct random positions.
+func RandomVector[T Number](ctx *Context, n, nnz int, seed int64) *Vector[T] {
+	return &Vector[T]{ctx: ctx, v: dist.SpVecFromVec(ctx.rt, sparse.RandomVec[T](n, nnz, seed))}
+}
+
+// NNZ returns the stored-element count.
+func (v *Vector[T]) NNZ() int { return v.v.NNZ() }
+
+// Capacity returns the logical length.
+func (v *Vector[T]) Capacity() int { return v.v.N }
+
+// Get returns the value at index i.
+func (v *Vector[T]) Get(i int) (T, bool) { return v.v.Get(i) }
+
+// Entries gathers the vector to (sorted) index/value slices.
+func (v *Vector[T]) Entries() ([]int, []T) {
+	lv := v.v.ToVec()
+	return lv.Ind, lv.Val
+}
+
+// NewDenseVector returns a zero-filled distributed dense vector.
+func NewDenseVector[T Number](ctx *Context, n int) *DenseVector[T] {
+	return &DenseVector[T]{ctx: ctx, d: dist.NewDenseVec[T](ctx.rt, n)}
+}
+
+// DenseVectorFromSlice distributes a dense value slice.
+func DenseVectorFromSlice[T Number](ctx *Context, data []T) *DenseVector[T] {
+	return &DenseVector[T]{ctx: ctx, d: dist.DenseVecFromDense(ctx.rt, &sparse.Dense[T]{Data: data})}
+}
+
+// Get returns the value at index i.
+func (d *DenseVector[T]) Get(i int) T { return d.d.Get(i) }
+
+// Set stores x at index i.
+func (d *DenseVector[T]) Set(i int, x T) { d.d.Set(i, x) }
+
+// --- The GraphBLAS operations -------------------------------------------------
+
+// Apply applies op to every stored element of v, using the optimized
+// per-locale implementation (the paper's Apply2). ApplyNaive is the
+// fine-grained global iteration (Apply1) kept for comparison.
+func Apply[T Number](v *Vector[T], op UnaryOp[T]) { core.Apply2(v.ctx.rt, v.v, op) }
+
+// ApplyNaive is the paper's Apply1: a global data-parallel forall that pays
+// fine-grained communication on multiple locales.
+func ApplyNaive[T Number](v *Vector[T], op UnaryOp[T]) { core.Apply1(v.ctx.rt, v.v, op) }
+
+// Assign copies src into dst (matching distributions required), using the
+// optimized per-locale implementation (Assign2). AssignNaive is Assign1.
+func Assign[T Number](dst, src *Vector[T]) error { return core.Assign2(dst.ctx.rt, dst.v, src.v) }
+
+// AssignNaive is the paper's Assign1: domain rebuild plus per-element
+// logarithmic indexed access.
+func AssignNaive[T Number](dst, src *Vector[T]) error { return core.Assign1(dst.ctx.rt, dst.v, src.v) }
+
+// EWiseMult returns the entries of x whose positions satisfy pred against
+// the dense vector y (the paper's sparse-dense specialization).
+func EWiseMult[T Number](x *Vector[T], y *DenseVector[T], pred Pred[T]) (*Vector[T], error) {
+	z, err := core.EWiseMultSD(x.ctx.rt, x.v, y.d, pred)
+	if err != nil {
+		return nil, err
+	}
+	return &Vector[T]{ctx: x.ctx, v: z}, nil
+}
+
+// SpMSpV multiplies sparse vector x with matrix a (y ← xA), returning the
+// pattern of reached columns valued with their discovering row ids (the
+// paper's formulation; exactly BFS parents).
+func SpMSpV[T Number](a *Matrix[T], x *Vector[T]) (*Vector[int64], error) {
+	if x.v.N != a.m.NRows {
+		return nil, fmt.Errorf("gb: SpMSpV: vector capacity %d != matrix rows %d", x.v.N, a.m.NRows)
+	}
+	y, _ := core.SpMSpVDist(a.ctx.rt, a.m, x.v)
+	return &Vector[int64]{ctx: a.ctx, v: y}, nil
+}
+
+// SpMSpVSemiring multiplies over an arbitrary semiring:
+// y[j] = ⊕_i x[i] ⊗ A[i,j].
+func SpMSpVSemiring[T Number](a *Matrix[T], x *Vector[T], sr Semiring[T]) (*Vector[T], error) {
+	if x.v.N != a.m.NRows {
+		return nil, fmt.Errorf("gb: SpMSpVSemiring: vector capacity %d != matrix rows %d", x.v.N, a.m.NRows)
+	}
+	y, _ := core.SpMSpVDistSemiring(a.ctx.rt, a.m, x.v, sr)
+	return &Vector[T]{ctx: a.ctx, v: y}, nil
+}
+
+// Reduce folds all stored values of v with a monoid.
+func Reduce[T Number](v *Vector[T], m Monoid[T]) T {
+	return core.ReduceVec(v.v.ToVec(), m)
+}
+
+// --- Algorithms ----------------------------------------------------------------
+
+// BFSResult re-exports the BFS output type.
+type BFSResult = algorithms.BFSResult
+
+// BFS runs distributed breadth-first search from source over the adjacency
+// matrix, composed from SpMSpV, eWiseMult and Assign.
+func BFS[T Number](ctx *Context, a *Matrix[T], source int) (*BFSResult, error) {
+	return algorithms.BFSDist(ctx.rt, a.m, source)
+}
+
+// SSSP runs single-source shortest paths (Bellman–Ford over the (min,+)
+// semiring) on the distributed graph: each round is one distributed SpMV
+// plus an all-reduce of the convergence flag.
+func SSSP[T Number](a *Matrix[T], source int) ([]T, int, error) {
+	return algorithms.SSSPDist(a.ctx.rt, a.m, source)
+}
+
+// ConnectedComponents labels the vertices of an undirected graph by minimum
+// reachable vertex id and returns the label vector and component count.
+func ConnectedComponents[T Number](a *Matrix[T]) ([]int64, int, error) {
+	return algorithms.CCDist(a.ctx.rt, a.m)
+}
+
+// PageRank computes PageRank with damping d to tolerance tol.
+func PageRank[T Number](a *Matrix[T], d, tol float64, maxIter int) ([]float64, int, error) {
+	return algorithms.PageRankDist(a.ctx.rt, a.m, d, tol, maxIter)
+}
+
+// TriangleCount counts triangles of a simple undirected graph via the masked
+// SpGEMM formulation sum(A .* (A·A)) / 6.
+func TriangleCount[T Number](a *Matrix[T]) (int64, error) {
+	csr, err := a.m.ToCSR()
+	if err != nil {
+		return 0, err
+	}
+	return algorithms.TriangleCount(csr)
+}
+
+// ApplyMatrix applies op to every stored element of the matrix (per-locale).
+func ApplyMatrix[T Number](a *Matrix[T], op UnaryOp[T]) {
+	core.ApplyMat2(a.ctx.rt, a.m, op)
+}
+
+// EWiseAdd adds two identically distributed sparse vectors over the union of
+// their patterns.
+func EWiseAdd[T Number](x, y *Vector[T], op BinaryOp[T]) (*Vector[T], error) {
+	z, err := core.EWiseAddDist(x.ctx.rt, x.v, y.v, op)
+	if err != nil {
+		return nil, err
+	}
+	return &Vector[T]{ctx: x.ctx, v: z}, nil
+}
+
+// EWiseMultSparse intersects two identically distributed sparse vectors.
+func EWiseMultSparse[T Number](x, y *Vector[T], op BinaryOp[T]) (*Vector[T], error) {
+	z, err := core.EWiseMultDistSS(x.ctx.rt, x.v, y.v, op)
+	if err != nil {
+		return nil, err
+	}
+	return &Vector[T]{ctx: x.ctx, v: z}, nil
+}
+
+// SpMV computes the dense product y = xA over a semiring with the
+// distributed 2-D algorithm (row-team all-gather, local multiply, column-team
+// reduce).
+func SpMV[T Number](a *Matrix[T], x *DenseVector[T], sr Semiring[T]) (*DenseVector[T], error) {
+	y, err := core.SpMVDist(a.ctx.rt, a.m, x.d, sr)
+	if err != nil {
+		return nil, err
+	}
+	return &DenseVector[T]{ctx: a.ctx, d: y}, nil
+}
+
+// Transpose returns Aᵀ distributed over the transposed grid; the returned
+// matrix carries a context over that grid.
+func Transpose[T Number](a *Matrix[T]) (*Matrix[T], error) {
+	at, trt, err := core.TransposeDist(a.ctx.rt, a.m)
+	if err != nil {
+		return nil, err
+	}
+	return &Matrix[T]{ctx: &Context{rt: trt}, m: at}, nil
+}
+
+// BFSDirectionOptimizing runs the push/pull BFS on a gathered copy of the
+// matrix (a shared-memory algorithm; alpha <= 0 uses the default switch
+// threshold of 14).
+func BFSDirectionOptimizing[T Number](a *Matrix[T], source, alpha int) (*BFSResult, error) {
+	csr, err := a.m.ToCSR()
+	if err != nil {
+		return nil, err
+	}
+	return algorithms.BFSDirectionOptimizing(csr, source, alpha)
+}
+
+// BetweennessCentrality computes Brandes betweenness from the given source
+// sample (all vertices = exact).
+func BetweennessCentrality[T Number](a *Matrix[T], sources []int) ([]float64, error) {
+	csr, err := a.m.ToCSR()
+	if err != nil {
+		return nil, err
+	}
+	return algorithms.BetweennessCentrality(csr, sources)
+}
+
+// AssignIndexed performs the general GraphBLAS assign dst(indices) = src:
+// position indices[k] receives src[k] when stored and is cleared when absent;
+// untargeted positions are untouched. Updates are routed to owner locales in
+// batches.
+func AssignIndexed[T Number](dst *Vector[T], indices []int, src *Vector[T]) error {
+	return core.AssignIndexedDist(dst.ctx.rt, dst.v, indices, src.v)
+}
+
+// Extract returns the subvector v(indices) as a new distributed vector of
+// capacity len(indices).
+func Extract[T Number](v *Vector[T], indices []int) (*Vector[T], error) {
+	out, err := core.ExtractDist(v.ctx.rt, v.v, indices)
+	if err != nil {
+		return nil, err
+	}
+	return &Vector[T]{ctx: v.ctx, v: out}, nil
+}
+
+// Select returns the entries of v whose (index, value) satisfy pred.
+func Select[T Number](v *Vector[T], pred func(index int, value T) bool) *Vector[T] {
+	out := core.SelectDist(v.ctx.rt, v.v, core.SelectPred[T](pred))
+	return &Vector[T]{ctx: v.ctx, v: out}
+}
+
+// ReduceRows reduces each matrix row with a monoid, returning a distributed
+// sparse vector with one entry per nonempty row.
+func ReduceRows[T Number](a *Matrix[T], m Monoid[T]) *Vector[T] {
+	out := core.ReduceRowsDist(a.ctx.rt, a.m, m)
+	return &Vector[T]{ctx: a.ctx, v: out}
+}
+
+// MxM multiplies two distributed matrices over a semiring with the sparse
+// SUMMA algorithm (requires a square locale grid).
+func MxM[T Number](a, b *Matrix[T], sr Semiring[T]) (*Matrix[T], error) {
+	c, err := core.SpGEMMDist(a.ctx.rt, a.m, b.m, sr)
+	if err != nil {
+		return nil, err
+	}
+	return &Matrix[T]{ctx: a.ctx, m: c}, nil
+}
+
+// BFSMasked runs the distributed BFS with the visited mask fused into the
+// multiplication (the paper's future-work distributed mask): suppressed
+// vertices never cross the network during the scatter.
+func BFSMasked[T Number](ctx *Context, a *Matrix[T], source int) (*BFSResult, error) {
+	return algorithms.BFSDistMasked(ctx.rt, a.m, source)
+}

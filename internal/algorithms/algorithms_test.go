@@ -1,0 +1,549 @@
+package algorithms
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/locale"
+	"repro/internal/machine"
+	"repro/internal/sparse"
+)
+
+func newRT(t *testing.T, p int) *locale.Runtime {
+	t.Helper()
+	rt, err := locale.New(machine.Edison(), p, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// checkBFS validates a BFS result against the reference levels and checks
+// the parent tree's internal consistency.
+func checkBFS[T interface{ ~int64 | ~int32 | ~int }](t *testing.T, a *sparse.CSR[int64], res *BFSResult, want []int64) {
+	t.Helper()
+	for v := range want {
+		if res.Level[v] != want[v] {
+			t.Fatalf("level[%d] = %d, want %d", v, res.Level[v], want[v])
+		}
+	}
+	for v := range want {
+		p := res.Parent[v]
+		switch {
+		case v == res.Source:
+			if p != -1 {
+				t.Fatalf("source parent = %d, want -1", p)
+			}
+		case res.Level[v] < 0:
+			if p != -1 {
+				t.Fatalf("unreachable vertex %d has parent %d", v, p)
+			}
+		default:
+			if p < 0 {
+				t.Fatalf("reached vertex %d lacks a parent", v)
+			}
+			if res.Level[int(p)] != res.Level[v]-1 {
+				t.Fatalf("parent %d of %d is at level %d, want %d",
+					p, v, res.Level[int(p)], res.Level[v]-1)
+			}
+			if _, ok := a.Get(int(p), v); !ok {
+				t.Fatalf("parent edge %d->%d absent from graph", p, v)
+			}
+		}
+	}
+}
+
+func TestBFSShmOnRing(t *testing.T) {
+	a := sparse.Ring[int64](10)
+	res, err := BFSShm(a, 0, core.ShmConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 10; v++ {
+		if res.Level[v] != int64(v) {
+			t.Fatalf("ring level[%d] = %d", v, res.Level[v])
+		}
+	}
+	checkBFS[int64](t, a, res, RefBFS(a, 0))
+}
+
+func TestBFSShmRandom(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		a := sparse.ErdosRenyi[int64](400, 4, seed)
+		want := RefBFS(a, 7)
+		for _, workers := range []int{1, 4} {
+			res, err := BFSShm(a, 7, core.ShmConfig{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkBFS[int64](t, a, res, want)
+		}
+	}
+}
+
+func TestBFSShmDisconnected(t *testing.T) {
+	// Two disjoint rings: vertices in the second stay unreachable.
+	coo := sparse.NewCOO[int64](10, 10)
+	for i := 0; i < 5; i++ {
+		coo.Append(i, (i+1)%5, 1)
+		coo.Append(5+i, 5+(i+1)%5, 1)
+	}
+	a, err := coo.ToCSR(func(x, _ int64) int64 { return x })
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BFSShm(a, 0, core.ShmConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 5; v < 10; v++ {
+		if res.Level[v] != -1 {
+			t.Fatalf("vertex %d should be unreachable", v)
+		}
+	}
+}
+
+func TestBFSShmErrors(t *testing.T) {
+	a := sparse.Ring[int64](5)
+	if _, err := BFSShm(a, -1, core.ShmConfig{}); err == nil {
+		t.Error("negative source accepted")
+	}
+	if _, err := BFSShm(a, 5, core.ShmConfig{}); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	if _, err := BFSShm(sparse.NewCSR[int64](3, 4), 0, core.ShmConfig{}); err == nil {
+		t.Error("non-square matrix accepted")
+	}
+}
+
+func TestBFSDistMatchesShm(t *testing.T) {
+	a0 := sparse.ErdosRenyi[int64](311, 5, 17)
+	want := RefBFS(a0, 11)
+	for _, p := range []int{1, 2, 4, 6, 9} {
+		rt := newRT(t, p)
+		a := dist.MatFromCSR(rt, a0)
+		res, err := BFSDist(rt, a, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkBFS[int64](t, a0, res, want)
+	}
+}
+
+func TestBFSDistOnGrid(t *testing.T) {
+	a0, err := sparse.Grid2D[int64](8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := RefBFS(a0, 0)
+	rt := newRT(t, 4)
+	a := dist.MatFromCSR(rt, a0)
+	res, err := BFSDist(rt, a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBFS[int64](t, a0, res, want)
+	// Manhattan distance on the open grid: corner to corner is 14 hops.
+	if res.Level[63] != 14 {
+		t.Errorf("corner level = %d, want 14", res.Level[63])
+	}
+}
+
+func TestSSSPMatchesReference(t *testing.T) {
+	for _, seed := range []int64{4, 5} {
+		a := sparse.ErdosRenyi[int64](200, 5, seed)
+		got, rounds, err := SSSP(a, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := RefSSSP(a, 3)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("seed=%d: dist[%d] = %d, want %d", seed, v, got[v], want[v])
+			}
+		}
+		if rounds < 1 {
+			t.Error("no rounds recorded")
+		}
+	}
+}
+
+func TestSSSPWeightedPath(t *testing.T) {
+	// 0 -(5)-> 1 -(2)-> 2 and a direct 0 -(9)-> 2: shortest is 7.
+	a, err := sparse.CSRFromTriplets(3, 3,
+		[]int{0, 1, 0}, []int{1, 2, 2}, []int64{5, 2, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, _, err := SSSP(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist[2] != 7 {
+		t.Errorf("dist[2] = %d, want 7", dist[2])
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	// Two rings of 5 made undirected.
+	coo := sparse.NewCOO[int64](10, 10)
+	for i := 0; i < 5; i++ {
+		for _, e := range [][2]int{{i, (i + 1) % 5}, {5 + i, 5 + (i+1)%5}} {
+			coo.Append(e[0], e[1], 1)
+			coo.Append(e[1], e[0], 1)
+		}
+	}
+	a, err := coo.ToCSR(func(x, _ int64) int64 { return x })
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, count, err := ConnectedComponents(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("components = %d, want 2", count)
+	}
+	for v := 0; v < 5; v++ {
+		if labels[v] != 0 {
+			t.Errorf("labels[%d] = %d, want 0", v, labels[v])
+		}
+		if labels[5+v] != 5 {
+			t.Errorf("labels[%d] = %d, want 5", 5+v, labels[5+v])
+		}
+	}
+	// Isolated vertices are their own components.
+	iso := sparse.NewCSR[int64](4, 4)
+	_, count, err = ConnectedComponents(iso)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 4 {
+		t.Errorf("isolated components = %d, want 4", count)
+	}
+}
+
+func TestConnectedComponentsGrid(t *testing.T) {
+	a, err := sparse.Grid2D[int64](5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, count, err := ConnectedComponents(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("grid components = %d, want 1", count)
+	}
+	for v, l := range labels {
+		if l != 0 {
+			t.Fatalf("labels[%d] = %d, want 0", v, l)
+		}
+	}
+}
+
+func TestPageRankRing(t *testing.T) {
+	// On a symmetric ring all vertices have equal rank 1/n.
+	n := 8
+	coo := sparse.NewCOO[float64](n, n)
+	for i := 0; i < n; i++ {
+		coo.Append(i, (i+1)%n, 1)
+		coo.Append((i+1)%n, i, 1)
+	}
+	a, err := coo.ToCSR(func(x, _ float64) float64 { return x })
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, iters, err := PageRank(a, 0.85, 1e-12, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters < 1 {
+		t.Error("no iterations")
+	}
+	sum := 0.0
+	for _, x := range r {
+		sum += x
+		if x < 1.0/float64(n)-1e-6 || x > 1.0/float64(n)+1e-6 {
+			t.Errorf("ring rank %v, want %v", x, 1.0/float64(n))
+		}
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("ranks sum to %v, want 1", sum)
+	}
+}
+
+func TestPageRankStar(t *testing.T) {
+	// Star: all leaves point at the hub; the hub must rank highest and the
+	// rank vector must sum to 1 (dangling hub handled).
+	n := 6
+	coo := sparse.NewCOO[float64](n, n)
+	for i := 1; i < n; i++ {
+		coo.Append(i, 0, 1)
+	}
+	a, err := coo.ToCSR(func(x, _ float64) float64 { return x })
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _, err := PageRank(a, 0.85, 1e-10, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for i, x := range r {
+		sum += x
+		if i > 0 && x >= r[0] {
+			t.Errorf("leaf %d rank %v >= hub rank %v", i, x, r[0])
+		}
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("ranks sum to %v, want 1", sum)
+	}
+}
+
+func TestTriangleCount(t *testing.T) {
+	// A single triangle plus a pendant edge: exactly one triangle.
+	coo := sparse.NewCOO[int64](4, 4)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}} {
+		coo.Append(e[0], e[1], 1)
+		coo.Append(e[1], e[0], 1)
+	}
+	a, err := coo.ToCSR(func(x, _ int64) int64 { return x })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := TriangleCount(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("triangles = %d, want 1", got)
+	}
+}
+
+func TestTriangleCountRandomAgainstRef(t *testing.T) {
+	for _, seed := range []int64{6, 7, 8} {
+		// Symmetrize a random matrix and drop the diagonal.
+		g := sparse.ErdosRenyi[int64](60, 5, seed)
+		coo := sparse.NewCOO[int64](60, 60)
+		for i := 0; i < 60; i++ {
+			cols, _ := g.Row(i)
+			for _, j := range cols {
+				if i != j {
+					coo.Append(i, j, 1)
+					coo.Append(j, i, 1)
+				}
+			}
+		}
+		a, err := coo.ToCSR(func(x, _ int64) int64 { return x })
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := TriangleCount(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := RefTriangleCount(a); got != want {
+			t.Fatalf("seed=%d: triangles = %d, want %d", seed, got, want)
+		}
+	}
+}
+
+func TestTriangleCountGridIsZero(t *testing.T) {
+	a, err := sparse.Grid2D[int64](4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := TriangleCount(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("grid has %d triangles, want 0", got)
+	}
+}
+
+func TestKTrussTriangleGraph(t *testing.T) {
+	// A triangle plus a pendant edge: the 3-truss keeps exactly the triangle.
+	coo := sparse.NewCOO[int64](4, 4)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}} {
+		coo.Append(e[0], e[1], 1)
+		coo.Append(e[1], e[0], 1)
+	}
+	a, err := coo.ToCSR(func(x, _ int64) int64 { return x })
+	if err != nil {
+		t.Fatal(err)
+	}
+	truss, rounds, err := KTruss(a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds < 1 {
+		t.Error("no rounds")
+	}
+	if truss.NNZ() != 6 { // 3 undirected edges stored twice
+		t.Fatalf("3-truss has %d stored edges, want 6", truss.NNZ())
+	}
+	if _, ok := truss.Get(2, 3); ok {
+		t.Error("pendant edge survived")
+	}
+	// Every surviving edge has support >= 1.
+	for _, v := range truss.Val {
+		if v < 1 {
+			t.Fatalf("surviving edge support %d", v)
+		}
+	}
+	// 4-truss of a single triangle is empty.
+	empty, _, err := KTruss(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.NNZ() != 0 {
+		t.Fatalf("4-truss should be empty, has %d", empty.NNZ())
+	}
+}
+
+func TestKTrussMatchesRef(t *testing.T) {
+	for _, seed := range []int64{9, 10} {
+		g := sparse.ErdosRenyi[int64](40, 6, seed)
+		coo := sparse.NewCOO[int64](40, 40)
+		for i := 0; i < 40; i++ {
+			cols, _ := g.Row(i)
+			for _, j := range cols {
+				if i != j {
+					coo.Append(i, j, 1)
+					coo.Append(j, i, 1)
+				}
+			}
+		}
+		a, err := coo.ToCSR(func(x, _ int64) int64 { return x })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{3, 4} {
+			truss, _, err := KTruss(a, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := RefKTruss(a, k); truss.NNZ() != want {
+				t.Fatalf("seed=%d k=%d: truss edges %d, want %d", seed, k, truss.NNZ(), want)
+			}
+		}
+	}
+}
+
+func TestKTrussErrors(t *testing.T) {
+	a := sparse.Ring[int64](5)
+	if _, _, err := KTruss(a, 2); err == nil {
+		t.Error("k<3 accepted")
+	}
+	if _, _, err := KTruss(sparse.NewCSR[int64](2, 3), 3); err == nil {
+		t.Error("non-square accepted")
+	}
+}
+
+func TestMISOnRandomGraphs(t *testing.T) {
+	for _, seed := range []int64{11, 12, 13} {
+		g := sparse.ErdosRenyi[int64](120, 5, seed)
+		coo := sparse.NewCOO[int64](120, 120)
+		for i := 0; i < 120; i++ {
+			cols, _ := g.Row(i)
+			for _, j := range cols {
+				if i != j {
+					coo.Append(i, j, 1)
+					coo.Append(j, i, 1)
+				}
+			}
+		}
+		a, err := coo.ToCSR(func(x, _ int64) int64 { return x })
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, rounds, err := MaximalIndependentSet(a, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rounds < 1 {
+			t.Error("no rounds")
+		}
+		// Note: isolated vertices (no neighbors) must be members; ER graphs
+		// of this density may have some, which MIS must include.
+		if err := ValidateIndependentSet(a, set); err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+		// Determinism.
+		set2, _, err := MaximalIndependentSet(a, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range set {
+			if set[v] != set2[v] {
+				t.Fatal("MIS not deterministic for fixed seed")
+			}
+		}
+	}
+}
+
+func TestMISRing(t *testing.T) {
+	// Undirected ring of 6: any MIS has 2 or 3 vertices, no two adjacent.
+	n := 6
+	coo := sparse.NewCOO[int64](n, n)
+	for i := 0; i < n; i++ {
+		coo.Append(i, (i+1)%n, 1)
+		coo.Append((i+1)%n, i, 1)
+	}
+	a, err := coo.ToCSR(func(x, _ int64) int64 { return x })
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, _, err := MaximalIndependentSet(a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateIndependentSet(a, set); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, in := range set {
+		if in {
+			count++
+		}
+	}
+	if count < 2 || count > 3 {
+		t.Fatalf("ring MIS size %d, want 2-3", count)
+	}
+}
+
+func TestMISErrors(t *testing.T) {
+	if _, _, err := MaximalIndependentSet(sparse.NewCSR[int64](2, 3), 1); err == nil {
+		t.Error("non-square accepted")
+	}
+}
+
+func TestTwoHopCounts(t *testing.T) {
+	// Directed path 0->1->2: exactly one two-hop path.
+	a, err := sparse.CSRFromTriplets(3, 3, []int{0, 1}, []int{1, 2}, []int64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := TwoHopCounts(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("two-hop count = %d, want 1", got)
+	}
+	// Ring of n: every vertex starts exactly one 2-path.
+	ring := sparse.Ring[int64](7)
+	got, err = TwoHopCounts(ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Fatalf("ring two-hop count = %d, want 7", got)
+	}
+	if _, err := TwoHopCounts(sparse.NewCSR[int64](2, 3)); err == nil {
+		t.Error("non-square accepted")
+	}
+}

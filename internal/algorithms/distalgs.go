@@ -1,0 +1,185 @@
+package algorithms
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/locale"
+	"repro/internal/semiring"
+	"repro/internal/sparse"
+)
+
+// SSSPDist runs Bellman–Ford single-source shortest paths over a 2-D
+// block-distributed matrix: each round is one distributed SpMV over the
+// (min, +) semiring followed by an elementwise min with the current
+// distances and an all-reduce of the change flag.
+func SSSPDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], source int) ([]T, int, error) {
+	if a.NRows != a.NCols {
+		return nil, 0, fmt.Errorf("algorithms: SSSPDist: matrix must be square")
+	}
+	n := a.NRows
+	if source < 0 || source >= n {
+		return nil, 0, fmt.Errorf("algorithms: SSSPDist: source %d out of range [0,%d)", source, n)
+	}
+	sr := semiring.MinPlus[T]()
+	inf := sr.AddIdentity()
+	d0 := sparse.NewDenseFill[T](n, inf)
+	d0.Data[source] = 0
+	dcur := dist.DenseVecFromDense(rt, d0)
+
+	rounds := 0
+	for iter := 0; iter < n-1; iter++ {
+		relaxed, err := core.SpMVDist(rt, a, dcur, sr)
+		if err != nil {
+			return nil, 0, err
+		}
+		// Elementwise min per locale, tracking change flags.
+		changedFlags := make([]int64, rt.G.P)
+		rt.Coforall(func(l int) {
+			cur := dcur.Loc[l]
+			rel := relaxed.Loc[l]
+			for i := range cur {
+				if rel[i] < cur[i] {
+					cur[i] = rel[i]
+					changedFlags[l] = 1
+				}
+			}
+		})
+		rounds++
+		if comm.AllReduce(rt, changedFlags, semiring.MaxMonoid[int64]()) == 0 {
+			break
+		}
+	}
+	return dcur.ToDense().Data, rounds, nil
+}
+
+// PageRankDist computes PageRank over a 2-D block-distributed matrix with
+// distributed SpMV iterations; dangling mass and the L1 convergence test are
+// combined with all-reduces.
+func PageRankDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], d, tol float64, maxIter int) ([]float64, int, error) {
+	if a.NRows != a.NCols {
+		return nil, 0, fmt.Errorf("algorithms: PageRankDist: matrix must be square")
+	}
+	n := a.NRows
+	if n == 0 {
+		return nil, 0, nil
+	}
+	// Structural float copy, distributed.
+	outdeg := make([]float64, n)
+	pat := sparse.NewCOO[float64](n, n)
+	for l, blk := range a.Blocks {
+		r, c := a.G.Coords(l)
+		for i := 0; i < blk.NRows; i++ {
+			cols, _ := blk.Row(i)
+			outdeg[a.RowBands[r]+i] += float64(len(cols))
+			for _, j := range cols {
+				pat.Append(a.RowBands[r]+i, a.ColBands[c]+j, 1)
+			}
+		}
+	}
+	pcsr, err := pat.ToCSR(semiring.Second[float64])
+	if err != nil {
+		return nil, 0, err
+	}
+	pm := dist.MatFromCSR(rt, pcsr)
+	sr := semiring.PlusTimes[float64]()
+
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = 1 / float64(n)
+	}
+	iters := 0
+	for iter := 0; iter < maxIter; iter++ {
+		iters++
+		x := make([]float64, n)
+		danglingParts := make([]float64, rt.G.P)
+		for i := range x {
+			if outdeg[i] > 0 {
+				x[i] = r[i] / outdeg[i]
+			} else {
+				danglingParts[locale.OwnerOf(n, rt.G.P, i)] += r[i]
+			}
+		}
+		dangling := comm.AllReduce(rt, danglingParts, semiring.PlusMonoid[float64]())
+		xd := dist.DenseVecFromDense(rt, &sparse.Dense[float64]{Data: x})
+		spread, err := core.SpMVDist(rt, pm, xd, sr)
+		if err != nil {
+			return nil, 0, err
+		}
+		sd := spread.ToDense().Data
+		base := (1-d)/float64(n) + d*dangling/float64(n)
+		deltaParts := make([]float64, rt.G.P)
+		next := make([]float64, n)
+		for i := range next {
+			next[i] = base + d*sd[i]
+			deltaParts[locale.OwnerOf(n, rt.G.P, i)] += math.Abs(next[i] - r[i])
+		}
+		r = next
+		if comm.AllReduce(rt, deltaParts, semiring.PlusMonoid[float64]()) < tol {
+			break
+		}
+	}
+	return r, iters, nil
+}
+
+// CCDist runs label-propagation connected components over a distributed
+// matrix with distributed min-first SpMV rounds.
+func CCDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T]) ([]int64, int, error) {
+	if a.NRows != a.NCols {
+		return nil, 0, fmt.Errorf("algorithms: CCDist: matrix must be square")
+	}
+	n := a.NRows
+	// Structural int64 copy.
+	pat := sparse.NewCOO[int64](n, n)
+	for l, blk := range a.Blocks {
+		r, c := a.G.Coords(l)
+		for i := 0; i < blk.NRows; i++ {
+			cols, _ := blk.Row(i)
+			for _, j := range cols {
+				pat.Append(a.RowBands[r]+i, a.ColBands[c]+j, 1)
+			}
+		}
+	}
+	pcsr, err := pat.ToCSR(semiring.Second[int64])
+	if err != nil {
+		return nil, 0, err
+	}
+	pm := dist.MatFromCSR(rt, pcsr)
+	sr := semiring.MinFirst[int64]()
+	inf := sr.AddIdentity()
+
+	labels := make([]int64, n)
+	for i := range labels {
+		labels[i] = int64(i)
+	}
+	rounds := 0
+	for {
+		rounds++
+		ld := dist.DenseVecFromDense(rt, &sparse.Dense[int64]{Data: labels})
+		prop, err := core.SpMVDist(rt, pm, ld, sr)
+		if err != nil {
+			return nil, 0, err
+		}
+		pd := prop.ToDense().Data
+		changedParts := make([]int64, rt.G.P)
+		for i := range labels {
+			if pd[i] != inf && pd[i] < labels[i] {
+				labels[i] = pd[i]
+				changedParts[locale.OwnerOf(n, rt.G.P, i)] = 1
+			}
+		}
+		if comm.AllReduce(rt, changedParts, semiring.MaxMonoid[int64]()) == 0 {
+			break
+		}
+	}
+	components := 0
+	for i, l := range labels {
+		if l == int64(i) {
+			components++
+		}
+	}
+	return labels, components, nil
+}

@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/locale"
+	"repro/internal/machine"
+	"repro/internal/sparse"
+)
+
+// This file benchmarks the design alternatives the paper's discussion calls
+// out (DESIGN.md §7). They are not figures of the paper; they quantify the
+// paper's recommendations on the same simulated machine.
+
+// AblGather compares the fine-grained element-wise gather/scatter of the
+// paper's SpMSpV (Listing 8) with the bulk-synchronous batched communication
+// its §IV recommends, on the Fig 8 workload (ER n=1M, d=16, f=2%).
+func AblGather(scale Scale) Figure {
+	c := spmspvScaled(scale, fig7Configs[0])
+	a0 := sparse.ErdosRenyi[int64](c.n, c.d, 901)
+	x0 := sparse.RandomVec[int64](c.n, int(float64(c.n)*c.f), 902)
+	fig := Figure{
+		ID:     "ablgather",
+		Title:  "SpMSpV communication: fine-grained (paper) vs bulk-synchronous (paper's recommendation), " + fig7Configs[0].label(scale),
+		XLabel: "nodes",
+		YLabel: "time",
+	}
+	for _, p := range nodeSweep {
+		rt := newRT(p, 24)
+		a := dist.MatFromCSR(rt, a0)
+		x := dist.SpVecFromVec(rt, x0)
+		_, _ = core.SpMSpVDist(rt, a, x)
+		fig.Points = append(fig.Points, Point{"fine-grained", p, rt.S.ElapsedSeconds()})
+
+		rt = newRT(p, 24)
+		a = dist.MatFromCSR(rt, a0)
+		x = dist.SpVecFromVec(rt, x0)
+		_, _ = core.SpMSpVDistBulk(rt, a, x)
+		fig.Points = append(fig.Points, Point{"bulk-synchronous", p, rt.S.ElapsedSeconds()})
+	}
+	return fig
+}
+
+// AblSort compares merge sort (the paper's choice) with radix sort (the
+// "less expensive integer sorting algorithm" it expects to win) inside the
+// shared-memory SpMSpV.
+func AblSort(scale Scale) Figure {
+	c := spmspvScaled(scale, fig7Configs[0])
+	a := sparse.ErdosRenyi[int64](c.n, c.d, 903)
+	x := sparse.RandomVec[int64](c.n, int(float64(c.n)*c.f), 904)
+	fig := Figure{
+		ID:     "ablsort",
+		Title:  "SpMSpV sorting step: merge sort (paper) vs radix sort, " + fig7Configs[0].label(scale),
+		XLabel: "threads",
+		YLabel: "time",
+	}
+	for _, th := range threadSweep {
+		for _, kind := range []struct {
+			name string
+			k    core.SortKind
+		}{{"merge sort", core.MergeSort}, {"radix sort", core.RadixSort}} {
+			rt := newRT(1, th)
+			_, _ = core.SpMSpVShm(a, x, core.ShmConfig{
+				Threads: th, Sort: kind.k, Sim: rt.S, Loc: 0, Phased: true,
+			})
+			fig.Points = append(fig.Points, Point{kind.name, th, rt.S.PhaseNS("Sorting") / 1e9})
+		}
+	}
+	return fig
+}
+
+// AblAtomic compares the paper's atomic-compaction eWiseMult with the
+// thread-private-buffer + prefix-sum organization it sketches as the fix.
+func AblAtomic(scale Scale) Figure {
+	nnz := scaled(scale, 10_000_000)
+	x0 := randomVec(nnz, 905)
+	y0 := sparse.RandomBoolDense[int64](x0.N, 0.5, 906)
+	fig := Figure{
+		ID:     "ablatomic",
+		Title:  fmt.Sprintf("eWiseMult compaction: atomic fetch-add (paper) vs thread-private + prefix sum, nnz=%s", human(nnz)),
+		XLabel: "threads",
+		YLabel: "time",
+	}
+	for _, th := range threadSweep {
+		rt := newRT(1, th)
+		x := dist.SpVecFromVec(rt, x0)
+		y := dist.DenseVecFromDense(rt, y0)
+		_, err := core.EWiseMultSD(rt, x, y, keepTrue)
+		mustNil(err)
+		fig.Points = append(fig.Points, Point{"atomic", th, rt.S.ElapsedSeconds()})
+
+		rt = newRT(1, th)
+		x = dist.SpVecFromVec(rt, x0)
+		y = dist.DenseVecFromDense(rt, y0)
+		_, err = core.EWiseMultSDNoAtomic(rt, x, y, keepTrue)
+		mustNil(err)
+		fig.Points = append(fig.Points, Point{"no-atomic", th, rt.S.ElapsedSeconds()})
+	}
+	return fig
+}
+
+// AblGrid compares the 2-D processor grid (the paper's choice, citing its
+// scalability) with 1-D row and 1-D column distributions for the distributed
+// SpMSpV communication.
+func AblGrid(scale Scale) Figure {
+	c := spmspvScaled(scale, fig7Configs[0])
+	a0 := sparse.ErdosRenyi[int64](c.n, c.d, 907)
+	x0 := sparse.RandomVec[int64](c.n, int(float64(c.n)*c.f), 908)
+	fig := Figure{
+		ID:     "ablgrid",
+		Title:  "SpMSpV distribution: 2-D grid (paper) vs 1-D row / 1-D column, " + fig7Configs[0].label(scale),
+		XLabel: "nodes",
+		YLabel: "time",
+	}
+	shapes := []struct {
+		name  string
+		shape func(p int) (*locale.Grid, error)
+	}{
+		{"2-D grid", locale.NewGrid},
+		{"1-D rows", func(p int) (*locale.Grid, error) { return locale.NewGridShape(p, 1) }},
+		{"1-D cols", func(p int) (*locale.Grid, error) { return locale.NewGridShape(1, p) }},
+	}
+	for _, p := range nodeSweep {
+		for _, s := range shapes {
+			g, err := s.shape(p)
+			mustNil(err)
+			rt := locale.NewWithGrid(machine.Edison(), g, 24)
+			a := dist.MatFromCSR(rt, a0)
+			x := dist.SpVecFromVec(rt, x0)
+			_, _ = core.SpMSpVDist(rt, a, x)
+			fig.Points = append(fig.Points, Point{s.name, p, rt.S.ElapsedSeconds()})
+		}
+	}
+	return fig
+}

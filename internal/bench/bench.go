@@ -1,0 +1,184 @@
+// Package bench regenerates every experiment figure of the paper: it builds
+// the paper's workloads (Erdős–Rényi matrices, random sparse vectors with
+// controlled density), sweeps the thread/node counts of each figure, runs the
+// real operations under the simulated machine model, and emits the same
+// series the paper plots.
+//
+// Figure 6 of the paper is an illustration of the sparse accumulator, not an
+// experiment, so it has no runner here.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Scale selects the workload sizes.
+type Scale string
+
+const (
+	// ScalePaper uses the paper's exact sizes (up to 100M-nonzero vectors and
+	// 10M×10M matrices; needs several GB of memory).
+	ScalePaper Scale = "paper"
+	// ScaleSmall divides the paper sizes by 10 (by 100 for the two largest
+	// SpMSpV workloads) for quick runs; the modeled scaling shapes are
+	// unchanged.
+	ScaleSmall Scale = "small"
+)
+
+// Point is one measurement: series name, x coordinate (threads, nodes, or
+// locales), and the modeled time in seconds.
+type Point struct {
+	Series  string
+	X       int
+	Seconds float64
+}
+
+// Figure is one reproduced chart.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Points []Point
+}
+
+// Runner produces a figure at a given scale.
+type Runner func(scale Scale) Figure
+
+// Registry maps figure ids to runners, in presentation order.
+func Registry() []struct {
+	ID  string
+	Run Runner
+} {
+	return []struct {
+		ID  string
+		Run Runner
+	}{
+		{"fig1l", Fig1Left},
+		{"fig1r", Fig1Right},
+		{"fig2l", Fig2Left},
+		{"fig2r", Fig2Right},
+		{"fig3", Fig3},
+		{"fig4", Fig4},
+		{"fig5a", Fig5OneThread},
+		{"fig5b", Fig5AllThreads},
+		{"fig7a", Fig7(0)},
+		{"fig7b", Fig7(1)},
+		{"fig7c", Fig7(2)},
+		{"fig8a", Fig8(0)},
+		{"fig8b", Fig8(1)},
+		{"fig8c", Fig8(2)},
+		{"fig9a", Fig9(0)},
+		{"fig9b", Fig9(1)},
+		{"fig9c", Fig9(2)},
+		{"fig10", Fig10},
+		{"ablgather", AblGather},
+		{"ablsort", AblSort},
+		{"ablatomic", AblAtomic},
+		{"ablgrid", AblGrid},
+	}
+}
+
+// Lookup returns the runner for a figure id (case-insensitive), or nil.
+func Lookup(id string) Runner {
+	id = strings.ToLower(strings.TrimSpace(id))
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e.Run
+		}
+	}
+	return nil
+}
+
+// threadSweep and nodeSweep are the paper's x-axes.
+var (
+	threadSweep = []int{1, 2, 4, 8, 16, 32}
+	nodeSweep   = []int{1, 2, 4, 8, 16, 32, 64}
+	localeSweep = []int{1, 2, 4, 8, 16, 32}
+)
+
+// SeriesOf returns the distinct series names of a figure in first-appearance
+// order.
+func (f Figure) SeriesOf() []string {
+	var names []string
+	seen := map[string]bool{}
+	for _, p := range f.Points {
+		if !seen[p.Series] {
+			seen[p.Series] = true
+			names = append(names, p.Series)
+		}
+	}
+	return names
+}
+
+// Get returns the seconds at (series, x), with ok=false when absent.
+func (f Figure) Get(series string, x int) (float64, bool) {
+	for _, p := range f.Points {
+		if p.Series == series && p.X == x {
+			return p.Seconds, true
+		}
+	}
+	return 0, false
+}
+
+// Table renders the figure as an aligned text table, one row per x value and
+// one column per series.
+func (f Figure) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	series := f.SeriesOf()
+	xsSet := map[int]bool{}
+	for _, p := range f.Points {
+		xsSet[p.X] = true
+	}
+	xs := make([]int, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Ints(xs)
+
+	fmt.Fprintf(&b, "%-10s", f.XLabel)
+	for _, s := range series {
+		fmt.Fprintf(&b, " %16s", s)
+	}
+	b.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%-10d", x)
+		for _, s := range series {
+			if v, ok := f.Get(s, x); ok {
+				fmt.Fprintf(&b, " %16s", formatSeconds(v))
+			} else {
+				fmt.Fprintf(&b, " %16s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the figure as "figure,series,x,seconds" rows.
+func (f Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString("figure,series,x,seconds\n")
+	for _, p := range f.Points {
+		fmt.Fprintf(&b, "%s,%s,%d,%.9f\n", f.ID, p.Series, p.X, p.Seconds)
+	}
+	return b.String()
+}
+
+// formatSeconds renders a duration with a unit that keeps 3-4 significant
+// digits (the paper's axes span 0.24 µs to 256 s).
+func formatSeconds(s float64) string {
+	switch {
+	case s >= 1:
+		return fmt.Sprintf("%.3f s", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.3f ms", s*1e3)
+	case s >= 1e-6:
+		return fmt.Sprintf("%.3f us", s*1e6)
+	default:
+		return fmt.Sprintf("%.1f ns", s*1e9)
+	}
+}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Chart renders the figure as an ASCII log-scale plot resembling the paper's
+// figures: the x axis carries the sweep (threads/nodes/locales), the y axis
+// is time on a log scale, and each series draws with its own glyph.
+func (f Figure) Chart() string {
+	const (
+		height = 18
+		colW   = 7
+	)
+	glyphs := []rune{'*', 'o', '+', 'x', '#', '@'}
+
+	series := f.SeriesOf()
+	xsSet := map[int]bool{}
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, p := range f.Points {
+		xsSet[p.X] = true
+		if p.Seconds > 0 {
+			minV = math.Min(minV, p.Seconds)
+			maxV = math.Max(maxV, p.Seconds)
+		}
+	}
+	if len(series) == 0 || math.IsInf(minV, 1) {
+		return f.ID + " — (no data)\n"
+	}
+	xs := make([]int, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Ints(xs)
+
+	logMin := math.Floor(math.Log10(minV))
+	logMax := math.Ceil(math.Log10(maxV))
+	if logMax <= logMin {
+		logMax = logMin + 1
+	}
+	row := func(v float64) int {
+		frac := (math.Log10(v) - logMin) / (logMax - logMin)
+		r := int(math.Round(frac * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", colW*len(xs)))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for xi, x := range xs {
+			v, ok := f.Get(s, x)
+			if !ok || v <= 0 {
+				continue
+			}
+			r := row(v)
+			col := xi*colW + colW/2
+			if grid[r][col] == ' ' {
+				grid[r][col] = g
+			} else {
+				// Collision: mark overlap.
+				grid[r][col] = '&'
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	for r := height - 1; r >= 0; r-- {
+		frac := float64(r) / float64(height-1)
+		v := math.Pow(10, logMin+frac*(logMax-logMin))
+		fmt.Fprintf(&b, "%12s |%s\n", formatSeconds(v), string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%12s +%s\n", "", strings.Repeat("-", colW*len(xs)))
+	fmt.Fprintf(&b, "%12s  ", f.XLabel)
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%-*d", colW, x)
+	}
+	b.WriteByte('\n')
+	for si, s := range series {
+		fmt.Fprintf(&b, "%14c = %s\n", glyphs[si%len(glyphs)], s)
+	}
+	return b.String()
+}

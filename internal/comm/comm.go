@@ -1,0 +1,179 @@
+// Package comm provides the collective communication operations the paper's
+// discussion asks for ("MPI provides functions for a number of team
+// collectives. Support for these operations is expected to improve the
+// productivity and performance of graph algorithms"): broadcast, gather,
+// all-gather, reduce and all-reduce over the locale grid, plus row/column
+// team variants matching the 2-D distribution.
+//
+// Like everything else in this library, the collectives move real data and
+// charge the machine model for the communication structure: tree-based
+// collectives cost log2(P) rounds of bulk transfers.
+package comm
+
+import (
+	"math"
+
+	"repro/internal/locale"
+	"repro/internal/semiring"
+)
+
+// bytesOf estimates the wire size of n elements of a numeric type (8 bytes
+// per element — the library's element types are word-sized).
+func bytesOf(n int) int64 { return int64(n) * 8 }
+
+// treeDepth returns ceil(log2(p)), minimum 0.
+func treeDepth(p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(float64(p)))
+}
+
+// Broadcast copies the root locale's slice to every other locale; returns
+// one slice per locale (the root's own slice is shared, remote ones are
+// copies). Charges a log2(P)-depth broadcast tree.
+func Broadcast[T semiring.Number](rt *locale.Runtime, root int, data []T) [][]T {
+	p := rt.G.P
+	out := make([][]T, p)
+	for l := 0; l < p; l++ {
+		if l == root {
+			out[l] = data
+			continue
+		}
+		out[l] = append([]T(nil), data...)
+	}
+	if p > 1 {
+		depth := treeDepth(p)
+		per := rt.S.BulkTime(bytesOf(len(data)), false) * depth
+		for l := 0; l < p; l++ {
+			rt.S.Advance(l, per)
+		}
+	}
+	return out
+}
+
+// Gather concatenates each locale's slice at the root, in locale order.
+// Charges one bulk transfer per non-root locale into the root.
+func Gather[T semiring.Number](rt *locale.Runtime, root int, parts [][]T) []T {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]T, 0, total)
+	for l, part := range parts {
+		out = append(out, part...)
+		if l != root && len(part) > 0 {
+			rt.S.Bulk(root, bytesOf(len(part)), rt.G.SameNode(root, l))
+		}
+	}
+	rt.S.Barrier()
+	return out
+}
+
+// AllGather concatenates every locale's slice on every locale. Charges a
+// gather followed by a broadcast (the standard tree implementation).
+func AllGather[T semiring.Number](rt *locale.Runtime, parts [][]T) [][]T {
+	root := 0
+	joined := Gather(rt, root, parts)
+	return Broadcast(rt, root, joined)
+}
+
+// Reduce folds one value per locale into a single value at the root with a
+// monoid, charging a log2(P)-depth reduction tree of tiny messages.
+func Reduce[T semiring.Number](rt *locale.Runtime, root int, vals []T, m semiring.Monoid[T]) T {
+	acc := m.Identity
+	for _, v := range vals {
+		acc = m.Op(acc, v)
+	}
+	p := rt.G.P
+	if p > 1 {
+		per := rt.S.BulkTime(8, false) * treeDepth(p)
+		for l := 0; l < p; l++ {
+			rt.S.Advance(l, per)
+		}
+	}
+	_ = root
+	return acc
+}
+
+// AllReduce folds one value per locale and makes the result available on
+// every locale (reduce + broadcast tree).
+func AllReduce[T semiring.Number](rt *locale.Runtime, vals []T, m semiring.Monoid[T]) T {
+	v := Reduce(rt, 0, vals, m)
+	if rt.G.P > 1 {
+		per := rt.S.BulkTime(8, false) * treeDepth(rt.G.P)
+		for l := 0; l < rt.G.P; l++ {
+			rt.S.Advance(l, per)
+		}
+	}
+	return v
+}
+
+// RowAllGather concatenates, for every locale, the slices of its processor
+// row's team (the communication pattern of the SpMSpV gather step, done with
+// collectives instead of fine-grained access). Returns one concatenation per
+// locale.
+func RowAllGather[T semiring.Number](rt *locale.Runtime, parts [][]T) [][]T {
+	g := rt.G
+	out := make([][]T, g.P)
+	for r := 0; r < g.Pr; r++ {
+		team := g.RowLocales(r)
+		total := 0
+		for _, l := range team {
+			total += len(parts[l])
+		}
+		joined := make([]T, 0, total)
+		for _, l := range team {
+			joined = append(joined, parts[l]...)
+		}
+		// Tree all-gather within the team.
+		depth := treeDepth(len(team))
+		per := rt.S.BulkTime(bytesOf(total), false) * depth
+		for _, l := range team {
+			rt.S.Advance(l, per)
+			if l != team[0] {
+				out[l] = append([]T(nil), joined...)
+			} else {
+				out[l] = joined
+			}
+		}
+	}
+	return out
+}
+
+// ColReduceScatter reduces, for every grid column team, one dense slice per
+// member elementwise with a monoid, leaving each member with the reduced
+// slice (the communication pattern of a column-wise SpMV accumulation).
+func ColReduceScatter[T semiring.Number](rt *locale.Runtime, parts [][]T, m semiring.Monoid[T]) [][]T {
+	g := rt.G
+	out := make([][]T, g.P)
+	for c := 0; c < g.Pc; c++ {
+		team := g.ColLocales(c)
+		width := 0
+		for _, l := range team {
+			if len(parts[l]) > width {
+				width = len(parts[l])
+			}
+		}
+		acc := make([]T, width)
+		for i := range acc {
+			acc[i] = m.Identity
+		}
+		for _, l := range team {
+			for i, v := range parts[l] {
+				acc[i] = m.Op(acc[i], v)
+			}
+		}
+		depth := treeDepth(len(team))
+		per := rt.S.BulkTime(bytesOf(width), false) * depth
+		for _, l := range team {
+			rt.S.Advance(l, per)
+			if l == team[0] {
+				out[l] = acc
+			} else {
+				out[l] = append([]T(nil), acc...)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package comm
+
+import (
+	"testing"
+
+	"repro/internal/locale"
+	"repro/internal/machine"
+	"repro/internal/semiring"
+)
+
+func newRT(t *testing.T, p int) *locale.Runtime {
+	t.Helper()
+	rt, err := locale.New(machine.Edison(), p, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestTreeDepth(t *testing.T) {
+	cases := map[int]float64{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 64: 6}
+	for p, want := range cases {
+		if got := treeDepth(p); got != want {
+			t.Errorf("treeDepth(%d) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	rt := newRT(t, 4)
+	data := []int64{1, 2, 3}
+	out := Broadcast(rt, 1, data)
+	if len(out) != 4 {
+		t.Fatal("wrong fan-out")
+	}
+	for l, d := range out {
+		if len(d) != 3 || d[0] != 1 || d[2] != 3 {
+			t.Fatalf("locale %d got %v", l, d)
+		}
+	}
+	// Remote copies must not alias the root's slice.
+	out[0][0] = 99
+	if data[0] == 99 {
+		t.Error("broadcast aliased root data on a remote locale")
+	}
+	if rt.S.Elapsed() <= 0 {
+		t.Error("broadcast charged nothing")
+	}
+	// Single locale broadcast is free and shares the slice.
+	rt1 := newRT(t, 1)
+	out1 := Broadcast(rt1, 0, data)
+	if &out1[0][0] != &data[0] {
+		t.Error("single-locale broadcast should share storage")
+	}
+	if rt1.S.Elapsed() != 0 {
+		t.Error("single-locale broadcast should be free")
+	}
+}
+
+func TestGather(t *testing.T) {
+	rt := newRT(t, 3)
+	parts := [][]int64{{1, 2}, {}, {3}}
+	out := Gather(rt, 0, parts)
+	if len(out) != 3 || out[0] != 1 || out[2] != 3 {
+		t.Fatalf("gather = %v", out)
+	}
+	// One bulk message per non-root nonempty part.
+	if got := rt.S.Traffic().BulkOps; got != 1 {
+		t.Errorf("bulk ops = %d, want 1 (one nonempty remote part)", got)
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	rt := newRT(t, 4)
+	parts := [][]int32{{1}, {2, 3}, {}, {4}}
+	out := AllGather(rt, parts)
+	for l := range out {
+		if len(out[l]) != 4 || out[l][0] != 1 || out[l][3] != 4 {
+			t.Fatalf("locale %d allgather = %v", l, out[l])
+		}
+	}
+}
+
+func TestReduceAndAllReduce(t *testing.T) {
+	rt := newRT(t, 4)
+	vals := []int64{3, 1, 7, 5}
+	if got := Reduce(rt, 0, vals, semiring.PlusMonoid[int64]()); got != 16 {
+		t.Errorf("reduce sum = %d, want 16", got)
+	}
+	if got := Reduce(rt, 0, vals, semiring.MaxMonoid[int64]()); got != 7 {
+		t.Errorf("reduce max = %d, want 7", got)
+	}
+	before := rt.S.Elapsed()
+	if got := AllReduce(rt, vals, semiring.MinMonoid[int64]()); got != 1 {
+		t.Errorf("allreduce min = %d, want 1", got)
+	}
+	if rt.S.Elapsed() <= before {
+		t.Error("allreduce charged nothing")
+	}
+}
+
+func TestRowAllGather(t *testing.T) {
+	rt := newRT(t, 6) // 2x3 grid
+	parts := make([][]int64, 6)
+	for l := range parts {
+		parts[l] = []int64{int64(l * 10)}
+	}
+	out := RowAllGather(rt, parts)
+	// Row 0 = locales 0,1,2; row 1 = locales 3,4,5.
+	for _, l := range []int{0, 1, 2} {
+		if len(out[l]) != 3 || out[l][0] != 0 || out[l][1] != 10 || out[l][2] != 20 {
+			t.Fatalf("row 0 locale %d = %v", l, out[l])
+		}
+	}
+	for _, l := range []int{3, 4, 5} {
+		if len(out[l]) != 3 || out[l][0] != 30 || out[l][2] != 50 {
+			t.Fatalf("row 1 locale %d = %v", l, out[l])
+		}
+	}
+	// Mutating one locale's copy must not affect its teammates.
+	out[1][0] = -1
+	if out[2][0] == -1 {
+		t.Error("row allgather aliased across team members")
+	}
+}
+
+func TestColReduceScatter(t *testing.T) {
+	rt := newRT(t, 6) // 2x3 grid
+	parts := make([][]int64, 6)
+	for l := range parts {
+		parts[l] = []int64{int64(l), int64(l * 2)}
+	}
+	out := ColReduceScatter(rt, parts, semiring.PlusMonoid[int64]())
+	// Column 0 = locales 0 and 3: sums {0+3, 0+6}.
+	for _, l := range []int{0, 3} {
+		if out[l][0] != 3 || out[l][1] != 6 {
+			t.Fatalf("col 0 locale %d = %v", l, out[l])
+		}
+	}
+	// Column 2 = locales 2 and 5: sums {7, 14}.
+	for _, l := range []int{2, 5} {
+		if out[l][0] != 7 || out[l][1] != 14 {
+			t.Fatalf("col 2 locale %d = %v", l, out[l])
+		}
+	}
+}
+
+func TestCollectiveCostsScaleWithTeam(t *testing.T) {
+	// A 64-locale broadcast must cost more than a 2-locale one (deeper tree),
+	// but only logarithmically so.
+	data := make([]float64, 1000)
+	rt2 := newRT(t, 2)
+	Broadcast(rt2, 0, data)
+	rt64 := newRT(t, 64)
+	Broadcast(rt64, 0, data)
+	t2, t64 := rt2.S.Elapsed(), rt64.S.Elapsed()
+	if t64 <= t2 {
+		t.Errorf("64-locale broadcast (%.1fus) should cost more than 2-locale (%.1fus)", t64/1e3, t2/1e3)
+	}
+	if t64 > 8*t2 {
+		t.Errorf("64-locale broadcast (%.1fus) should be log-depth, not linear (2-locale %.1fus)", t64/1e3, t2/1e3)
+	}
+}

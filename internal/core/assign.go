@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/locale"
+	"repro/internal/semiring"
+	"repro/internal/sim"
+)
+
+// Assign1 assigns B into A (their distributions must match), in the idiomatic
+// style of the paper's Listing 4: clear A's domain, re-add B's indices, then
+// iterate the domain copying element by element.
+//
+// Because zipper iteration over two different sparse arrays is not available,
+// each element is fetched by index — an O(log nnz) search into the compact
+// sparse representation — which makes Assign1 an order of magnitude slower
+// than Assign2 even in shared memory (Fig 2 left). Distributed, every access
+// from the leader locale is additionally a fine-grained remote operation.
+func Assign1[T semiring.Number](rt *locale.Runtime, a, b *dist.SpVec[T]) error {
+	if !a.SameDistribution(b) {
+		return fmt.Errorf("core: Assign1: operands have different domains/distributions")
+	}
+	totalItems := int64(0)
+	remoteItems := int64(0)
+	for l := range b.Loc {
+		n := b.Loc[l].NNZ()
+		totalItems += int64(n)
+		if l != 0 {
+			remoteItems += int64(n)
+		}
+		// Real work: destroy A's local block and copy B's.
+		a.Loc[l] = b.Loc[l].Clone()
+	}
+	nnz := int(totalItems)
+	if nnz == 0 {
+		return nil
+	}
+	// Model: the leader drives a forall over the rebuilt domain; each
+	// iteration pays the logarithmic indexed access into both sparse arrays
+	// plus the per-element domain rebuild.
+	rt.S.Compute(0, rt.Threads, sim.Kernel{
+		Name:           "assign1",
+		Items:          totalItems,
+		CPUPerItem:     costAssign1DomRebuild + 2*costSearchPerLevel*log2ceil(nnz),
+		BytesPerItem:   costAssignArrBytes,
+		AtomicsPerItem: costAssign1Atomics,
+	})
+	if remoteItems > 0 {
+		// Domain add + element get + element put per remote element, issued
+		// serially from the leader.
+		o := rt.FineLatencyOpts(0, 1, 3*remoteItems, bytesPerEntry, 1)
+		o.Overlap = 1
+		rt.S.FineGrained(0, o)
+	}
+	return nil
+}
+
+// Assign2 assigns B into A in the explicit SPMD style of the paper's
+// Listing 5: one task per locale; each locale clears its local domain, bulk
+// inserts the local domain of B (`locDA.mySparseBlock += locDB.mySparseBlock`),
+// and then copies the local element arrays with a zippered forall. No
+// communication is required because the distributions match.
+func Assign2[T semiring.Number](rt *locale.Runtime, a, b *dist.SpVec[T]) error {
+	if !a.SameDistribution(b) {
+		return fmt.Errorf("core: Assign2: operands have different domains/distributions")
+	}
+	if b.NNZ() == 0 {
+		for l := range a.Loc {
+			a.Loc[l].Clear()
+		}
+		return nil
+	}
+	rt.Coforall(func(l int) {
+		lb := b.Loc[l]
+		n := int64(lb.NNZ())
+		// Real work: domain copy then zippered array copy.
+		la := a.Loc[l]
+		la.Ind = append(la.Ind[:0], lb.Ind...)
+		la.Val = la.Val[:0]
+		if cap(la.Val) < lb.NNZ() {
+			la.Val = make([]T, lb.NNZ())
+		} else {
+			la.Val = la.Val[:lb.NNZ()]
+		}
+		rt.ParFor(lb.NNZ(), func(lo, hi int) {
+			copy(la.Val[lo:hi], lb.Val[lo:hi])
+		})
+		// Model: domain phase, then array phase.
+		rt.S.Compute(l, rt.Threads, sim.Kernel{
+			Name:           "assign2-domain",
+			Items:          n,
+			CPUPerItem:     costAssignDomCPU,
+			BytesPerItem:   costAssignDomBytes,
+			AtomicsPerItem: costAssignDomAtomics,
+		})
+		rt.S.Compute(l, rt.Threads, sim.Kernel{
+			Name:           "assign2-array",
+			Items:          n,
+			CPUPerItem:     costAssignArrCPU,
+			BytesPerItem:   costAssignArrBytes,
+			AtomicsPerItem: costAssignArrAtomics,
+		})
+	})
+	return nil
+}

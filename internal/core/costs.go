@@ -1,0 +1,85 @@
+package core
+
+// Per-kernel cost-model constants, in nanoseconds per item unless noted.
+//
+// The constants are calibrated so that single-thread / single-node modeled
+// times land on the paper's measured anchor points (Chapel 1.14 on Edison —
+// note these are CHAPEL costs, far above what hand-tuned C achieves; the
+// paper's absolute numbers are themselves dominated by Chapel's sparse-array
+// machinery, and reproducing the paper means reproducing those magnitudes):
+//
+//	Apply,   10M nnz, 1 thread  ≈ 150–250 ms   (Fig 1 left)
+//	Assign2,  1M nnz, 1 thread  ≈ 64–128 ms    (Fig 2 left)
+//	Assign1,  1M nnz, 1 thread  ≈ 1–2 s        (Fig 2 left)
+//	eWiseMult 100M nnz, 1 thread ≈ 11–16 s     (Fig 4)
+//	SpMSpV n=1M d=16 f=2%, 1 thread ≈ 1.5 s total, sort largest (Fig 7)
+//
+// The serialized per-item terms (expressed as fractional AtomicsPerItem
+// against the machine's AtomicOp cost) bound the 24-thread speedups to the
+// paper's observed 5–13× for the contended kernels while Apply stays
+// near-linear.
+const (
+	// Apply: one unary-op application per stored element, streaming access.
+	costApplyCPU   = 18.0 // Chapel sparse-array iteration + op call
+	costApplyBytes = 16.0 // read + write one 8-byte value (write-allocate)
+
+	// Assign2 domain phase: bulk insertion of a sorted local index block into
+	// a cleared local domain.
+	costAssignDomCPU     = 60.0
+	costAssignDomBytes   = 24.0
+	costAssignDomAtomics = 0.45 // ~8 ns/item serialized domain bookkeeping
+
+	// Assign2 array phase: zippered copy of the local dense element arrays.
+	costAssignArrCPU     = 25.0
+	costAssignArrBytes   = 32.0
+	costAssignArrAtomics = 0.17 // ~3 ns/item
+
+	// Assign1: per-element indexed store A[i] = B[i]; each access binary
+	// searches the compact sparse representation: cost ~ costSearch*log2(nnz).
+	costSearchPerLevel    = 50.0 // Chapel sparse "member" probe per level
+	costAssign1Atomics    = 8.3  // ~150 ns/item serialized metadata access
+	costAssign1DomRebuild = 60.0 // per-item domain clear+rebuild on the way
+
+	// eWiseMult: read sparse entry, random-access the dense operand, evaluate
+	// the predicate, compact survivors through an atomic fetch-add cursor.
+	costEWiseCPU     = 110.0
+	costEWiseBytes   = 24.0
+	costEWiseAtomics = 0.25 // uncontended fetch-add pipelines well
+	// Output-domain construction per surviving element (zDom += keepInd).
+	costEWiseOutCPU = 40.0
+
+	// SpMSpV SPA phase: per visited matrix entry — atomic isthere probe, CAS
+	// claim, fetch-add compaction, localy write. Heavily contended.
+	costSpaCPU     = 1000.0 // Chapel per-entry row-iteration machinery
+	costSpaBytes   = 20.0
+	costSpaAtomics = 3.3 // ~60 ns/item serialized (3 contended atomics)
+	// Per selected row: remote-class rowStart/rowStop metadata accesses.
+	costSpaPerRow = 2000.0
+
+	// SpMSpV sort phase: Chapel's parallel merge sort. Comparisons
+	// parallelize; the final merge chain (~n comparisons) is serial.
+	costSortPerCmp = 192.0
+	// Radix-sort ablation: per element per pass, parallelizable.
+	costRadixPerElem = 20.0
+
+	// SpMSpV output phase: build yDom += nzinds and populate values.
+	costOutputCPU   = 500.0
+	costOutputBytes = 24.0
+
+	// Distributed SpMSpV gather/scatter payload per fine-grained message.
+	bytesPerIndex = 8.0
+	bytesPerEntry = 16.0
+
+	// denseToSparse scan at the end of the distributed SpMSpV.
+	costScanCPU = 4.0
+)
+
+// log2ceil returns ceil(log2(n)) for n >= 1, minimum 1 (a search in a
+// one-element structure still probes once).
+func log2ceil(n int) float64 {
+	l := 1
+	for v := 2; v < n; v <<= 1 {
+		l++
+	}
+	return float64(l)
+}

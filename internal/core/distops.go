@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/dist"
+	"repro/internal/locale"
+	"repro/internal/semiring"
+	"repro/internal/sim"
+	"repro/internal/sparse"
+)
+
+// This file implements the distributed primitives beyond the paper's four
+// operations, built on the team collectives of internal/comm (the support the
+// paper's discussion recommends adding): distributed reduce, distributed
+// dense SpMV over the 2-D grid, distributed element-wise addition, and
+// distributed matrix transpose.
+
+// ReduceDist folds every stored value of a distributed sparse vector with a
+// monoid: a local reduction per locale followed by a log2(P) reduction tree.
+func ReduceDist[T semiring.Number](rt *locale.Runtime, v *dist.SpVec[T], m semiring.Monoid[T]) T {
+	partials := make([]T, rt.G.P)
+	rt.Coforall(func(l int) {
+		partials[l] = m.Reduce(v.Loc[l].Val)
+		rt.S.Compute(l, rt.Threads, sim.Kernel{
+			Name:         "reduce-local",
+			Items:        int64(v.Loc[l].NNZ()),
+			CPUPerItem:   8,
+			BytesPerItem: 8,
+		})
+	})
+	return comm.Reduce(rt, 0, partials, m)
+}
+
+// SpMVDist computes the dense product y = xA over a semiring on the 2-D
+// block-distributed matrix: each locale receives the x segment of its row
+// band (a row-team all-gather), multiplies its local block, and the partial
+// results are combined down each grid column with the additive monoid (a
+// column-team reduce). x and y are block-distributed dense vectors of length
+// NRows and NCols respectively.
+func SpMVDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *dist.DenseVec[T], sr semiring.Semiring[T]) (*dist.DenseVec[T], error) {
+	if x.N != a.NRows {
+		return nil, fmt.Errorf("core: SpMVDist: x has %d entries for %d rows", x.N, a.NRows)
+	}
+	g := rt.G
+	rt.S.CoforallSpawn()
+
+	// Row-team all-gather of x: locale (r, c) needs x over the row band r.
+	// The vector's block distribution aligns with the bands (same identity
+	// used by SpMSpVDist), so the row team's local parts concatenate to the
+	// band segment.
+	xParts := comm.RowAllGather(rt, x.Loc)
+
+	// Local multiply: partial y over the locale's column band.
+	partials := make([][]T, g.P)
+	id := sr.AddIdentity()
+	for l := 0; l < g.P; l++ {
+		r, c := g.Coords(l)
+		blk := a.Blocks[l]
+		xb := xParts[l]
+		part := make([]T, a.ColBands[c+1]-a.ColBands[c])
+		for i := range part {
+			part[i] = id
+		}
+		var flops int64
+		for i := 0; i < blk.NRows; i++ {
+			xv := xb[i]
+			if xv == id {
+				continue
+			}
+			cols, vals := blk.Row(i)
+			flops += int64(len(cols))
+			for k, j := range cols {
+				part[j] = sr.Add.Op(part[j], sr.Mul(xv, vals[k]))
+			}
+		}
+		partials[l] = part
+		rt.S.Compute(l, rt.Threads, sim.Kernel{
+			Name:         "spmv-local",
+			Items:        flops + int64(blk.NRows),
+			CPUPerItem:   12,
+			BytesPerItem: 20,
+		})
+		_ = r
+	}
+
+	// Column-team reduction of the partial results; the reduced slice of
+	// column band c lives on every locale of grid column c, and the final
+	// block-distributed y takes each global index from its owner's copy.
+	reduced := comm.ColReduceScatter(rt, partials, sr.Add)
+	y := dist.NewDenseVec[T](rt, a.NCols)
+	for l := 0; l < g.P; l++ {
+		lo, hi := y.Bounds[l], y.Bounds[l+1]
+		for gi := lo; gi < hi; gi++ {
+			c := locale.OwnerOf(a.NCols, g.Pc, gi)
+			src := reduced[g.ID(0, c)]
+			y.Loc[l][gi-lo] = src[gi-a.ColBands[c]]
+		}
+	}
+	rt.S.Barrier()
+	return y, nil
+}
+
+// EWiseAddDist adds two identically distributed sparse vectors elementwise
+// over the union of their patterns; a purely local merge per locale.
+func EWiseAddDist[T semiring.Number](rt *locale.Runtime, x, y *dist.SpVec[T], op semiring.BinaryOp[T]) (*dist.SpVec[T], error) {
+	if !x.SameDistribution(y) {
+		return nil, fmt.Errorf("core: EWiseAddDist: operands have different distributions")
+	}
+	z := dist.NewSpVec[T](rt, x.N)
+	var firstErr error
+	rt.Coforall(func(l int) {
+		merged, err := EWiseAddSS(x.Loc[l], y.Loc[l], op)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		z.Loc[l] = merged
+		rt.S.Compute(l, rt.Threads, sim.Kernel{
+			Name:         "ewiseadd-local",
+			Items:        int64(x.Loc[l].NNZ() + y.Loc[l].NNZ()),
+			CPUPerItem:   20,
+			BytesPerItem: 32,
+		})
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return z, nil
+}
+
+// EWiseMultDistSS intersects two identically distributed sparse vectors
+// elementwise; a purely local merge per locale.
+func EWiseMultDistSS[T semiring.Number](rt *locale.Runtime, x, y *dist.SpVec[T], op semiring.BinaryOp[T]) (*dist.SpVec[T], error) {
+	if !x.SameDistribution(y) {
+		return nil, fmt.Errorf("core: EWiseMultDistSS: operands have different distributions")
+	}
+	z := dist.NewSpVec[T](rt, x.N)
+	var firstErr error
+	rt.Coforall(func(l int) {
+		merged, err := EWiseMultSS(x.Loc[l], y.Loc[l], op)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		z.Loc[l] = merged
+		rt.S.Compute(l, rt.Threads, sim.Kernel{
+			Name:         "ewisemultss-local",
+			Items:        int64(x.Loc[l].NNZ() + y.Loc[l].NNZ()),
+			CPUPerItem:   20,
+			BytesPerItem: 32,
+		})
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return z, nil
+}
+
+// TransposeDist returns Aᵀ, block-distributed over the transposed grid
+// (Pc×Pr): block (r, c) is transposed locally and shipped to grid position
+// (c, r) — one bulk transfer per off-diagonal block. Because the transposed
+// matrix lives on a Pc×Pr grid, a matching runtime over that grid is
+// returned alongside it (for square grids it has the same shape).
+func TransposeDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T]) (*dist.Mat[T], *locale.Runtime, error) {
+	g := rt.G
+	tg, err := locale.NewGridShape(g.Pc, g.Pr)
+	if err != nil {
+		return nil, nil, err
+	}
+	trt := locale.NewWithGrid(rt.S.M, tg, rt.Threads)
+	trt.RealWorkers = rt.RealWorkers
+	out := &dist.Mat[T]{
+		G:        tg,
+		NRows:    a.NCols,
+		NCols:    a.NRows,
+		RowBands: append([]int(nil), a.ColBands...),
+		ColBands: append([]int(nil), a.RowBands...),
+		Blocks:   make([]*sparse.CSR[T], tg.P),
+	}
+	for l := 0; l < g.P; l++ {
+		r, c := g.Coords(l)
+		tb := a.Blocks[l].Transpose()
+		dst := tg.ID(c, r)
+		out.Blocks[dst] = tb
+		rt.S.Compute(l, rt.Threads, sim.Kernel{
+			Name:         "transpose-local",
+			Items:        int64(tb.NNZ()),
+			CPUPerItem:   15,
+			BytesPerItem: 24,
+		})
+		if dst != l {
+			rt.S.Bulk(l, int64(tb.NNZ())*16, g.SameNode(l, dst))
+		}
+	}
+	rt.S.Barrier()
+	return out, trt, nil
+}

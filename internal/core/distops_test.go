@@ -1,0 +1,246 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/locale"
+	"repro/internal/machine"
+	"repro/internal/semiring"
+	"repro/internal/sparse"
+)
+
+func TestReduceDist(t *testing.T) {
+	x0 := sparse.RandomVec[int64](1000, 150, 51)
+	var wantSum int64
+	wantMax := semiring.MinValue[int64]()
+	for _, v := range x0.Val {
+		wantSum += v
+		if v > wantMax {
+			wantMax = v
+		}
+	}
+	for _, p := range []int{1, 4, 9} {
+		rt := newRT(t, p, 24)
+		x := dist.SpVecFromVec(rt, x0)
+		if got := ReduceDist(rt, x, semiring.PlusMonoid[int64]()); got != wantSum {
+			t.Fatalf("p=%d: sum = %d, want %d", p, got, wantSum)
+		}
+		if got := ReduceDist(rt, x, semiring.MaxMonoid[int64]()); got != wantMax {
+			t.Fatalf("p=%d: max = %d, want %d", p, got, wantMax)
+		}
+	}
+	// Empty vector reduces to the identity.
+	rt := newRT(t, 4, 8)
+	empty := dist.NewSpVec[int64](rt, 100)
+	if got := ReduceDist(rt, empty, semiring.PlusMonoid[int64]()); got != 0 {
+		t.Fatalf("empty sum = %d", got)
+	}
+}
+
+func TestSpMVDistMatchesReference(t *testing.T) {
+	a0 := sparse.ErdosRenyi[int64](143, 6, 52)
+	for _, sr := range []semiring.Semiring[int64]{
+		semiring.PlusTimes[int64](),
+		semiring.MinPlus[int64](),
+	} {
+		x0 := make([]int64, 143)
+		id := sr.AddIdentity()
+		for i := range x0 {
+			x0[i] = id
+		}
+		// A few source values.
+		x0[0], x0[50], x0[142] = 1, 2, 3
+		want := RefSpMV(a0, x0, sr)
+		for _, p := range []int{1, 2, 4, 6, 9, 16} {
+			rt := newRT(t, p, 24)
+			a := dist.MatFromCSR(rt, a0)
+			x := dist.DenseVecFromDense(rt, &sparse.Dense[int64]{Data: x0})
+			y, err := SpMVDist(rt, a, x, sr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := y.ToDense()
+			for i := range want {
+				if got.Data[i] != want[i] {
+					t.Fatalf("%s p=%d: y[%d] = %d, want %d", sr.Name, p, i, got.Data[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSpMVDistDimensionCheck(t *testing.T) {
+	rt := newRT(t, 4, 8)
+	a := dist.MatFromCSR(rt, sparse.ErdosRenyi[int64](50, 3, 1))
+	x := dist.NewDenseVec[int64](rt, 40)
+	if _, err := SpMVDist(rt, a, x, semiring.PlusTimes[int64]()); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestEWiseAddDistMatchesLocal(t *testing.T) {
+	x0 := sparse.RandomVec[int64](500, 80, 53)
+	y0 := sparse.RandomVec[int64](500, 80, 54)
+	want, err := EWiseAddSS(x0, y0, semiring.Plus[int64])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 3, 8} {
+		rt := newRT(t, p, 24)
+		x := dist.SpVecFromVec(rt, x0)
+		y := dist.SpVecFromVec(rt, y0)
+		z, err := EWiseAddDist(rt, x, y, semiring.Plus[int64])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := z.Validate(); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if !z.ToVec().Equal(want) {
+			t.Fatalf("p=%d: distributed add differs", p)
+		}
+	}
+}
+
+func TestEWiseMultDistSSMatchesLocal(t *testing.T) {
+	x0 := sparse.RandomVec[int64](500, 120, 55)
+	y0 := sparse.RandomVec[int64](500, 120, 56)
+	want, err := EWiseMultSS(x0, y0, semiring.Times[int64])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 4} {
+		rt := newRT(t, p, 24)
+		x := dist.SpVecFromVec(rt, x0)
+		y := dist.SpVecFromVec(rt, y0)
+		z, err := EWiseMultDistSS(rt, x, y, semiring.Times[int64])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !z.ToVec().Equal(want) {
+			t.Fatalf("p=%d: distributed intersect differs", p)
+		}
+	}
+	// Distribution mismatch rejected.
+	rt := newRT(t, 4, 8)
+	x := dist.NewSpVec[int64](rt, 100)
+	y := dist.NewSpVec[int64](rt, 200)
+	if _, err := EWiseAddDist(rt, x, y, semiring.Plus[int64]); err == nil {
+		t.Error("EWiseAddDist accepted mismatched distributions")
+	}
+	if _, err := EWiseMultDistSS(rt, x, y, semiring.Times[int64]); err == nil {
+		t.Error("EWiseMultDistSS accepted mismatched distributions")
+	}
+}
+
+func TestTransposeDist(t *testing.T) {
+	a0 := sparse.ErdosRenyi[int64](77, 5, 57)
+	want := a0.Transpose()
+	for _, shape := range [][2]int{{1, 1}, {2, 2}, {2, 3}, {3, 2}, {1, 4}} {
+		g, err := locale.NewGridShape(shape[0], shape[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := locale.NewWithGrid(machine.Edison(), g, 24)
+		a := dist.MatFromCSR(rt, a0)
+		at, trt, err := TransposeDist(rt, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trt.G.Pr != shape[1] || trt.G.Pc != shape[0] {
+			t.Fatalf("shape %v: transposed grid is %dx%d", shape, trt.G.Pr, trt.G.Pc)
+		}
+		if err := at.Validate(); err != nil {
+			t.Fatalf("shape %v: %v", shape, err)
+		}
+		got, err := at.ToCSR()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("shape %v: transpose differs", shape)
+		}
+	}
+}
+
+func TestTransposeDistInvolution(t *testing.T) {
+	a0 := sparse.ErdosRenyi[int64](50, 4, 58)
+	rt := newRT(t, 6, 8) // 2x3 grid
+	a := dist.MatFromCSR(rt, a0)
+	at, trt, err := TransposeDist(rt, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	att, _, err := TransposeDist(trt, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := att.ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(a0) {
+		t.Fatal("double transpose differs from original")
+	}
+}
+
+func TestSpGEMMDistMatchesLocal(t *testing.T) {
+	a0 := sparse.ErdosRenyi[int64](81, 4, 81)
+	b0 := sparse.ErdosRenyi[int64](81, 4, 82)
+	sr := semiring.PlusTimes[int64]()
+	want := RefSpGEMM(a0, b0, sr)
+	for _, p := range []int{1, 4, 9, 16} { // square grids
+		rt := newRT(t, p, 24)
+		a := dist.MatFromCSR(rt, a0)
+		b := dist.MatFromCSR(rt, b0)
+		c, err := SpGEMMDist(rt, a, b, sr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		got, err := c.ToCSR()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("p=%d: distributed SpGEMM differs", p)
+		}
+	}
+}
+
+func TestSpGEMMDistMinPlus(t *testing.T) {
+	// Min-plus SpGEMM: two-hop shortest distances.
+	a0 := sparse.ErdosRenyi[int64](50, 3, 83)
+	sr := semiring.MinPlus[int64]()
+	want := RefSpGEMM(a0, a0, sr)
+	rt := newRT(t, 4, 24)
+	a := dist.MatFromCSR(rt, a0)
+	c, err := SpGEMMDist(rt, a, a, sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("min-plus distributed SpGEMM differs")
+	}
+}
+
+func TestSpGEMMDistRejectsBadInputs(t *testing.T) {
+	rt := newRT(t, 2, 8) // 1x2 grid: not square
+	a := dist.MatFromCSR(rt, sparse.ErdosRenyi[int64](20, 3, 1))
+	if _, err := SpGEMMDist(rt, a, a, semiring.PlusTimes[int64]()); err == nil {
+		t.Error("non-square grid accepted")
+	}
+	rt4 := newRT(t, 4, 8)
+	a4 := dist.MatFromCSR(rt4, sparse.ErdosRenyi[int64](20, 3, 1))
+	b4 := dist.MatFromCSR(rt4, sparse.ErdosRenyi[int64](30, 3, 1))
+	if _, err := SpGEMMDist(rt4, a4, b4, semiring.PlusTimes[int64]()); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}

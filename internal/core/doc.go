@@ -1,0 +1,28 @@
+// Package core implements the GraphBLAS operations the paper builds in
+// Chapel, in both the "idiomatic" and the "hand-optimized SPMD" variants the
+// paper compares:
+//
+//   - Apply applies a unary operator to every stored element of a vector or
+//     matrix. Apply1 iterates the global distributed array with a data-parallel
+//     forall (which, for sparse arrays, degenerates to fine-grained remote
+//     access); Apply2 runs one task per locale and iterates the local array.
+//   - Assign assigns one vector to another with a matching domain. Assign1
+//     rebuilds the destination domain and copies element-by-element, paying a
+//     logarithmic search per element; Assign2 copies the local domains and
+//     arrays of each locale wholesale.
+//   - EWiseMult intersects a sparse vector with a dense vector under a
+//     predicate (the paper's specialization), compacting the surviving indices
+//     through an atomic cursor.
+//   - SpMSpV multiplies a sparse matrix by a sparse vector with a sparse
+//     accumulator (SPA), in a shared-memory form (SPA, sort, output) and a
+//     distributed form (gather along processor rows, local multiply, scatter
+//     across processor columns).
+//
+// Every operation executes for real on real data and charges the simulated
+// machine model for the structure of that execution (see internal/sim and
+// costs.go); tests validate results against sequential references in ref.go.
+//
+// Beyond the paper's four operations, the package provides the GraphBLAS
+// primitives needed for complete algorithms (reduce, extract, SpMV, SpGEMM,
+// eWiseAdd, and masked variants — the paper's stated future work).
+package core

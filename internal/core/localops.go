@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/semiring"
+	"repro/internal/sparse"
+)
+
+// This file provides the local (single-locale) GraphBLAS primitives beyond
+// the paper's four operations — the pieces needed to write complete graph
+// algorithms against the library (reduce, extract, eWiseAdd/Mult on sparse
+// pairs, SpMV, SpGEMM, and masked variants; masks are the paper's stated
+// future work).
+
+// ApplyVec applies op in place to every stored value of a local vector.
+func ApplyVec[T semiring.Number](x *sparse.Vec[T], op semiring.UnaryOp[T]) {
+	for i := range x.Val {
+		x.Val[i] = op(x.Val[i])
+	}
+}
+
+// ApplyCSR applies op in place to every stored value of a local matrix.
+func ApplyCSR[T semiring.Number](a *sparse.CSR[T], op semiring.UnaryOp[T]) {
+	for i := range a.Val {
+		a.Val[i] = op(a.Val[i])
+	}
+}
+
+// ReduceVec folds the stored values of x with a monoid.
+func ReduceVec[T semiring.Number](x *sparse.Vec[T], m semiring.Monoid[T]) T {
+	return m.Reduce(x.Val)
+}
+
+// ReduceRows reduces each row of a to a scalar with a monoid, producing a
+// sparse vector with one entry per nonempty row.
+func ReduceRows[T semiring.Number](a *sparse.CSR[T], m semiring.Monoid[T]) *sparse.Vec[T] {
+	out := sparse.NewVec[T](a.NRows)
+	for i := 0; i < a.NRows; i++ {
+		_, vals := a.Row(i)
+		if len(vals) == 0 {
+			continue
+		}
+		out.Ind = append(out.Ind, i)
+		out.Val = append(out.Val, m.Reduce(vals))
+	}
+	return out
+}
+
+// Extract returns the subvector x(indices) as a sparse vector of capacity
+// len(indices): output position k holds x[indices[k]] when stored.
+func Extract[T semiring.Number](x *sparse.Vec[T], indices []int) (*sparse.Vec[T], error) {
+	out := sparse.NewVec[T](len(indices))
+	for k, i := range indices {
+		if i < 0 || i >= x.N {
+			return nil, fmt.Errorf("core: Extract: index %d out of range [0,%d)", i, x.N)
+		}
+		if v, ok := x.Get(i); ok {
+			out.Ind = append(out.Ind, k)
+			out.Val = append(out.Val, v)
+		}
+	}
+	return out, nil
+}
+
+// EWiseMultSS multiplies two sparse vectors elementwise over the
+// intersection of their patterns ("the indices of the output are the
+// intersection of the indices of the inputs", combined with op).
+func EWiseMultSS[T semiring.Number](x, y *sparse.Vec[T], op semiring.BinaryOp[T]) (*sparse.Vec[T], error) {
+	if x.N != y.N {
+		return nil, fmt.Errorf("core: EWiseMultSS: capacity mismatch %d vs %d", x.N, y.N)
+	}
+	out := sparse.NewVec[T](x.N)
+	i, j := 0, 0
+	for i < len(x.Ind) && j < len(y.Ind) {
+		switch {
+		case x.Ind[i] < y.Ind[j]:
+			i++
+		case x.Ind[i] > y.Ind[j]:
+			j++
+		default:
+			out.Ind = append(out.Ind, x.Ind[i])
+			out.Val = append(out.Val, op(x.Val[i], y.Val[j]))
+			i++
+			j++
+		}
+	}
+	return out, nil
+}
+
+// EWiseAddSS adds two sparse vectors elementwise over the union of their
+// patterns; positions present in only one input keep that input's value.
+func EWiseAddSS[T semiring.Number](x, y *sparse.Vec[T], op semiring.BinaryOp[T]) (*sparse.Vec[T], error) {
+	if x.N != y.N {
+		return nil, fmt.Errorf("core: EWiseAddSS: capacity mismatch %d vs %d", x.N, y.N)
+	}
+	out := sparse.NewVec[T](x.N)
+	i, j := 0, 0
+	for i < len(x.Ind) || j < len(y.Ind) {
+		switch {
+		case j >= len(y.Ind) || (i < len(x.Ind) && x.Ind[i] < y.Ind[j]):
+			out.Ind = append(out.Ind, x.Ind[i])
+			out.Val = append(out.Val, x.Val[i])
+			i++
+		case i >= len(x.Ind) || y.Ind[j] < x.Ind[i]:
+			out.Ind = append(out.Ind, y.Ind[j])
+			out.Val = append(out.Val, y.Val[j])
+			j++
+		default:
+			out.Ind = append(out.Ind, x.Ind[i])
+			out.Val = append(out.Val, op(x.Val[i], y.Val[j]))
+			i++
+			j++
+		}
+	}
+	return out, nil
+}
+
+// Mask restricts x to the positions marked in mask: with complement false,
+// entries of x are kept where mask[i] is nonzero; with complement true, where
+// mask[i] is zero. This is the GraphBLAS mask the paper names as novel
+// future work ("efficient implementations of novel concepts in GraphBLAS,
+// such as masks, have not been attempted").
+func Mask[T semiring.Number, M semiring.Number](x *sparse.Vec[T], mask *sparse.Dense[M], complement bool) (*sparse.Vec[T], error) {
+	if x.N != mask.Len() {
+		return nil, fmt.Errorf("core: Mask: capacity mismatch %d vs %d", x.N, mask.Len())
+	}
+	out := sparse.NewVec[T](x.N)
+	for k, i := range x.Ind {
+		marked := mask.Data[i] != 0
+		if marked != complement {
+			out.Ind = append(out.Ind, i)
+			out.Val = append(out.Val, x.Val[k])
+		}
+	}
+	return out, nil
+}
+
+// SpMV computes the dense-vector product y = xA over a semiring; x has
+// length a.NRows, y length a.NCols, with absent contributions left at the
+// additive identity. Entries of x equal to the identity are skipped (they
+// cannot contribute, as the identity is annihilating in the supported
+// semirings).
+func SpMV[T semiring.Number](a *sparse.CSR[T], x []T, sr semiring.Semiring[T]) ([]T, error) {
+	if len(x) != a.NRows {
+		return nil, fmt.Errorf("core: SpMV: x has %d entries for %d rows", len(x), a.NRows)
+	}
+	return RefSpMV(a, x, sr), nil
+}
+
+// SpMSpVMasked runs the shared-memory SpMSpV and then removes every output
+// entry whose position is marked in the mask (complemented mask application,
+// the form BFS uses to drop already-visited vertices).
+func SpMSpVMasked[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T], mask *sparse.Dense[int64], cfg ShmConfig) (*sparse.Vec[int64], ShmStats) {
+	y, st := SpMSpVShm(a, x, cfg)
+	if mask == nil {
+		return y, st
+	}
+	out := sparse.NewVec[int64](y.N)
+	for k, i := range y.Ind {
+		if mask.Data[i] == 0 {
+			out.Ind = append(out.Ind, i)
+			out.Val = append(out.Val, y.Val[k])
+		}
+	}
+	st.NnzOut = out.NNZ()
+	return out, st
+}
+
+// SpGEMM computes C = A·B over a semiring with a row-wise SPA (Gustavson)
+// algorithm: O(flops) time, one SPA pass per row of A.
+func SpGEMM[T semiring.Number](a, b *sparse.CSR[T], sr semiring.Semiring[T]) (*sparse.CSR[T], error) {
+	if a.NCols != b.NRows {
+		return nil, fmt.Errorf("core: SpGEMM: inner dimensions %d vs %d", a.NCols, b.NRows)
+	}
+	c := sparse.NewCSR[T](a.NRows, b.NCols)
+	spa := sparse.NewSPA[T](b.NCols)
+	for i := 0; i < a.NRows; i++ {
+		aCols, aVals := a.Row(i)
+		for t, k := range aCols {
+			bCols, bVals := b.Row(k)
+			for u, j := range bCols {
+				spa.Scatter(j, sr.Mul(aVals[t], bVals[u]), sr.Add.Op)
+			}
+		}
+		row := spa.Gather(func(xs []int) { sparse.RadixSortInts(xs) })
+		c.ColIdx = append(c.ColIdx, row.Ind...)
+		c.Val = append(c.Val, row.Val...)
+		c.RowPtr[i+1] = len(c.ColIdx)
+	}
+	return c, nil
+}
+
+// SpGEMMMasked computes C = M .* (A·B): only positions present in the
+// structural mask M are computed/kept. This is the masked multiply used by
+// triangle counting.
+func SpGEMMMasked[T semiring.Number](a, b, m *sparse.CSR[T], sr semiring.Semiring[T]) (*sparse.CSR[T], error) {
+	if a.NCols != b.NRows {
+		return nil, fmt.Errorf("core: SpGEMMMasked: inner dimensions %d vs %d", a.NCols, b.NRows)
+	}
+	if m.NRows != a.NRows || m.NCols != b.NCols {
+		return nil, fmt.Errorf("core: SpGEMMMasked: mask is %dx%d, want %dx%d",
+			m.NRows, m.NCols, a.NRows, b.NCols)
+	}
+	c := sparse.NewCSR[T](a.NRows, b.NCols)
+	spa := sparse.NewSPA[T](b.NCols)
+	for i := 0; i < a.NRows; i++ {
+		aCols, aVals := a.Row(i)
+		for t, k := range aCols {
+			bCols, bVals := b.Row(k)
+			for u, j := range bCols {
+				spa.Scatter(j, sr.Mul(aVals[t], bVals[u]), sr.Add.Op)
+			}
+		}
+		// Harvest only the masked positions, in mask order (sorted).
+		mCols, _ := m.Row(i)
+		for _, j := range mCols {
+			if spa.IsThere[j] {
+				c.ColIdx = append(c.ColIdx, j)
+				c.Val = append(c.Val, spa.Val[j])
+			}
+		}
+		c.RowPtr[i+1] = len(c.ColIdx)
+		spa.Reset()
+	}
+	return c, nil
+}

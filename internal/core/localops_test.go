@@ -1,0 +1,447 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+	"repro/internal/semiring"
+	"repro/internal/sparse"
+)
+
+func TestApplyVecAndCSR(t *testing.T) {
+	v, _ := sparse.VecOf(5, []int{1, 3}, []int64{2, 4})
+	ApplyVec(v, func(x int64) int64 { return x * 10 })
+	if a, _ := v.Get(1); a != 20 {
+		t.Error("ApplyVec wrong")
+	}
+	m := sparse.Ring[int64](4)
+	ApplyCSR(m, func(x int64) int64 { return x + 5 })
+	if a, _ := m.Get(0, 1); a != 6 {
+		t.Error("ApplyCSR wrong")
+	}
+}
+
+func TestReduceVec(t *testing.T) {
+	v, _ := sparse.VecOf(10, []int{0, 4, 7}, []int64{3, 1, 9})
+	if got := ReduceVec(v, semiring.PlusMonoid[int64]()); got != 13 {
+		t.Errorf("sum = %d, want 13", got)
+	}
+	if got := ReduceVec(v, semiring.MinMonoid[int64]()); got != 1 {
+		t.Errorf("min = %d, want 1", got)
+	}
+	empty := sparse.NewVec[int64](10)
+	if got := ReduceVec(empty, semiring.PlusMonoid[int64]()); got != 0 {
+		t.Errorf("empty sum = %d, want identity 0", got)
+	}
+}
+
+func TestReduceRows(t *testing.T) {
+	a, _ := sparse.CSRFromTriplets(3, 4,
+		[]int{0, 0, 2}, []int{1, 3, 0}, []int64{5, 7, 2})
+	r := ReduceRows(a, semiring.PlusMonoid[int64]())
+	if r.NNZ() != 2 {
+		t.Fatalf("nnz = %d, want 2 (row 1 is empty)", r.NNZ())
+	}
+	if v, _ := r.Get(0); v != 12 {
+		t.Errorf("row 0 sum = %d, want 12", v)
+	}
+	if v, _ := r.Get(2); v != 2 {
+		t.Errorf("row 2 sum = %d, want 2", v)
+	}
+	if _, ok := r.Get(1); ok {
+		t.Error("empty row should be absent")
+	}
+}
+
+func TestExtract(t *testing.T) {
+	v, _ := sparse.VecOf(10, []int{2, 5, 8}, []int64{20, 50, 80})
+	out, err := Extract(v, []int{5, 0, 8, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.N != 4 || out.NNZ() != 2 {
+		t.Fatalf("extract shape wrong: %v", out)
+	}
+	if x, _ := out.Get(0); x != 50 {
+		t.Error("out[0] should be v[5] = 50")
+	}
+	if x, _ := out.Get(2); x != 80 {
+		t.Error("out[2] should be v[8] = 80")
+	}
+	if _, err := Extract(v, []int{100}); err == nil {
+		t.Error("out-of-range extract index accepted")
+	}
+}
+
+func TestEWiseMultSS(t *testing.T) {
+	x, _ := sparse.VecOf(10, []int{1, 3, 5, 7}, []int64{1, 3, 5, 7})
+	y, _ := sparse.VecOf(10, []int{3, 5, 9}, []int64{30, 50, 90})
+	z, err := EWiseMultSS(x, y, semiring.Times[int64])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.NNZ() != 2 {
+		t.Fatalf("intersection size %d, want 2", z.NNZ())
+	}
+	if v, _ := z.Get(3); v != 90 {
+		t.Errorf("z[3] = %d, want 90", v)
+	}
+	if v, _ := z.Get(5); v != 250 {
+		t.Errorf("z[5] = %d, want 250", v)
+	}
+	if _, err := EWiseMultSS(x, sparse.NewVec[int64](5), semiring.Times[int64]); err == nil {
+		t.Error("capacity mismatch accepted")
+	}
+}
+
+func TestEWiseAddSS(t *testing.T) {
+	x, _ := sparse.VecOf(10, []int{1, 3}, []int64{1, 3})
+	y, _ := sparse.VecOf(10, []int{3, 9}, []int64{30, 90})
+	z, err := EWiseAddSS(x, y, semiring.Plus[int64])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.NNZ() != 3 {
+		t.Fatalf("union size %d, want 3", z.NNZ())
+	}
+	if v, _ := z.Get(1); v != 1 {
+		t.Error("x-only entry wrong")
+	}
+	if v, _ := z.Get(3); v != 33 {
+		t.Error("shared entry wrong")
+	}
+	if v, _ := z.Get(9); v != 90 {
+		t.Error("y-only entry wrong")
+	}
+	if err := z.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEWiseAddMultQuick(t *testing.T) {
+	// Property: patterns of add = union, mult = intersection; values correct
+	// against dense arithmetic.
+	f := func(xs, ys []uint8) bool {
+		n := 64
+		dx := make([]int64, n)
+		dy := make([]int64, n)
+		for i, v := range xs {
+			dx[i%n] = int64(v % 4)
+		}
+		for i, v := range ys {
+			dy[i%n] = int64(v % 4)
+		}
+		x := sparse.VecFromDense(dx, 0)
+		y := sparse.VecFromDense(dy, 0)
+		add, err := EWiseAddSS(x, y, semiring.Plus[int64])
+		if err != nil {
+			return false
+		}
+		mul, err := EWiseMultSS(x, y, semiring.Times[int64])
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			av, _ := add.Get(i)
+			if av != dx[i]+dy[i] {
+				return false
+			}
+			mv, _ := mul.Get(i)
+			var want int64
+			if dx[i] != 0 && dy[i] != 0 {
+				want = dx[i] * dy[i]
+			}
+			if mv != want {
+				return false
+			}
+		}
+		return add.Validate() == nil && mul.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMask(t *testing.T) {
+	x, _ := sparse.VecOf(6, []int{0, 2, 4}, []int64{1, 2, 3})
+	m := sparse.NewDense[int64](6)
+	m.Data[2] = 1
+	m.Data[4] = 1
+	kept, err := Mask(x, m, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept.NNZ() != 2 {
+		t.Fatalf("masked nnz = %d, want 2", kept.NNZ())
+	}
+	if _, ok := kept.Get(0); ok {
+		t.Error("unmasked position survived")
+	}
+	comp, err := Mask(x, m, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.NNZ() != 1 {
+		t.Fatalf("complement-masked nnz = %d, want 1", comp.NNZ())
+	}
+	if v, ok := comp.Get(0); !ok || v != 1 {
+		t.Error("complement mask lost x[0]")
+	}
+	if _, err := Mask(x, sparse.NewDense[int64](3), false); err == nil {
+		t.Error("mask length mismatch accepted")
+	}
+}
+
+func TestSpMV(t *testing.T) {
+	// Ring graph with min-plus: x at vertex 0 propagates distance to vertex 1.
+	a := sparse.Ring[int64](5)
+	sr := semiring.MinPlus[int64]()
+	x := make([]int64, 5)
+	inf := sr.AddIdentity()
+	for i := range x {
+		x[i] = inf
+	}
+	x[0] = 0
+	y, err := SpMV(a, x, sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[1] != 1 {
+		t.Errorf("y[1] = %d, want 1 (0 + weight 1)", y[1])
+	}
+	for i := 2; i < 5; i++ {
+		if y[i] != inf {
+			t.Errorf("y[%d] = %d, want +inf", i, y[i])
+		}
+	}
+	if _, err := SpMV(a, x[:3], sr); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestSpMSpVMasked(t *testing.T) {
+	a := sparse.ErdosRenyi[int64](200, 6, 17)
+	x := sparse.RandomVec[int64](200, 20, 18)
+	unmasked, _ := SpMSpVShm(a, x, ShmConfig{})
+	mask := sparse.NewDense[int64](200)
+	// Mask out the first half of the reached columns.
+	for k, j := range unmasked.Ind {
+		if k < unmasked.NNZ()/2 {
+			mask.Data[j] = 1
+		}
+	}
+	masked, st := SpMSpVMasked(a, x, mask, ShmConfig{})
+	want := unmasked.NNZ() - unmasked.NNZ()/2
+	if masked.NNZ() != want {
+		t.Fatalf("masked nnz = %d, want %d", masked.NNZ(), want)
+	}
+	if st.NnzOut != masked.NNZ() {
+		t.Error("stats not updated for mask")
+	}
+	for _, j := range masked.Ind {
+		if mask.Data[j] != 0 {
+			t.Fatalf("masked-out column %d survived", j)
+		}
+	}
+	// Nil mask passes everything through.
+	nilMasked, _ := SpMSpVMasked(a, x, nil, ShmConfig{})
+	if !nilMasked.Equal(unmasked) {
+		t.Error("nil mask should be a no-op")
+	}
+}
+
+func TestSpGEMMMatchesReference(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		a := sparse.ErdosRenyi[int64](60, 4, seed)
+		b := sparse.ErdosRenyi[int64](60, 4, seed+100)
+		for _, sr := range []semiring.Semiring[int64]{
+			semiring.PlusTimes[int64](),
+			semiring.MinPlus[int64](),
+		} {
+			want := RefSpGEMM(a, b, sr)
+			got, err := SpGEMM(a, b, sr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := got.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("seed=%d %s: SpGEMM differs from reference", seed, sr.Name)
+			}
+		}
+	}
+	if _, err := SpGEMM(sparse.NewCSR[int64](3, 4), sparse.NewCSR[int64](5, 3), semiring.PlusTimes[int64]()); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestSpGEMMIdentity(t *testing.T) {
+	// A * I = A over plus-times.
+	a := sparse.ErdosRenyi[int64](40, 3, 9)
+	eye := sparse.NewCSR[int64](40, 40)
+	for i := 0; i < 40; i++ {
+		eye.ColIdx = append(eye.ColIdx, i)
+		eye.Val = append(eye.Val, 1)
+		eye.RowPtr[i+1] = i + 1
+	}
+	c, err := SpGEMM(a, eye, semiring.PlusTimes[int64]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Equal(a) {
+		t.Fatal("A*I != A")
+	}
+}
+
+func TestSpGEMMMasked(t *testing.T) {
+	a := sparse.ErdosRenyi[int64](50, 5, 23)
+	b := sparse.ErdosRenyi[int64](50, 5, 24)
+	m := sparse.ErdosRenyi[int64](50, 10, 25)
+	sr := semiring.PlusTimes[int64]()
+	full := RefSpGEMM(a, b, sr)
+	masked, err := SpGEMMMasked(a, b, m, sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := masked.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 50; j++ {
+			mv, mok := masked.Get(i, j)
+			fv, fok := full.Get(i, j)
+			_, inMask := m.Get(i, j)
+			wantOK := fok && inMask
+			if mok != wantOK {
+				t.Fatalf("(%d,%d): present=%v, want %v", i, j, mok, wantOK)
+			}
+			if mok && mv != fv {
+				t.Fatalf("(%d,%d): %d, want %d", i, j, mv, fv)
+			}
+		}
+	}
+	if _, err := SpGEMMMasked(a, b, sparse.NewCSR[int64](3, 3), sr); err == nil {
+		t.Error("mask shape mismatch accepted")
+	}
+}
+
+func TestSelectVec(t *testing.T) {
+	x, _ := sparse.VecOf(10, []int{1, 3, 5, 7}, []int64{-1, 2, -3, 4})
+	pos := SelectVec(x, func(_ int, v int64) bool { return v > 0 })
+	if pos.NNZ() != 2 {
+		t.Fatalf("positive entries = %d, want 2", pos.NNZ())
+	}
+	if _, ok := pos.Get(1); ok {
+		t.Error("negative entry survived")
+	}
+	evens := SelectVec(x, func(i int, _ int64) bool { return i%2 == 0 })
+	if evens.NNZ() != 0 {
+		t.Error("no stored entry has an even index")
+	}
+	if err := pos.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectCSRAndTriangles(t *testing.T) {
+	a := sparse.ErdosRenyi[int64](50, 5, 91)
+	lower := TriL(a)
+	upper := TriU(a)
+	diag := SelectCSR(a, func(i, j int, _ int64) bool { return i == j })
+	if lower.NNZ()+upper.NNZ()+diag.NNZ() != a.NNZ() {
+		t.Fatal("triangular split does not partition the matrix")
+	}
+	for i := 0; i < lower.NRows; i++ {
+		cols, _ := lower.Row(i)
+		for _, j := range cols {
+			if j >= i {
+				t.Fatal("TriL kept a non-lower entry")
+			}
+		}
+	}
+	if err := lower.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := upper.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectDist(t *testing.T) {
+	x0 := sparse.RandomVec[int64](400, 80, 92)
+	pred := func(_ int, v int64) bool { return v%2 == 0 }
+	want := SelectVec(x0, pred)
+	for _, p := range []int{1, 4, 9} {
+		rt := newRT(t, p, 24)
+		x := dist.SpVecFromVec(rt, x0)
+		z := SelectDist(rt, x, pred)
+		if err := z.Validate(); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if !z.ToVec().Equal(want) {
+			t.Fatalf("p=%d: distributed select differs", p)
+		}
+	}
+}
+
+func TestSpMVMasked(t *testing.T) {
+	a := sparse.ErdosRenyi[int64](60, 4, 93)
+	sr := semiring.PlusTimes[int64]()
+	x := make([]int64, 60)
+	x[5] = 1
+	full, err := SpMV(a, x, sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := make([]bool, 60)
+	for j := 0; j < 30; j++ {
+		mask[j] = true
+	}
+	kept, err := SpMVMasked(a, x, sr, mask, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := SpMVMasked(a, x, sr, mask, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 60; j++ {
+		if j < 30 {
+			if kept[j] != full[j] || comp[j] != 0 {
+				t.Fatalf("masked values wrong at %d", j)
+			}
+		} else {
+			if kept[j] != 0 || comp[j] != full[j] {
+				t.Fatalf("complement values wrong at %d", j)
+			}
+		}
+	}
+	// Nil mask = unmasked.
+	nilMask, err := SpMVMasked(a, x, sr, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range full {
+		if nilMask[j] != full[j] {
+			t.Fatal("nil mask should be a no-op")
+		}
+	}
+}
+
+func TestReduceRowsDistMatchesLocal(t *testing.T) {
+	a0 := sparse.ErdosRenyi[int64](97, 5, 94)
+	want := ReduceRows(a0, semiring.PlusMonoid[int64]())
+	for _, p := range []int{1, 2, 4, 6, 9} {
+		rt := newRT(t, p, 24)
+		a := dist.MatFromCSR(rt, a0)
+		got := ReduceRowsDist(rt, a, semiring.PlusMonoid[int64]())
+		if err := got.Validate(); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if !got.ToVec().Equal(want) {
+			t.Fatalf("p=%d: distributed row reduce differs", p)
+		}
+	}
+}

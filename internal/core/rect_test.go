@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/semiring"
+	"repro/internal/sparse"
+)
+
+// rectCSR builds a random rectangular matrix by cropping a square ER matrix.
+func rectCSR(t *testing.T, nrows, ncols int, seed int64) *sparse.CSR[int64] {
+	t.Helper()
+	n := nrows
+	if ncols > n {
+		n = ncols
+	}
+	return sparse.ErdosRenyi[int64](n, 5, seed).SubMatrix(0, nrows, 0, ncols)
+}
+
+func TestMatFromCSRRectangular(t *testing.T) {
+	a := rectCSR(t, 70, 130, 61)
+	for _, p := range []int{1, 4, 6, 9} {
+		rt := newRT(t, p, 8)
+		m := dist.MatFromCSR(rt, a)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		back, err := m.ToCSR()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(a) {
+			t.Fatalf("p=%d: rectangular round trip differs", p)
+		}
+	}
+}
+
+func TestSpMSpVDistRectangular(t *testing.T) {
+	// 90 rows x 150 cols: the output vector lives in the column space.
+	a0 := rectCSR(t, 90, 150, 62)
+	x0 := sparse.RandomVec[int64](90, 15, 63)
+	want := RefSpMSpVPattern(a0, x0)
+	for _, p := range []int{1, 4, 6} {
+		rt := newRT(t, p, 8)
+		a := dist.MatFromCSR(rt, a0)
+		x := dist.SpVecFromVec(rt, x0)
+		y, _ := SpMSpVDist(rt, a, x)
+		if y.N != 150 {
+			t.Fatalf("p=%d: output capacity %d, want 150", p, y.N)
+		}
+		yv := y.ToVec()
+		if len(yv.Ind) != len(want.Ind) {
+			t.Fatalf("p=%d: pattern size %d, want %d", p, len(yv.Ind), len(want.Ind))
+		}
+		for k := range yv.Ind {
+			if yv.Ind[k] != want.Ind[k] {
+				t.Fatalf("p=%d: pattern differs at %d", p, k)
+			}
+		}
+	}
+}
+
+func TestSpMVDistRectangular(t *testing.T) {
+	a0 := rectCSR(t, 60, 110, 64)
+	sr := semiring.PlusTimes[int64]()
+	x0 := make([]int64, 60)
+	x0[0], x0[30], x0[59] = 1, 2, 3
+	want := RefSpMV(a0, x0, sr)
+	for _, p := range []int{1, 4, 9} {
+		rt := newRT(t, p, 8)
+		a := dist.MatFromCSR(rt, a0)
+		x := dist.DenseVecFromDense(rt, &sparse.Dense[int64]{Data: x0})
+		y, err := SpMVDist(rt, a, x, sr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if y.N != 110 {
+			t.Fatalf("p=%d: output length %d, want 110", p, y.N)
+		}
+		got := y.ToDense()
+		for j := range want {
+			if got.Data[j] != want[j] {
+				t.Fatalf("p=%d: y[%d] = %d, want %d", p, j, got.Data[j], want[j])
+			}
+		}
+	}
+}
+
+func TestTransposeDistRectangular(t *testing.T) {
+	a0 := rectCSR(t, 40, 90, 65)
+	want := a0.Transpose()
+	rt := newRT(t, 6, 8) // 2x3 grid
+	a := dist.MatFromCSR(rt, a0)
+	at, _, err := TransposeDist(rt, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := at.ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("rectangular transpose differs")
+	}
+}
+
+func TestSpMSpVShmRectangular(t *testing.T) {
+	a := rectCSR(t, 50, 120, 66)
+	x := sparse.RandomVec[int64](50, 10, 67)
+	y, _ := SpMSpVShm(a, x, ShmConfig{})
+	if y.N != 120 {
+		t.Fatalf("output capacity %d, want 120", y.N)
+	}
+	checkPatternAndDiscoverers(t, a, x, y)
+	// Semiring variant on the same rectangle.
+	sr := semiring.PlusTimes[int64]()
+	ys, _ := SpMSpVShmSemiring(a, x, sr, ShmConfig{Workers: 3})
+	if !ys.Equal(RefSpMSpVSemiring(a, x, sr)) {
+		t.Fatal("rectangular semiring SpMSpV differs")
+	}
+}

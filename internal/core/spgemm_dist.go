@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/locale"
+	"repro/internal/semiring"
+	"repro/internal/sim"
+	"repro/internal/sparse"
+)
+
+// SpGEMMDist computes C = A·B over a semiring for 2-D block-distributed
+// matrices with the sparse SUMMA algorithm of Buluç & Gilbert (the paper's
+// reference [8] for distributed sparse matrix multiplication): the grids of A
+// and B must match, and the computation proceeds in Pr (= Pc for SUMMA we
+// require a square grid... see below) stages; in stage k every locale (r, c)
+// receives A's block (r, k) broadcast along its processor row and B's block
+// (k, c) broadcast along its processor column, multiplying them into a local
+// accumulator.
+//
+// The locale grid must be square (Pr == Pc) and A.NCols must equal B.NRows
+// with identical band splits, which MatFromCSR guarantees for matrices of
+// equal dimensions on the same runtime.
+func SpGEMMDist[T semiring.Number](rt *locale.Runtime, a, b *dist.Mat[T], sr semiring.Semiring[T]) (*dist.Mat[T], error) {
+	g := rt.G
+	if g.Pr != g.Pc {
+		return nil, fmt.Errorf("core: SpGEMMDist: SUMMA needs a square grid, got %dx%d", g.Pr, g.Pc)
+	}
+	if a.NCols != b.NRows {
+		return nil, fmt.Errorf("core: SpGEMMDist: inner dimensions %d vs %d", a.NCols, b.NRows)
+	}
+	for i := range a.ColBands {
+		if a.ColBands[i] != b.RowBands[i] {
+			return nil, fmt.Errorf("core: SpGEMMDist: inner band splits differ")
+		}
+	}
+	rt.S.CoforallSpawn()
+
+	c := &dist.Mat[T]{
+		G:        g,
+		NRows:    a.NRows,
+		NCols:    b.NCols,
+		RowBands: append([]int(nil), a.RowBands...),
+		ColBands: append([]int(nil), b.ColBands...),
+		Blocks:   make([]*sparse.CSR[T], g.P),
+	}
+	// Per-locale accumulators as COO, merged at the end.
+	accs := make([]*sparse.COO[T], g.P)
+	for l := 0; l < g.P; l++ {
+		r, cc := g.Coords(l)
+		accs[l] = sparse.NewCOO[T](a.RowBands[r+1]-a.RowBands[r], b.ColBands[cc+1]-b.ColBands[cc])
+	}
+
+	stages := g.Pr
+	for k := 0; k < stages; k++ {
+		rt.S.BeginPhase(fmt.Sprintf("SUMMA stage %d", k))
+		for l := 0; l < g.P; l++ {
+			r, cc := g.Coords(l)
+			ablk := a.Blocks[g.ID(r, k)]  // broadcast along the row team
+			bblk := b.Blocks[g.ID(k, cc)] // broadcast along the column team
+			// Charge the two broadcasts (tree depth log2 of the team size).
+			if g.Pc > 1 {
+				rt.S.Advance(l, rt.S.BulkTime(int64(ablk.NNZ())*16, false)*logDepth(g.Pc))
+				rt.S.Advance(l, rt.S.BulkTime(int64(bblk.NNZ())*16, false)*logDepth(g.Pr))
+			}
+			// Local multiply-accumulate (Gustavson over the stage blocks).
+			var flops int64
+			spa := sparse.NewSPA[T](bblk.NCols)
+			for i := 0; i < ablk.NRows; i++ {
+				aCols, aVals := ablk.Row(i)
+				for t, kk := range aCols {
+					bCols, bVals := bblk.Row(kk)
+					flops += int64(len(bCols))
+					for u, j := range bCols {
+						spa.Scatter(j, sr.Mul(aVals[t], bVals[u]), sr.Add.Op)
+					}
+				}
+				row := spa.Gather(func(xs []int) { sparse.RadixSortInts(xs) })
+				for kk, j := range row.Ind {
+					accs[l].Append(i, j, row.Val[kk])
+				}
+			}
+			rt.S.Compute(l, rt.Threads, sim.Kernel{
+				Name:         "summa-local",
+				Items:        flops + int64(ablk.NNZ()),
+				CPUPerItem:   25,
+				BytesPerItem: 24,
+			})
+		}
+	}
+	rt.S.EndPhase()
+
+	// Merge stage contributions per locale.
+	for l := 0; l < g.P; l++ {
+		blk, err := accs[l].ToCSR(sr.Add.Op)
+		if err != nil {
+			return nil, err
+		}
+		c.Blocks[l] = blk
+		rt.S.Compute(l, rt.Threads, sim.Kernel{
+			Name:         "summa-merge",
+			Items:        int64(accs[l].Len()),
+			CPUPerItem:   30,
+			BytesPerItem: 24,
+		})
+	}
+	rt.S.Barrier()
+	return c, nil
+}
+
+// logDepth returns ceil(log2(p)) as a float for cost charging.
+func logDepth(p int) float64 {
+	d := 0.0
+	for v := 1; v < p; v <<= 1 {
+		d++
+	}
+	return d
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"repro/internal/dist"
+	"repro/internal/locale"
+	"repro/internal/semiring"
+	"repro/internal/sim"
+	"repro/internal/sparse"
+)
+
+// SpMSpVDistBulk is the bulk-synchronous variant of the distributed SpMSpV
+// that the paper's discussion recommends ("We can mitigate this effect by
+// using bulk-synchronous execution and batched communication"): instead of
+// one fine-grained message per element, the gather moves each remote source's
+// slice in a single bulk transfer, and the scatter batches output elements by
+// destination locale, sending one message per destination.
+//
+// The real computation and the result are identical to SpMSpVDist; only the
+// communication structure (and therefore the modeled cost) changes. The
+// ablation figure ablGather compares the two.
+func SpMSpVDistBulk[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *dist.SpVec[T]) (*dist.SpVec[int64], DistStats) {
+	g := rt.G
+	n := a.NCols
+	var st DistStats
+	rt.S.CoforallSpawn()
+
+	// Step 1: gather x along the processor rows — one bulk transfer per
+	// remote source locale.
+	rt.S.BeginPhase("Gather Input")
+	lxs := make([]*sparse.Vec[T], g.P)
+	for l := 0; l < g.P; l++ {
+		r, _ := g.Coords(l)
+		rowBase := a.RowBands[r]
+		lx := sparse.NewVec[T](a.RowBands[r+1] - rowBase)
+		for _, src := range g.RowLocales(r) {
+			sv := x.Loc[src]
+			for k, gi := range sv.Ind {
+				lx.Ind = append(lx.Ind, gi-rowBase)
+				lx.Val = append(lx.Val, sv.Val[k])
+			}
+			if src != l && sv.NNZ() > 0 {
+				rt.S.Bulk(l, int64(sv.NNZ())*int64(bytesPerEntry), g.SameNode(l, src))
+			}
+		}
+		lxs[l] = lx
+		st.GatheredElems += int64(lx.NNZ())
+	}
+
+	// Step 2: local multiply (identical to the fine-grained version).
+	rt.S.BeginPhase("Local Multiply")
+	lys := make([]*sparse.Vec[int64], g.P)
+	for l := 0; l < g.P; l++ {
+		ly, shmStats := SpMSpVShm(a.Blocks[l], lxs[l], ShmConfig{
+			Threads: rt.Threads,
+			Workers: rt.RealWorkers,
+			Sim:     rt.S,
+			Loc:     l,
+		})
+		r, _ := g.Coords(l)
+		rowBase := int64(a.RowBands[r])
+		for k := range ly.Val {
+			ly.Val[k] += rowBase
+		}
+		lys[l] = ly
+		st.LocalEntries += shmStats.EntriesVisited
+	}
+
+	// Step 3: scatter — batch the output elements by destination locale and
+	// send one message per (source, destination) pair, then merge locally.
+	rt.S.BeginPhase("Scatter Output")
+	bounds := locale.BlockBounds(n, g.P)
+	isthere := make([]bool, n)
+	value := make([]int64, n)
+	for l := 0; l < g.P; l++ {
+		_, c := g.Coords(l)
+		colBase := a.ColBands[c]
+		ly := lys[l]
+		perDest := make(map[int]int64)
+		for k, lj := range ly.Ind {
+			gj := colBase + lj
+			if !isthere[gj] {
+				isthere[gj] = true
+				value[gj] = ly.Val[k]
+			}
+			owner := locale.OwnerOf(n, g.P, gj)
+			if owner != l {
+				perDest[owner]++
+			}
+		}
+		st.ScatteredMsgs += int64(ly.NNZ())
+		for dest, cnt := range perDest {
+			rt.S.Bulk(l, cnt*int64(bytesPerEntry), g.SameNode(l, dest))
+		}
+		// The receiving side merges the batch into its SPA slice.
+		rt.S.Compute(l, rt.Threads, sim.Kernel{
+			Name:       "spmspv-bulk-merge",
+			Items:      int64(ly.NNZ()),
+			CPUPerItem: costScanCPU * 4,
+		})
+	}
+	y := &dist.SpVec[int64]{G: g, N: n, Bounds: bounds, Loc: make([]*sparse.Vec[int64], g.P)}
+	for l := 0; l < g.P; l++ {
+		lv := sparse.NewVec[int64](n)
+		for gj := bounds[l]; gj < bounds[l+1]; gj++ {
+			if isthere[gj] {
+				lv.Ind = append(lv.Ind, gj)
+				lv.Val = append(lv.Val, value[gj])
+			}
+		}
+		y.Loc[l] = lv
+		st.NnzOut += lv.NNZ()
+		rt.S.Compute(l, rt.Threads, sim.Kernel{
+			Name:         "spmspv-densetosparse",
+			Items:        int64(bounds[l+1] - bounds[l]),
+			CPUPerItem:   costScanCPU,
+			BytesPerItem: 1,
+		})
+	}
+	rt.S.EndPhase()
+	rt.S.Barrier()
+	return y, st
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/locale"
+	"repro/internal/machine"
+	"repro/internal/sparse"
+)
+
+func TestSpMSpVDistBulkMatchesFineGrained(t *testing.T) {
+	a0 := sparse.ErdosRenyi[int64](157, 6, 41)
+	x0 := sparse.RandomVec[int64](157, 22, 42)
+	for _, p := range []int{1, 2, 4, 6, 9, 16} {
+		rtF := newRT(t, p, 24)
+		aF := dist.MatFromCSR(rtF, a0)
+		xF := dist.SpVecFromVec(rtF, x0)
+		yF, stF := SpMSpVDist(rtF, aF, xF)
+
+		rtB := newRT(t, p, 24)
+		aB := dist.MatFromCSR(rtB, a0)
+		xB := dist.SpVecFromVec(rtB, x0)
+		yB, stB := SpMSpVDistBulk(rtB, aB, xB)
+
+		if !yF.ToVec().Equal(yB.ToVec()) {
+			t.Fatalf("p=%d: bulk result differs from fine-grained", p)
+		}
+		if stF.GatheredElems != stB.GatheredElems || stF.NnzOut != stB.NnzOut {
+			t.Fatalf("p=%d: stats differ: %+v vs %+v", p, stF, stB)
+		}
+	}
+}
+
+func TestSpMSpVDistBulkCheaperCommunication(t *testing.T) {
+	a0 := sparse.ErdosRenyi[int64](10_000, 16, 43)
+	x0 := sparse.RandomVec[int64](10_000, 200, 44)
+	rtF := newRT(t, 16, 24)
+	aF := dist.MatFromCSR(rtF, a0)
+	xF := dist.SpVecFromVec(rtF, x0)
+	_, _ = SpMSpVDist(rtF, aF, xF)
+
+	rtB := newRT(t, 16, 24)
+	aB := dist.MatFromCSR(rtB, a0)
+	xB := dist.SpVecFromVec(rtB, x0)
+	_, _ = SpMSpVDistBulk(rtB, aB, xB)
+
+	if rtB.S.Traffic().Messages >= rtF.S.Traffic().Messages {
+		t.Errorf("bulk used %d messages, fine-grained %d — batching should send far fewer",
+			rtB.S.Traffic().Messages, rtF.S.Traffic().Messages)
+	}
+	if rtB.S.Elapsed() >= rtF.S.Elapsed() {
+		t.Errorf("bulk (%.3fms) should be faster than fine-grained (%.3fms)",
+			rtB.S.Elapsed()/1e6, rtF.S.Elapsed()/1e6)
+	}
+}
+
+func TestSpMSpVDistOnExplicitGridShapes(t *testing.T) {
+	a0 := sparse.ErdosRenyi[int64](120, 5, 45)
+	x0 := sparse.RandomVec[int64](120, 18, 46)
+	want := RefSpMSpVPattern(a0, x0)
+	for _, shape := range [][2]int{{1, 8}, {8, 1}, {2, 4}, {4, 2}, {3, 3}} {
+		g, err := locale.NewGridShape(shape[0], shape[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := locale.NewWithGrid(machine.Edison(), g, 24)
+		a := dist.MatFromCSR(rt, a0)
+		x := dist.SpVecFromVec(rt, x0)
+		y, _ := SpMSpVDist(rt, a, x)
+		yv := y.ToVec()
+		if len(yv.Ind) != len(want.Ind) {
+			t.Fatalf("grid %dx%d: pattern size %d, want %d",
+				shape[0], shape[1], len(yv.Ind), len(want.Ind))
+		}
+		for k := range yv.Ind {
+			if yv.Ind[k] != want.Ind[k] {
+				t.Fatalf("grid %dx%d: pattern differs at %d", shape[0], shape[1], k)
+			}
+		}
+	}
+}
+
+func TestApplyAssignOnOneNodeGrid(t *testing.T) {
+	// The Fig 10 configuration (colocated locales) must stay correct.
+	g, err := locale.NewGridOnOneNode(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := locale.NewWithGrid(machine.Edison(), g, 1)
+	x0 := sparse.RandomVec[int64](500, 60, 47)
+	x := dist.SpVecFromVec(rt, x0)
+	Apply1(rt, x, func(v int64) int64 { return v + 1 })
+	want := RefApply(x0, func(v int64) int64 { return v + 1 })
+	if !x.ToVec().Equal(want) {
+		t.Fatal("Apply1 wrong on one-node grid")
+	}
+	b := dist.SpVecFromVec(rt, want)
+	a := dist.NewSpVec[int64](rt, 500)
+	if err := Assign1(rt, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.ToVec().Equal(want) {
+		t.Fatal("Assign1 wrong on one-node grid")
+	}
+}

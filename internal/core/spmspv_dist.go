@@ -1,0 +1,261 @@
+package core
+
+import (
+	"repro/internal/dist"
+	"repro/internal/locale"
+	"repro/internal/semiring"
+	"repro/internal/sim"
+	"repro/internal/sparse"
+)
+
+// DistStats reports the aggregate work of a distributed SpMSpV call.
+type DistStats struct {
+	GatheredElems int64 // vector elements moved during the gather phase
+	LocalEntries  int64 // matrix entries visited by the local multiplies
+	ScatteredMsgs int64 // output elements scattered across locales
+	NnzOut        int
+}
+
+// SpMSpVDist is the paper's Listing 8: the distributed sparse matrix – sparse
+// vector multiplication over a 2-D block-distributed matrix, in three steps:
+//
+//  1. Gather: each locale (r, c) collects the pieces of x owned by the
+//     locales of processor row r — element by element, exactly as the
+//     listing copies remote sparse-domain indices one at a time. This
+//     fine-grained exchange is what dominates the multi-node runtime in
+//     Figs 8 and 9.
+//  2. Local multiply: each locale runs the shared-memory SpMSpV on its block.
+//  3. Scatter: the local outputs are merged through a global (distributed)
+//     atomic isthere bitmap, one fine-grained remote update per element, and
+//     each locale then converts its slice of the bitmap back to sparse form
+//     (the listing's denseToSparse).
+//
+// The result vector holds the discovering global row id of each reached
+// column, as in the shared-memory version.
+func SpMSpVDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *dist.SpVec[T]) (*dist.SpVec[int64], DistStats) {
+	g := rt.G
+	n := a.NCols
+	var st DistStats
+	rt.S.CoforallSpawn()
+
+	// Step 1: gather x along the processor rows.
+	rt.S.BeginPhase("Gather Input")
+	lxs := make([]*sparse.Vec[T], g.P)
+	for l := 0; l < g.P; l++ {
+		r, _ := g.Coords(l)
+		rowBase := a.RowBands[r]
+		lx := sparse.NewVec[T](a.RowBands[r+1] - rowBase)
+		var remoteElems, msgs int64
+		srcCount := 0
+		for _, src := range g.RowLocales(r) {
+			sv := x.Loc[src]
+			for k, gi := range sv.Ind {
+				// Indices arrive in per-source sorted order; sources are
+				// visited in increasing order and own increasing ranges, so
+				// the concatenation stays sorted. Store block-local row ids.
+				lx.Ind = append(lx.Ind, gi-rowBase)
+				lx.Val = append(lx.Val, sv.Val[k])
+			}
+			if src != l {
+				remoteElems += int64(sv.NNZ())
+				srcCount++
+			}
+		}
+		lxs[l] = lx
+		st.GatheredElems += int64(lx.NNZ())
+		if remoteElems > 0 || srcCount > 0 {
+			// Element-wise remote index/value copies plus per-source
+			// remote-domain metadata accesses. The whole machine gathers at
+			// once: the active-message service capacity is shared, so the
+			// effective latency grows with the number of contenders (P).
+			msgs = remoteElems + int64(srcCount)*6
+			o := rt.FineLatencyOpts(l, pickRemote(l, g.P), msgs, bytesPerEntry, g.P)
+			// The listing's copy loop zipper-iterates a REMOTE sparse domain;
+			// that iteration is serial (no leader/follower support), so the
+			// blocking gets admit no overlap — which is why the gather, not
+			// the scatter, dominates in the paper's Figs 8 and 9.
+			o.Overlap = 1
+			rt.S.FineGrained(l, o)
+		}
+	}
+
+	// Step 2: local multiply on every locale.
+	rt.S.BeginPhase("Local Multiply")
+	lys := make([]*sparse.Vec[int64], g.P)
+	for l := 0; l < g.P; l++ {
+		ly, shmStats := SpMSpVShm(a.Blocks[l], lxs[l], ShmConfig{
+			Threads: rt.Threads,
+			Workers: rt.RealWorkers,
+			Sim:     rt.S,
+			Loc:     l,
+		})
+		// Convert the discovered row ids to global vertex ids.
+		r, _ := g.Coords(l)
+		rowBase := int64(a.RowBands[r])
+		for k := range ly.Val {
+			ly.Val[k] += rowBase
+		}
+		lys[l] = ly
+		st.LocalEntries += shmStats.EntriesVisited
+	}
+
+	// Step 3: scatter the output across locales through the global SPA
+	// (a block-distributed atomic bitmap over the column index space).
+	rt.S.BeginPhase("Scatter Output")
+	bounds := locale.BlockBounds(n, g.P)
+	isthere := make([]bool, n)
+	value := make([]int64, n)
+	for l := 0; l < g.P; l++ {
+		_, c := g.Coords(l)
+		colBase := a.ColBands[c]
+		ly := lys[l]
+		var remoteMsgs int64
+		for k, lj := range ly.Ind {
+			gj := colBase + lj
+			owner := locale.OwnerOf(n, g.P, gj)
+			if !isthere[gj] {
+				isthere[gj] = true
+				value[gj] = ly.Val[k]
+			}
+			if owner != l {
+				remoteMsgs++
+			}
+		}
+		st.ScatteredMsgs += int64(ly.NNZ())
+		if remoteMsgs > 0 {
+			o := rt.FineLatencyOpts(l, pickRemote(l, g.P), remoteMsgs, bytesPerEntry, g.P)
+			rt.S.FineGrained(l, o)
+		}
+	}
+	// denseToSparse: each locale scans its owned range of the bitmap.
+	y := &dist.SpVec[int64]{G: g, N: n, Bounds: bounds, Loc: make([]*sparse.Vec[int64], g.P)}
+	for l := 0; l < g.P; l++ {
+		lv := sparse.NewVec[int64](n)
+		for gj := bounds[l]; gj < bounds[l+1]; gj++ {
+			if isthere[gj] {
+				lv.Ind = append(lv.Ind, gj)
+				lv.Val = append(lv.Val, value[gj])
+			}
+		}
+		y.Loc[l] = lv
+		st.NnzOut += lv.NNZ()
+		rt.S.Compute(l, rt.Threads, sim.Kernel{
+			Name:         "spmspv-densetosparse",
+			Items:        int64(bounds[l+1] - bounds[l]),
+			CPUPerItem:   costScanCPU,
+			BytesPerItem: 1,
+		})
+	}
+	rt.S.EndPhase()
+	rt.S.Barrier()
+	return y, st
+}
+
+// SpMSpVDistSemiring is the distributed general-semiring product
+// y[j] = ⊕_i x[i] ⊗ A[i,j] with the same gather / local multiply / scatter
+// structure; the scatter merges values with the additive monoid instead of
+// first-wins claiming, so the result is deterministic.
+func SpMSpVDistSemiring[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *dist.SpVec[T], sr semiring.Semiring[T]) (*dist.SpVec[T], DistStats) {
+	g := rt.G
+	n := a.NCols
+	var st DistStats
+	rt.S.CoforallSpawn()
+
+	rt.S.BeginPhase("Gather Input")
+	lxs := make([]*sparse.Vec[T], g.P)
+	for l := 0; l < g.P; l++ {
+		r, _ := g.Coords(l)
+		rowBase := a.RowBands[r]
+		lx := sparse.NewVec[T](a.RowBands[r+1] - rowBase)
+		var remoteElems int64
+		srcCount := 0
+		for _, src := range g.RowLocales(r) {
+			sv := x.Loc[src]
+			for k, gi := range sv.Ind {
+				lx.Ind = append(lx.Ind, gi-rowBase)
+				lx.Val = append(lx.Val, sv.Val[k])
+			}
+			if src != l {
+				remoteElems += int64(sv.NNZ())
+				srcCount++
+			}
+		}
+		lxs[l] = lx
+		st.GatheredElems += int64(lx.NNZ())
+		if remoteElems > 0 || srcCount > 0 {
+			o := rt.FineLatencyOpts(l, pickRemote(l, g.P), remoteElems+int64(srcCount)*6, bytesPerEntry, g.P)
+			o.Overlap = 1 // serial remote-domain iteration, as in SpMSpVDist
+			rt.S.FineGrained(l, o)
+		}
+	}
+
+	rt.S.BeginPhase("Local Multiply")
+	lys := make([]*sparse.Vec[T], g.P)
+	for l := 0; l < g.P; l++ {
+		ly, shmStats := SpMSpVShmSemiring(a.Blocks[l], lxs[l], sr, ShmConfig{
+			Threads: rt.Threads,
+			Workers: rt.RealWorkers,
+			Sim:     rt.S,
+			Loc:     l,
+		})
+		lys[l] = ly
+		st.LocalEntries += shmStats.EntriesVisited
+	}
+
+	rt.S.BeginPhase("Scatter Output")
+	bounds := locale.BlockBounds(n, g.P)
+	acc := make([]T, n)
+	touched := make([]bool, n)
+	for i := range acc {
+		acc[i] = sr.AddIdentity()
+	}
+	for l := 0; l < g.P; l++ {
+		_, c := g.Coords(l)
+		colBase := a.ColBands[c]
+		ly := lys[l]
+		var remoteMsgs int64
+		for k, lj := range ly.Ind {
+			gj := colBase + lj
+			acc[gj] = sr.Add.Op(acc[gj], ly.Val[k])
+			touched[gj] = true
+			if locale.OwnerOf(n, g.P, gj) != l {
+				remoteMsgs++
+			}
+		}
+		st.ScatteredMsgs += int64(ly.NNZ())
+		if remoteMsgs > 0 {
+			o := rt.FineLatencyOpts(l, pickRemote(l, g.P), remoteMsgs, bytesPerEntry, g.P)
+			rt.S.FineGrained(l, o)
+		}
+	}
+	y := &dist.SpVec[T]{G: g, N: n, Bounds: bounds, Loc: make([]*sparse.Vec[T], g.P)}
+	for l := 0; l < g.P; l++ {
+		lv := sparse.NewVec[T](n)
+		for gj := bounds[l]; gj < bounds[l+1]; gj++ {
+			if touched[gj] {
+				lv.Ind = append(lv.Ind, gj)
+				lv.Val = append(lv.Val, acc[gj])
+			}
+		}
+		y.Loc[l] = lv
+		st.NnzOut += lv.NNZ()
+		rt.S.Compute(l, rt.Threads, sim.Kernel{
+			Name:         "spmspv-densetosparse",
+			Items:        int64(bounds[l+1] - bounds[l]),
+			CPUPerItem:   costScanCPU,
+			BytesPerItem: 1,
+		})
+	}
+	rt.S.EndPhase()
+	rt.S.Barrier()
+	return y, st
+}
+
+// pickRemote returns a representative peer locale distinct from l (for
+// latency classification of remote traffic).
+func pickRemote(l, p int) int {
+	if p == 1 {
+		return l
+	}
+	return (l + 1) % p
+}

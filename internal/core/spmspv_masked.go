@@ -1,0 +1,156 @@
+package core
+
+import (
+	"repro/internal/dist"
+	"repro/internal/locale"
+	"repro/internal/semiring"
+	"repro/internal/sim"
+	"repro/internal/sparse"
+)
+
+// SpMSpVDistMasked is the distributed SpMSpV with a complemented output mask
+// — the GraphBLAS concept the paper singles out as future work ("efficient
+// implementations of novel concepts in GraphBLAS, such as masks, have not
+// been attempted in distributed memory before").
+//
+// mask is a dense 0/1 vector over the column space, distributed like the
+// output: positions with mask != 0 are suppressed (the complemented mask of
+// BFS, where the mask holds the visited flags). The mask segment of each
+// column band is first replicated down the grid columns (one bulk broadcast
+// per column team), so every locale filters its local output BEFORE the
+// scatter — the suppressed elements never cross the network, which is the
+// whole point of a fused mask versus multiplying first and filtering after.
+func SpMSpVDistMasked[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *dist.SpVec[T], mask *dist.DenseVec[int64]) (*dist.SpVec[int64], DistStats) {
+	g := rt.G
+	n := a.NCols
+	var st DistStats
+	rt.S.CoforallSpawn()
+
+	// Step 0: replicate the mask along grid columns — each locale (r, c)
+	// needs the mask over its column band [ColBands[c], ColBands[c+1]).
+	rt.S.BeginPhase("Mask Broadcast")
+	bandMask := make([][]int64, g.Pc)
+	for c := 0; c < g.Pc; c++ {
+		lo, hi := a.ColBands[c], a.ColBands[c+1]
+		seg := make([]int64, hi-lo)
+		for gi := lo; gi < hi; gi++ {
+			seg[gi-lo] = mask.Get(gi)
+		}
+		bandMask[c] = seg
+		// One tree broadcast down the column team.
+		if g.Pr > 1 {
+			per := rt.S.BulkTime(int64(len(seg)), false) * logDepth(g.Pr)
+			for _, l := range g.ColLocales(c) {
+				rt.S.Advance(l, per)
+			}
+		}
+	}
+
+	// Step 1: gather x along the processor rows (identical to SpMSpVDist).
+	rt.S.BeginPhase("Gather Input")
+	lxs := make([]*sparse.Vec[T], g.P)
+	for l := 0; l < g.P; l++ {
+		r, _ := g.Coords(l)
+		rowBase := a.RowBands[r]
+		lx := sparse.NewVec[T](a.RowBands[r+1] - rowBase)
+		var remoteElems int64
+		srcCount := 0
+		for _, src := range g.RowLocales(r) {
+			sv := x.Loc[src]
+			for k, gi := range sv.Ind {
+				lx.Ind = append(lx.Ind, gi-rowBase)
+				lx.Val = append(lx.Val, sv.Val[k])
+			}
+			if src != l {
+				remoteElems += int64(sv.NNZ())
+				srcCount++
+			}
+		}
+		lxs[l] = lx
+		st.GatheredElems += int64(lx.NNZ())
+		if remoteElems > 0 || srcCount > 0 {
+			o := rt.FineLatencyOpts(l, pickRemote(l, g.P), remoteElems+int64(srcCount)*6, bytesPerEntry, g.P)
+			o.Overlap = 1
+			rt.S.FineGrained(l, o)
+		}
+	}
+
+	// Step 2: local multiply, filtering against the replicated mask segment.
+	rt.S.BeginPhase("Local Multiply")
+	lys := make([]*sparse.Vec[int64], g.P)
+	for l := 0; l < g.P; l++ {
+		r, c := g.Coords(l)
+		ly, shmStats := SpMSpVShm(a.Blocks[l], lxs[l], ShmConfig{
+			Threads: rt.Threads,
+			Workers: rt.RealWorkers,
+			Sim:     rt.S,
+			Loc:     l,
+		})
+		rowBase := int64(a.RowBands[r])
+		seg := bandMask[c]
+		filtered := sparse.NewVec[int64](ly.N)
+		for k, lj := range ly.Ind {
+			if seg[lj] != 0 {
+				continue // suppressed by the complemented mask
+			}
+			filtered.Ind = append(filtered.Ind, lj)
+			filtered.Val = append(filtered.Val, ly.Val[k]+rowBase)
+		}
+		rt.S.Compute(l, rt.Threads, sim.Kernel{
+			Name:         "spmspv-mask-filter",
+			Items:        int64(ly.NNZ()),
+			CPUPerItem:   6,
+			BytesPerItem: 9,
+		})
+		lys[l] = filtered
+		st.LocalEntries += shmStats.EntriesVisited
+	}
+
+	// Step 3: scatter only the surviving elements.
+	rt.S.BeginPhase("Scatter Output")
+	bounds := locale.BlockBounds(n, g.P)
+	isthere := make([]bool, n)
+	value := make([]int64, n)
+	for l := 0; l < g.P; l++ {
+		_, c := g.Coords(l)
+		colBase := a.ColBands[c]
+		ly := lys[l]
+		var remoteMsgs int64
+		for k, lj := range ly.Ind {
+			gj := colBase + lj
+			if !isthere[gj] {
+				isthere[gj] = true
+				value[gj] = ly.Val[k]
+			}
+			if locale.OwnerOf(n, g.P, gj) != l {
+				remoteMsgs++
+			}
+		}
+		st.ScatteredMsgs += int64(ly.NNZ())
+		if remoteMsgs > 0 {
+			o := rt.FineLatencyOpts(l, pickRemote(l, g.P), remoteMsgs, bytesPerEntry, g.P)
+			rt.S.FineGrained(l, o)
+		}
+	}
+	y := &dist.SpVec[int64]{G: g, N: n, Bounds: bounds, Loc: make([]*sparse.Vec[int64], g.P)}
+	for l := 0; l < g.P; l++ {
+		lv := sparse.NewVec[int64](n)
+		for gj := bounds[l]; gj < bounds[l+1]; gj++ {
+			if isthere[gj] {
+				lv.Ind = append(lv.Ind, gj)
+				lv.Val = append(lv.Val, value[gj])
+			}
+		}
+		y.Loc[l] = lv
+		st.NnzOut += lv.NNZ()
+		rt.S.Compute(l, rt.Threads, sim.Kernel{
+			Name:         "spmspv-densetosparse",
+			Items:        int64(bounds[l+1] - bounds[l]),
+			CPUPerItem:   costScanCPU,
+			BytesPerItem: 1,
+		})
+	}
+	rt.S.EndPhase()
+	rt.S.Barrier()
+	return y, st
+}

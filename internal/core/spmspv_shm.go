@@ -1,0 +1,310 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/locale"
+	"repro/internal/semiring"
+	"repro/internal/sim"
+	"repro/internal/sparse"
+)
+
+// SortKind selects the index-sorting algorithm inside SpMSpV.
+type SortKind int
+
+const (
+	// MergeSort is the paper's choice (Chapel's parallel merge sort).
+	MergeSort SortKind = iota
+	// RadixSort is the cheaper integer sort the paper expects to reduce the
+	// sorting cost ("a less expensive integer sorting algorithm (e.g., radix
+	// sort) is expected to reduce the sorting cost down").
+	RadixSort
+)
+
+// ShmConfig configures a shared-memory SpMSpV call.
+type ShmConfig struct {
+	// Threads is the modeled thread count.
+	Threads int
+	// Workers is the number of real goroutines used.
+	Workers int
+	// Sort selects the sorting algorithm for the result indices.
+	Sort SortKind
+	// Sim, if non-nil, receives cost charges on locale Loc. When Phased is
+	// set the three components are recorded as the phases "SPA", "Sorting"
+	// and "Output" (the breakdown of Fig 7).
+	Sim    *sim.Sim
+	Loc    int
+	Phased bool
+}
+
+// ShmStats reports the work a SpMSpV call performed.
+type ShmStats struct {
+	RowsSelected   int   // rows of A fetched (nonzeros of x with a matching row)
+	EntriesVisited int64 // matrix entries scanned during the SPA phase
+	NnzOut         int   // stored elements in the result
+}
+
+// SpMSpVShm is the paper's Listing 7: the shared-memory sparse matrix –
+// sparse vector multiplication y ← xA using a sparse accumulator.
+//
+// The input x is interpreted as a sparse row vector whose stored indices
+// select rows of A; the result y marks every column reachable from a selected
+// row, with the discovering row id as its value (the "localy" of the paper —
+// which is exactly a BFS parent). The three steps are:
+//
+//  1. SPA: iterate the nonzeros of x in parallel, scan the selected rows, and
+//     claim each newly seen column with an atomic isthere flag, compacting
+//     claimed columns through an atomic fetch-and-add cursor;
+//  2. Sorting: sort the claimed column indices;
+//  3. Output: build the result vector from the sorted indices and the SPA.
+//
+// When cfg.Workers > 1 the claim winners are scheduling-dependent, so values
+// may differ between runs (every value is always a valid discovering row);
+// with Workers == 1 the result is deterministic.
+func SpMSpVShm[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T], cfg ShmConfig) (*sparse.Vec[int64], ShmStats) {
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	var st ShmStats
+
+	// Step 1: SPA.
+	if cfg.Sim != nil && cfg.Phased {
+		cfg.Sim.BeginPhase("SPA")
+	}
+	spa := sparse.NewAtomicSPA[T](a.NCols)
+	nnzX := x.NNZ()
+	var visited atomic.Int64
+	locale.ParFor(cfg.Workers, nnzX, func(lo, hi int) {
+		var seen int64
+		for k := lo; k < hi; k++ {
+			rid := x.Ind[k]
+			if rid < 0 || rid >= a.NRows {
+				continue
+			}
+			cols, _ := a.Row(rid)
+			seen += int64(len(cols))
+			for _, colid := range cols {
+				// Only keeping the first index; keep row index as value.
+				if spa.TryClaim(colid) {
+					spa.LocalY[colid] = int64(rid)
+				}
+			}
+		}
+		visited.Add(seen)
+	})
+	st.EntriesVisited = visited.Load()
+	st.RowsSelected = nnzX
+	if cfg.Sim != nil {
+		cfg.Sim.Compute(cfg.Loc, cfg.Threads, sim.Kernel{
+			Name:           "spmspv-spa",
+			Items:          st.EntriesVisited,
+			CPUPerItem:     costSpaCPU,
+			BytesPerItem:   costSpaBytes,
+			AtomicsPerItem: costSpaAtomics,
+		})
+		cfg.Sim.Compute(cfg.Loc, cfg.Threads, sim.Kernel{
+			Name:       "spmspv-spa-rows",
+			Items:      int64(nnzX),
+			CPUPerItem: costSpaPerRow,
+		})
+	}
+
+	// Step 2: remove unused entries and sort.
+	if cfg.Sim != nil && cfg.Phased {
+		cfg.Sim.BeginPhase("Sorting")
+	}
+	nzinds := spa.CompactInds()
+	chargeSort(cfg, nzinds)
+
+	// Step 3: populate the output vector.
+	if cfg.Sim != nil && cfg.Phased {
+		cfg.Sim.BeginPhase("Output")
+	}
+	y := &sparse.Vec[int64]{
+		N:   a.NCols,
+		Ind: append([]int(nil), nzinds...),
+		Val: make([]int64, len(nzinds)),
+	}
+	locale.ParFor(cfg.Workers, len(nzinds), func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			y.Val[k] = spa.LocalY[y.Ind[k]]
+		}
+	})
+	st.NnzOut = len(nzinds)
+	if cfg.Sim != nil {
+		cfg.Sim.Compute(cfg.Loc, cfg.Threads, sim.Kernel{
+			Name:         "spmspv-output",
+			Items:        int64(len(nzinds)),
+			CPUPerItem:   costOutputCPU,
+			BytesPerItem: costOutputBytes,
+		})
+		if cfg.Phased {
+			cfg.Sim.EndPhase()
+		}
+	}
+	return y, st
+}
+
+// chargeSort sorts nzinds in place with the configured algorithm and charges
+// the model for the work actually performed.
+func chargeSort(cfg ShmConfig, nzinds []int) {
+	switch cfg.Sort {
+	case RadixSort:
+		passes := sparse.RadixSortInts(nzinds)
+		if cfg.Sim != nil {
+			cfg.Sim.Compute(cfg.Loc, cfg.Threads, sim.Kernel{
+				Name:         "spmspv-radixsort",
+				Items:        int64(len(nzinds)) * int64(passes),
+				CPUPerItem:   costRadixPerElem,
+				BytesPerItem: 16,
+			})
+		}
+	default:
+		stats := sparse.MergeSortInts(nzinds, cfg.Workers)
+		if cfg.Sim != nil {
+			// Comparisons parallelize across threads; the final merge chain
+			// (~n comparisons) is serial.
+			cfg.Sim.Compute(cfg.Loc, cfg.Threads, sim.Kernel{
+				Name:       "spmspv-mergesort",
+				Items:      stats.Comparisons,
+				CPUPerItem: costSortPerCmp,
+			})
+			cfg.Sim.Compute(cfg.Loc, 1, sim.Kernel{
+				Name:       "spmspv-mergesort-final",
+				Items:      int64(len(nzinds)),
+				CPUPerItem: costSortPerCmp,
+			})
+		}
+	}
+}
+
+// SpMSpVShmSemiring computes the general semiring product y[j] =
+// ⊕_{i : x[i]≠0} x[i] ⊗ A[i,j] in shared memory. Each worker accumulates
+// into a thread-private SPA; the private SPAs are merged with the additive
+// monoid (the atomic-free organization the paper suggests). The result is
+// deterministic for commutative, associative monoids regardless of the
+// worker count.
+func SpMSpVShmSemiring[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T], sr semiring.Semiring[T], cfg ShmConfig) (*sparse.Vec[T], ShmStats) {
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	var st ShmStats
+	nnzX := x.NNZ()
+	workers := cfg.Workers
+	if workers > nnzX && nnzX > 0 {
+		workers = nnzX
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	if cfg.Sim != nil && cfg.Phased {
+		cfg.Sim.BeginPhase("SPA")
+	}
+	spas := make([]*sparse.SPA[T], workers)
+	counts := make([]int64, workers)
+	done := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		lo, hi := w*nnzX/workers, (w+1)*nnzX/workers
+		go func(w, lo, hi int) {
+			spa := sparse.NewSPA[T](a.NCols)
+			var seen int64
+			for k := lo; k < hi; k++ {
+				rid := x.Ind[k]
+				if rid < 0 || rid >= a.NRows {
+					continue
+				}
+				cols, vals := a.Row(rid)
+				seen += int64(len(cols))
+				xv := x.Val[k]
+				for c, colid := range cols {
+					spa.Scatter(colid, sr.Mul(xv, vals[c]), sr.Add.Op)
+				}
+			}
+			spas[w] = spa
+			counts[w] = seen
+			done <- struct{}{}
+		}(w, lo, hi)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	// Merge thread-private SPAs into the first (deterministic order).
+	root := spas[0]
+	mergedItems := int64(0)
+	for w := 1; w < workers; w++ {
+		for _, i := range spas[w].NzInds {
+			root.Scatter(i, spas[w].Val[i], sr.Add.Op)
+			mergedItems++
+		}
+	}
+	for _, c := range counts {
+		st.EntriesVisited += c
+	}
+	st.RowsSelected = nnzX
+	if cfg.Sim != nil {
+		cfg.Sim.Compute(cfg.Loc, cfg.Threads, sim.Kernel{
+			Name:         "spmspv-sr-spa",
+			Items:        st.EntriesVisited,
+			CPUPerItem:   costSpaCPU,
+			BytesPerItem: costSpaBytes,
+			// No atomic term: thread-private accumulation.
+		})
+		cfg.Sim.Compute(cfg.Loc, rowMergeThreads(cfg.Threads), sim.Kernel{
+			Name:       "spmspv-sr-merge",
+			Items:      mergedItems,
+			CPUPerItem: costSpaCPU / 2,
+		})
+		cfg.Sim.Compute(cfg.Loc, cfg.Threads, sim.Kernel{
+			Name:       "spmspv-spa-rows",
+			Items:      int64(nnzX),
+			CPUPerItem: costSpaPerRow,
+		})
+	}
+
+	if cfg.Sim != nil && cfg.Phased {
+		cfg.Sim.BeginPhase("Sorting")
+	}
+	nzinds := append([]int(nil), root.NzInds...)
+	chargeSort(cfg, nzinds)
+
+	if cfg.Sim != nil && cfg.Phased {
+		cfg.Sim.BeginPhase("Output")
+	}
+	y := &sparse.Vec[T]{
+		N:   a.NCols,
+		Ind: nzinds,
+		Val: make([]T, len(nzinds)),
+	}
+	for k, i := range nzinds {
+		y.Val[k] = root.Val[i]
+	}
+	st.NnzOut = len(nzinds)
+	if cfg.Sim != nil {
+		cfg.Sim.Compute(cfg.Loc, cfg.Threads, sim.Kernel{
+			Name:         "spmspv-output",
+			Items:        int64(len(nzinds)),
+			CPUPerItem:   costOutputCPU,
+			BytesPerItem: costOutputBytes,
+		})
+		if cfg.Phased {
+			cfg.Sim.EndPhase()
+		}
+	}
+	return y, st
+}
+
+// rowMergeThreads caps the merge parallelism (the merge is a reduction tree;
+// model it as using at most 2 threads' worth of parallelism).
+func rowMergeThreads(threads int) int {
+	if threads > 2 {
+		return 2
+	}
+	return threads
+}

@@ -1,0 +1,224 @@
+// Package locale provides the Chapel-like execution substrate: a grid of
+// locales (the paper's abstraction for distributed-memory nodes), block
+// distribution helpers, and a runtime that executes per-locale bodies while
+// charging the simulated machine model.
+//
+// Locales are arranged in a two-dimensional Pr×Pc grid (the paper uses 2-D
+// block-distributed matrices because they scale better than 1-D). Several
+// locales may be placed on the same physical node — the configuration of
+// Fig 10, where oversubscription degrades fine-grained communication.
+package locale
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Grid is a two-dimensional arrangement of P = Pr×Pc locales, numbered in
+// row-major order, with a mapping of locales to physical nodes.
+type Grid struct {
+	P, Pr, Pc int
+	// LocalesPerNode is how many consecutive locale ids share one node
+	// (1 = one locale per node, the normal configuration).
+	LocalesPerNode int
+}
+
+// NewGrid builds the squarest possible Pr×Pc grid for p locales
+// (Pr <= Pc, Pr the largest divisor of p not exceeding sqrt(p)), with one
+// locale per node.
+func NewGrid(p int) (*Grid, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("locale: grid needs at least 1 locale, got %d", p)
+	}
+	pr := 1
+	for d := 1; d*d <= p; d++ {
+		if p%d == 0 {
+			pr = d
+		}
+	}
+	return &Grid{P: p, Pr: pr, Pc: p / pr, LocalesPerNode: 1}, nil
+}
+
+// NewGridOnOneNode places all p locales on a single node (Fig 10's setup).
+func NewGridOnOneNode(p int) (*Grid, error) {
+	g, err := NewGrid(p)
+	if err != nil {
+		return nil, err
+	}
+	g.LocalesPerNode = p
+	return g, nil
+}
+
+// Coords returns the (row, col) grid position of locale l.
+func (g *Grid) Coords(l int) (r, c int) { return l / g.Pc, l % g.Pc }
+
+// ID returns the locale id at grid position (r, c).
+func (g *Grid) ID(r, c int) int { return r*g.Pc + c }
+
+// NodeOf returns the physical node hosting locale l.
+func (g *Grid) NodeOf(l int) int { return l / g.LocalesPerNode }
+
+// SameNode reports whether two locales share a physical node.
+func (g *Grid) SameNode(a, b int) bool { return g.NodeOf(a) == g.NodeOf(b) }
+
+// Nodes returns the number of physical nodes in use.
+func (g *Grid) Nodes() int { return (g.P + g.LocalesPerNode - 1) / g.LocalesPerNode }
+
+// RowLocales returns the locale ids in grid row r, in column order.
+func (g *Grid) RowLocales(r int) []int {
+	ids := make([]int, g.Pc)
+	for c := 0; c < g.Pc; c++ {
+		ids[c] = g.ID(r, c)
+	}
+	return ids
+}
+
+// ColLocales returns the locale ids in grid column c, in row order.
+func (g *Grid) ColLocales(c int) []int {
+	ids := make([]int, g.Pr)
+	for r := 0; r < g.Pr; r++ {
+		ids[r] = g.ID(r, c)
+	}
+	return ids
+}
+
+// BlockBounds computes the 1-D block distribution of n indices over p parts:
+// part i owns [bounds[i], bounds[i+1]). Parts differ in size by at most one.
+func BlockBounds(n, p int) []int {
+	b := make([]int, p+1)
+	for i := 0; i <= p; i++ {
+		b[i] = i * n / p
+	}
+	return b
+}
+
+// OwnerOf returns which part of a BlockBounds(n, p) distribution owns index
+// i, in O(1).
+func OwnerOf(n, p, i int) int {
+	// Inverse of b[k] = k*n/p: candidate k = (i*p+p-1)/n neighborhood.
+	if n == 0 {
+		return 0
+	}
+	k := i * p / n
+	for k > 0 && i < k*n/p {
+		k--
+	}
+	for k < p-1 && i >= (k+1)*n/p {
+		k++
+	}
+	return k
+}
+
+// Runtime couples a grid with a simulator and execution parameters. All
+// GraphBLAS operations run through a Runtime: they execute real Go code on
+// real data while the Runtime charges the machine model for the structure of
+// that execution.
+type Runtime struct {
+	G *Grid
+	S *sim.Sim
+	// Threads is the modeled number of threads used per locale.
+	Threads int
+	// RealWorkers is the number of goroutines shared-memory kernels actually
+	// spawn. 1 gives deterministic execution (the default); tests raise it to
+	// exercise the concurrent code paths under -race.
+	RealWorkers int
+}
+
+// New builds a runtime with p locales (one per node) and the given modeled
+// thread count per locale.
+func New(m machine.Machine, p, threads int) (*Runtime, error) {
+	g, err := NewGrid(p)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithGrid(m, g, threads), nil
+}
+
+// NewWithGrid builds a runtime over an existing grid.
+func NewWithGrid(m machine.Machine, g *Grid, threads int) *Runtime {
+	if threads < 1 {
+		threads = 1
+	}
+	return &Runtime{G: g, S: sim.New(m, g.P), Threads: threads, RealWorkers: 1}
+}
+
+// Coforall models a `coforall loc in Locales do on loc { body }`: it charges
+// the remote task launches, then runs body(l) for every locale (sequentially,
+// so distributed results are deterministic; the model treats the bodies as
+// concurrent because each charges its own locale clock), and closes with a
+// barrier.
+func (rt *Runtime) Coforall(body func(loc int)) {
+	rt.S.CoforallSpawn()
+	for l := 0; l < rt.G.P; l++ {
+		body(l)
+	}
+	rt.S.Barrier()
+}
+
+// ParFor executes body over [0, n) split into contiguous chunks across the
+// runtime's RealWorkers goroutines and blocks until all complete. It performs
+// no cost charging — callers charge the model separately — and with
+// RealWorkers == 1 it degenerates to a plain loop.
+func (rt *Runtime) ParFor(n int, body func(lo, hi int)) {
+	ParFor(rt.RealWorkers, n, body)
+}
+
+// ParFor executes body over [0, n) in contiguous chunks on up to workers
+// goroutines.
+func ParFor(workers, n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		body(0, n)
+		return
+	}
+	done := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		go func(lo, hi int) {
+			body(lo, hi)
+			done <- struct{}{}
+		}(lo, hi)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+}
+
+// FineLatencyOpts builds the sim.RemoteOpts for fine-grained traffic from
+// locale src to locale dst under this runtime's node placement: intra-node
+// placement switches to the oversubscription-scaled shared-memory conduit.
+func (rt *Runtime) FineLatencyOpts(src, dst int, msgs int64, bytesPerMsg float64, contenders int) sim.RemoteOpts {
+	o := sim.RemoteOpts{
+		Msgs:        msgs,
+		BytesPerMsg: bytesPerMsg,
+		Contenders:  contenders,
+		Overlap:     float64(rt.Threads),
+	}
+	if o.Overlap > rt.S.M.FineGrainOverlap {
+		o.Overlap = rt.S.M.FineGrainOverlap
+	}
+	if rt.G.SameNode(src, dst) && rt.G.LocalesPerNode > 1 {
+		o.IntraNode = true
+		o.ColocatedLocales = rt.G.LocalesPerNode
+	}
+	return o
+}
+
+// NewGridShape builds an explicit Pr×Pc grid (one locale per node); used by
+// the 1-D vs 2-D distribution ablation.
+func NewGridShape(pr, pc int) (*Grid, error) {
+	if pr < 1 || pc < 1 {
+		return nil, fmt.Errorf("locale: grid shape %dx%d invalid", pr, pc)
+	}
+	return &Grid{P: pr * pc, Pr: pr, Pc: pc, LocalesPerNode: 1}, nil
+}

@@ -1,0 +1,228 @@
+package locale
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestNewGridShapes(t *testing.T) {
+	cases := map[int][2]int{
+		1:  {1, 1},
+		2:  {1, 2},
+		4:  {2, 2},
+		6:  {2, 3},
+		8:  {2, 4},
+		9:  {3, 3},
+		12: {3, 4},
+		16: {4, 4},
+		64: {8, 8},
+		7:  {1, 7}, // prime
+	}
+	for p, want := range cases {
+		g, err := NewGrid(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Pr != want[0] || g.Pc != want[1] {
+			t.Errorf("NewGrid(%d) = %dx%d, want %dx%d", p, g.Pr, g.Pc, want[0], want[1])
+		}
+		if g.Pr*g.Pc != p {
+			t.Errorf("grid %d does not cover all locales", p)
+		}
+		if g.Pr > g.Pc {
+			t.Errorf("grid %d: Pr > Pc", p)
+		}
+	}
+	if _, err := NewGrid(0); err == nil {
+		t.Error("NewGrid(0) should fail")
+	}
+}
+
+func TestGridCoords(t *testing.T) {
+	g, _ := NewGrid(6) // 2x3
+	for l := 0; l < 6; l++ {
+		r, c := g.Coords(l)
+		if g.ID(r, c) != l {
+			t.Errorf("coords/id roundtrip fails for locale %d", l)
+		}
+	}
+	if r, c := g.Coords(4); r != 1 || c != 1 {
+		t.Errorf("Coords(4) = (%d,%d), want (1,1)", r, c)
+	}
+}
+
+func TestGridRowColLocales(t *testing.T) {
+	g, _ := NewGrid(6) // 2x3
+	row1 := g.RowLocales(1)
+	if len(row1) != 3 || row1[0] != 3 || row1[1] != 4 || row1[2] != 5 {
+		t.Errorf("RowLocales(1) = %v", row1)
+	}
+	col2 := g.ColLocales(2)
+	if len(col2) != 2 || col2[0] != 2 || col2[1] != 5 {
+		t.Errorf("ColLocales(2) = %v", col2)
+	}
+}
+
+func TestNodePlacement(t *testing.T) {
+	g, _ := NewGrid(8)
+	if g.Nodes() != 8 {
+		t.Errorf("default: %d nodes, want 8", g.Nodes())
+	}
+	if g.SameNode(0, 1) {
+		t.Error("distinct nodes reported shared")
+	}
+	one, _ := NewGridOnOneNode(8)
+	if one.Nodes() != 1 {
+		t.Errorf("one-node grid: %d nodes", one.Nodes())
+	}
+	if !one.SameNode(0, 7) {
+		t.Error("one-node grid locales should share the node")
+	}
+}
+
+func TestBlockBounds(t *testing.T) {
+	b := BlockBounds(10, 3)
+	if len(b) != 4 || b[0] != 0 || b[3] != 10 {
+		t.Fatalf("bounds = %v", b)
+	}
+	// Parts differ in size by at most 1.
+	for i := 0; i < 3; i++ {
+		sz := b[i+1] - b[i]
+		if sz < 3 || sz > 4 {
+			t.Errorf("part %d has size %d", i, sz)
+		}
+	}
+	// Degenerate cases.
+	if b := BlockBounds(0, 4); b[4] != 0 {
+		t.Error("n=0 bounds wrong")
+	}
+	if b := BlockBounds(3, 8); b[8] != 3 {
+		t.Error("p>n bounds wrong")
+	}
+}
+
+func TestOwnerOf(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{{10, 3}, {100, 7}, {5, 8}, {64, 64}, {1000000, 24}} {
+		b := BlockBounds(tc.n, tc.p)
+		for i := 0; i < tc.n; i++ {
+			k := OwnerOf(tc.n, tc.p, i)
+			if i < b[k] || i >= b[k+1] {
+				t.Fatalf("OwnerOf(%d,%d,%d) = %d but bounds[%d..%d] = [%d,%d)",
+					tc.n, tc.p, i, k, k, k+1, b[k], b[k+1])
+			}
+		}
+	}
+	if OwnerOf(0, 4, 0) != 0 {
+		t.Error("n=0 owner wrong")
+	}
+}
+
+func TestRuntimeCoforall(t *testing.T) {
+	m := machine.Edison()
+	rt, err := New(m, 4, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	visited := make([]bool, 4)
+	rt.Coforall(func(l int) { visited[l] = true })
+	for l, v := range visited {
+		if !v {
+			t.Errorf("locale %d not visited", l)
+		}
+	}
+	if rt.S.Elapsed() <= 0 {
+		t.Error("coforall charged no time")
+	}
+	if rt.S.Traffic().Coforalls != 1 {
+		t.Error("coforall not counted")
+	}
+}
+
+func TestParFor(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7} {
+		var sum atomic.Int64
+		var calls atomic.Int64
+		ParFor(workers, 1000, func(lo, hi int) {
+			calls.Add(1)
+			local := int64(0)
+			for i := lo; i < hi; i++ {
+				local += int64(i)
+			}
+			sum.Add(local)
+		})
+		if sum.Load() != 499500 {
+			t.Errorf("workers=%d: sum = %d, want 499500", workers, sum.Load())
+		}
+		if workers > 1 && calls.Load() != int64(workers) {
+			t.Errorf("workers=%d: %d chunks", workers, calls.Load())
+		}
+	}
+	// n < workers clamps.
+	var n atomic.Int64
+	ParFor(16, 3, func(lo, hi int) { n.Add(int64(hi - lo)) })
+	if n.Load() != 3 {
+		t.Error("small-n ParFor lost iterations")
+	}
+	// n = 0 runs nothing.
+	ParFor(4, 0, func(lo, hi int) { t.Error("body called for n=0") })
+}
+
+func TestRuntimeParForUsesRealWorkers(t *testing.T) {
+	m := machine.Edison()
+	rt, _ := New(m, 1, 24)
+	rt.RealWorkers = 3
+	var calls atomic.Int64
+	rt.ParFor(300, func(lo, hi int) { calls.Add(1) })
+	if calls.Load() != 3 {
+		t.Errorf("chunks = %d, want 3", calls.Load())
+	}
+}
+
+func TestFineLatencyOpts(t *testing.T) {
+	m := machine.Edison()
+	// Separate nodes: network path with incast contenders.
+	rt, _ := New(m, 4, 24)
+	o := rt.FineLatencyOpts(0, 1, 100, 8, 4)
+	if o.IntraNode {
+		t.Error("separate nodes marked intra-node")
+	}
+	if o.Contenders != 4 || o.Msgs != 100 {
+		t.Error("opts not propagated")
+	}
+	if o.Overlap > m.FineGrainOverlap {
+		t.Error("overlap should be capped by machine limit")
+	}
+	// Colocated: intra-node with oversubscription count.
+	g, _ := NewGridOnOneNode(8)
+	rtOne := NewWithGrid(m, g, 1)
+	o2 := rtOne.FineLatencyOpts(0, 5, 10, 8, 0)
+	if !o2.IntraNode || o2.ColocatedLocales != 8 {
+		t.Errorf("intra-node opts wrong: %+v", o2)
+	}
+	// Threads below the machine overlap cap bound the overlap.
+	if o2.Overlap != 1 {
+		t.Errorf("overlap = %v, want 1 (threads=1)", o2.Overlap)
+	}
+}
+
+func TestNewGridShape(t *testing.T) {
+	g, err := NewGridShape(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.P != 15 || g.Pr != 3 || g.Pc != 5 {
+		t.Fatalf("shape wrong: %+v", g)
+	}
+	if _, err := NewGridShape(0, 5); err == nil {
+		t.Error("zero rows accepted")
+	}
+	if _, err := NewGridShape(2, -1); err == nil {
+		t.Error("negative cols accepted")
+	}
+	// Row-major numbering is preserved for explicit shapes.
+	if g.ID(2, 4) != 14 {
+		t.Error("row-major id wrong")
+	}
+}

@@ -1,0 +1,138 @@
+// Package machine defines the analytical machine model the library charges
+// its simulated execution times against.
+//
+// The test host for this reproduction has a single core, so the paper's
+// 24-core nodes and 64-node Cray XC30 runs cannot be timed directly. Instead,
+// every operation executes for real (on real data, validated by tests) while
+// charging a cost model configured here. The model has four ingredients the
+// paper's analysis itself appeals to:
+//
+//   - a compute/memory roofline per locale (per-item CPU cost vs. streamed
+//     bytes against a saturating memory bandwidth),
+//   - an α–β network (per-message latency plus per-byte cost), with
+//     fine-grained access paying α per element and bulk transfers paying α per
+//     segment,
+//   - task-spawn overheads ("burdened parallelism"): a per-task cost for
+//     data-parallel foralls and a much larger per-locale cost for coforall
+//     launches across the machine,
+//   - serialized atomic-update cost, which bounds the scaling of kernels that
+//     compact indices through a shared fetch-and-add counter.
+//
+// The Edison() preset is calibrated against the single-thread/single-node
+// anchor points of the paper's figures; EXPERIMENTS.md records the anchors.
+package machine
+
+import "fmt"
+
+// Machine holds the model constants. All times are in nanoseconds, all
+// bandwidths in bytes per nanosecond (= GB/s).
+type Machine struct {
+	Name string
+
+	// CoresPerNode is the number of cores each node has (Edison: 24).
+	CoresPerNode int
+
+	// MemBWCore is the memory bandwidth a single core can stream, B/ns.
+	MemBWCore float64
+	// MemBWNode is the aggregate node memory bandwidth, B/ns. The usable
+	// bandwidth with p threads is min(p*MemBWCore, MemBWNode).
+	MemBWNode float64
+
+	// NetLatency is the one-way latency of a remote message, ns. Fine-grained
+	// element access pays this per element.
+	NetLatency float64
+	// NetBandwidth is the injection bandwidth of a node, B/ns.
+	NetBandwidth float64
+	// FineGrainOverlap is the number of outstanding fine-grained remote
+	// operations a locale sustains (blocking gets issued from concurrent
+	// tasks); effective per-message cost is NetLatency/FineGrainOverlap.
+	FineGrainOverlap float64
+	// IncastFactor scales per-message latency when k locales simultaneously
+	// pull from the same set of sources: latency *= 1 + IncastFactor*(k-1).
+	IncastFactor float64
+
+	// IntraNodeLatency is the per-message cost between two locales placed on
+	// the same node (shared-memory conduit still runs the full software
+	// stack), ns.
+	IntraNodeLatency float64
+	// OversubFactor scales intra-node latency when L locales share a node:
+	// latency *= 1 + OversubFactor*(L-1), modeling runtime contention
+	// (Fig 10 of the paper).
+	OversubFactor float64
+
+	// TaskSpawn is the cost of creating one task in a data-parallel forall, ns.
+	TaskSpawn float64
+	// RemoteTaskSpawn is the cost of launching a task on a remote locale
+	// (coforall+on), ns.
+	RemoteTaskSpawn float64
+	// BarrierLatency is the per-hop cost of a barrier (log2 P hops), ns.
+	BarrierLatency float64
+
+	// AtomicOp is the cost of one serialized atomic read-modify-write on a
+	// contended location, ns. Atomic work does not parallelize.
+	AtomicOp float64
+}
+
+// Edison returns the model of NERSC Edison (Cray XC30) the paper ran on:
+// two 12-core Ivy Bridge sockets per node, Aries dragonfly interconnect,
+// GASNet aries conduit, qthreads tasking.
+func Edison() Machine {
+	return Machine{
+		Name:         "edison-xc30",
+		CoresPerNode: 24,
+		// STREAM-like: ~8.5 B/ns per core, ~50 B/ns per node sustained.
+		MemBWCore: 8.5,
+		MemBWNode: 50,
+		// Fine-grained GASNet remote reference ~1.5 µs; bulk RDMA ~8 B/ns.
+		NetLatency:       1500,
+		NetBandwidth:     8,
+		FineGrainOverlap: 8,
+		// Aggregate active-message service capacity is bounded: when many
+		// locales issue fine-grained traffic simultaneously the effective
+		// per-message latency grows with the number of contenders.
+		IncastFactor: 2.0,
+		// Shared-memory conduit message ~2 µs (full software stack), heavily
+		// inflated by runtime oversubscription when locales share a node.
+		IntraNodeLatency: 2000,
+		OversubFactor:    3.0,
+		// Chapel forall task creation ~4 µs per task (qthreads spawn plus
+		// iterator setup); remote coforall launch ~25 µs per locale.
+		TaskSpawn:       4000,
+		RemoteTaskSpawn: 25000,
+		BarrierLatency:  2000,
+		AtomicOp:        18,
+	}
+}
+
+// EffectiveMemBW returns the streaming bandwidth available to p threads on
+// one locale, B/ns.
+func (m Machine) EffectiveMemBW(p int) float64 {
+	bw := float64(p) * m.MemBWCore
+	if bw > m.MemBWNode {
+		bw = m.MemBWNode
+	}
+	return bw
+}
+
+// Validate reports whether the model constants are physically sensible.
+func (m Machine) Validate() error {
+	switch {
+	case m.CoresPerNode < 1:
+		return errf("CoresPerNode = %d", m.CoresPerNode)
+	case m.MemBWCore <= 0 || m.MemBWNode < m.MemBWCore:
+		return errf("memory bandwidths %v/%v", m.MemBWCore, m.MemBWNode)
+	case m.NetLatency < 0 || m.NetBandwidth <= 0:
+		return errf("network %v/%v", m.NetLatency, m.NetBandwidth)
+	case m.FineGrainOverlap < 1:
+		return errf("FineGrainOverlap = %v", m.FineGrainOverlap)
+	case m.TaskSpawn < 0 || m.RemoteTaskSpawn < 0 || m.BarrierLatency < 0:
+		return errf("task costs")
+	case m.AtomicOp < 0:
+		return errf("AtomicOp = %v", m.AtomicOp)
+	}
+	return nil
+}
+
+func errf(format string, args ...any) error {
+	return fmt.Errorf("machine: invalid model: "+format, args...)
+}

@@ -1,0 +1,46 @@
+package machine
+
+import "testing"
+
+func TestEdisonValid(t *testing.T) {
+	m := Edison()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.CoresPerNode != 24 {
+		t.Errorf("Edison has 24 cores per node, got %d", m.CoresPerNode)
+	}
+}
+
+func TestEffectiveMemBW(t *testing.T) {
+	m := Edison()
+	if got := m.EffectiveMemBW(1); got != m.MemBWCore {
+		t.Errorf("1-thread bandwidth = %v, want %v", got, m.MemBWCore)
+	}
+	if got := m.EffectiveMemBW(24); got != m.MemBWNode {
+		t.Errorf("24-thread bandwidth = %v, want saturated %v", got, m.MemBWNode)
+	}
+	if got := m.EffectiveMemBW(2); got != 2*m.MemBWCore {
+		t.Errorf("2-thread bandwidth = %v, want %v", got, 2*m.MemBWCore)
+	}
+}
+
+func TestValidateCatchesBadModels(t *testing.T) {
+	mutations := []func(*Machine){
+		func(m *Machine) { m.CoresPerNode = 0 },
+		func(m *Machine) { m.MemBWCore = 0 },
+		func(m *Machine) { m.MemBWNode = m.MemBWCore / 2 },
+		func(m *Machine) { m.NetBandwidth = 0 },
+		func(m *Machine) { m.NetLatency = -1 },
+		func(m *Machine) { m.FineGrainOverlap = 0 },
+		func(m *Machine) { m.TaskSpawn = -1 },
+		func(m *Machine) { m.AtomicOp = -1 },
+	}
+	for i, mut := range mutations {
+		m := Edison()
+		mut(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("mutation %d not caught", i)
+		}
+	}
+}

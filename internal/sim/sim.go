@@ -1,0 +1,332 @@
+// Package sim maintains simulated per-locale clocks and charges operation
+// costs against the machine model. Operations execute for real on real data;
+// sim only decides how long that execution would have taken on the modeled
+// machine (see internal/machine).
+//
+// The clock discipline is bulk-synchronous: named phases open with an
+// implicit barrier, each locale advances its own clock while charging work,
+// and EndPhase closes with a barrier; the phase duration is the makespan
+// (max-over-locales) of the charged work. This matches the structure of the
+// paper's distributed operations (gather / local multiply / scatter) and
+// makes the per-component breakdowns of Figs 7–9 well defined.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/machine"
+)
+
+// Kernel describes one data-parallel computation for cost charging.
+type Kernel struct {
+	// Name is a short label used only for debugging.
+	Name string
+	// Items is the number of loop iterations actually executed.
+	Items int64
+	// CPUPerItem is the per-iteration instruction cost, ns.
+	CPUPerItem float64
+	// BytesPerItem is the memory traffic per iteration, bytes (streamed
+	// against the roofline bandwidth).
+	BytesPerItem float64
+	// AtomicsPerItem is the number of contended atomic RMW operations per
+	// iteration; atomic work is serialized and does not parallelize.
+	AtomicsPerItem float64
+	// SerialNS is a fixed non-parallelizable cost added once, ns.
+	SerialNS float64
+}
+
+// Phase is one recorded bulk-synchronous phase.
+type Phase struct {
+	Name string
+	NS   float64 // makespan of the phase, ns
+}
+
+// Counters aggregates communication traffic.
+type Counters struct {
+	Messages  int64
+	Bytes     int64
+	FineOps   int64 // fine-grained (per-element) remote operations
+	BulkOps   int64 // bulk transfers
+	Barriers  int64
+	Coforalls int64
+}
+
+// Sim is the simulated machine state: one clock per locale plus phase and
+// traffic records. All methods are safe for concurrent use.
+type Sim struct {
+	M machine.Machine
+
+	mu      sync.Mutex
+	clocks  []float64
+	phases  []Phase
+	started bool
+	pStart  float64 // max clock when the current phase opened
+	pName   string
+	cnt     Counters
+}
+
+// New returns a simulator for p locales on machine m.
+func New(m machine.Machine, p int) *Sim {
+	return &Sim{M: m, clocks: make([]float64, p)}
+}
+
+// P returns the number of locales.
+func (s *Sim) P() int { return len(s.clocks) }
+
+// Reset zeroes all clocks, phases and counters.
+func (s *Sim) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.clocks {
+		s.clocks[i] = 0
+	}
+	s.phases = nil
+	s.started = false
+	s.cnt = Counters{}
+}
+
+// ComputeTime returns the modeled wall time of executing k with p threads on
+// one locale: task-spawn overhead, a compute/memory roofline over the
+// parallelizable work, and a serialized atomic term.
+func (s *Sim) ComputeTime(threads int, k Kernel) float64 {
+	m := s.M
+	if threads < 1 {
+		threads = 1
+	}
+	pEff := threads
+	if pEff > m.CoresPerNode {
+		pEff = m.CoresPerNode
+	}
+	spawn := 0.0
+	if threads > 1 {
+		spawn = m.TaskSpawn * float64(threads)
+	}
+	cpu := float64(k.Items) * k.CPUPerItem / float64(pEff)
+	mem := 0.0
+	if k.BytesPerItem > 0 {
+		mem = float64(k.Items) * k.BytesPerItem / m.EffectiveMemBW(pEff)
+	}
+	body := math.Max(cpu, mem)
+	atomics := float64(k.Items) * k.AtomicsPerItem * m.AtomicOp
+	return spawn + body + atomics + k.SerialNS
+}
+
+// Compute charges kernel k executed with the given thread count to locale
+// loc's clock and returns the charged time.
+func (s *Sim) Compute(loc, threads int, k Kernel) float64 {
+	t := s.ComputeTime(threads, k)
+	s.mu.Lock()
+	s.clocks[loc] += t
+	s.mu.Unlock()
+	return t
+}
+
+// Advance adds a fixed time to locale loc's clock.
+func (s *Sim) Advance(loc int, ns float64) {
+	s.mu.Lock()
+	s.clocks[loc] += ns
+	s.mu.Unlock()
+}
+
+// RemoteOpts configures fine-grained remote traffic charging.
+type RemoteOpts struct {
+	// Msgs is the number of fine-grained messages (one per element).
+	Msgs int64
+	// BytesPerMsg is the payload of each message.
+	BytesPerMsg float64
+	// Overlap is the number of outstanding operations (concurrent tasks
+	// issuing blocking accesses); <=0 uses the machine default.
+	Overlap float64
+	// Contenders is the number of locales simultaneously pulling from the
+	// same sources (incast); latency scales by 1+IncastFactor*(Contenders-1).
+	Contenders int
+	// IntraNode marks traffic between locales placed on the same node;
+	// it uses IntraNodeLatency scaled by the oversubscription factor.
+	IntraNode bool
+	// ColocatedLocales is the number of locales sharing the node (>=1);
+	// only used when IntraNode is set.
+	ColocatedLocales int
+}
+
+// FineGrainedTime returns the modeled time of the described fine-grained
+// remote traffic.
+func (s *Sim) FineGrainedTime(o RemoteOpts) float64 {
+	m := s.M
+	lat := m.NetLatency
+	if o.IntraNode {
+		lat = m.IntraNodeLatency
+		l := o.ColocatedLocales
+		if l < 1 {
+			l = 1
+		}
+		lat *= 1 + m.OversubFactor*float64(l-1)
+	} else if o.Contenders > 1 {
+		lat *= 1 + m.IncastFactor*float64(o.Contenders-1)
+	}
+	overlap := o.Overlap
+	if overlap <= 0 {
+		overlap = m.FineGrainOverlap
+	}
+	latTime := float64(o.Msgs) * lat / overlap
+	bwTime := float64(o.Msgs) * o.BytesPerMsg / m.NetBandwidth
+	return latTime + bwTime
+}
+
+// FineGrained charges the described traffic to locale loc and returns the
+// charged time.
+func (s *Sim) FineGrained(loc int, o RemoteOpts) float64 {
+	t := s.FineGrainedTime(o)
+	s.mu.Lock()
+	s.clocks[loc] += t
+	s.cnt.Messages += o.Msgs
+	s.cnt.Bytes += int64(float64(o.Msgs) * o.BytesPerMsg)
+	s.cnt.FineOps += o.Msgs
+	s.mu.Unlock()
+	return t
+}
+
+// BulkTime returns the modeled time of one bulk transfer of n bytes.
+func (s *Sim) BulkTime(bytes int64, intraNode bool) float64 {
+	lat := s.M.NetLatency
+	if intraNode {
+		lat = s.M.IntraNodeLatency
+	}
+	return lat + float64(bytes)/s.M.NetBandwidth
+}
+
+// Bulk charges one bulk transfer of n bytes to locale loc.
+func (s *Sim) Bulk(loc int, bytes int64, intraNode bool) float64 {
+	t := s.BulkTime(bytes, intraNode)
+	s.mu.Lock()
+	s.clocks[loc] += t
+	s.cnt.Messages++
+	s.cnt.Bytes += bytes
+	s.cnt.BulkOps++
+	s.mu.Unlock()
+	return t
+}
+
+// Barrier synchronizes every locale clock to the maximum plus the barrier
+// cost (log2 P hops).
+func (s *Sim) Barrier() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.barrierLocked()
+}
+
+func (s *Sim) barrierLocked() {
+	maxC := 0.0
+	for _, c := range s.clocks {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	cost := 0.0
+	if len(s.clocks) > 1 {
+		cost = s.M.BarrierLatency * math.Log2(float64(len(s.clocks)))
+	}
+	for i := range s.clocks {
+		s.clocks[i] = maxC + cost
+	}
+	s.cnt.Barriers++
+}
+
+// CoforallSpawn charges launching one task on each locale from locale 0
+// (a coforall + on over the whole machine): a barrier followed by a
+// tree-structured fan-out of remote task launches (depth log2 P). With a
+// single locale only the local task spawn is paid.
+func (s *Sim) CoforallSpawn() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := len(s.clocks)
+	if p == 1 {
+		s.clocks[0] += s.M.TaskSpawn
+		s.cnt.Coforalls++
+		return
+	}
+	s.barrierLocked()
+	depth := math.Ceil(math.Log2(float64(p)))
+	for i := range s.clocks {
+		s.clocks[i] += s.M.RemoteTaskSpawn * depth
+	}
+	s.cnt.Coforalls++
+}
+
+// BeginPhase opens a named bulk-synchronous phase (with an implicit barrier).
+func (s *Sim) BeginPhase(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		s.endPhaseLocked()
+	}
+	s.barrierLocked()
+	s.pStart = s.clocks[0]
+	s.pName = name
+	s.started = true
+}
+
+// EndPhase closes the current phase (with a barrier) and records its
+// makespan.
+func (s *Sim) EndPhase() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		s.endPhaseLocked()
+	}
+}
+
+func (s *Sim) endPhaseLocked() {
+	s.barrierLocked()
+	s.phases = append(s.phases, Phase{Name: s.pName, NS: s.clocks[0] - s.pStart})
+	s.started = false
+}
+
+// Phases returns the recorded phases (closing any open phase first).
+func (s *Sim) Phases() []Phase {
+	s.EndPhase()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Phase(nil), s.phases...)
+}
+
+// PhaseNS returns the total recorded time of all phases with the given name.
+func (s *Sim) PhaseNS(name string) float64 {
+	total := 0.0
+	for _, p := range s.Phases() {
+		if p.Name == name {
+			total += p.NS
+		}
+	}
+	return total
+}
+
+// Elapsed returns the current makespan (maximum locale clock), ns.
+func (s *Sim) Elapsed() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	maxC := 0.0
+	for _, c := range s.clocks {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	return maxC
+}
+
+// ElapsedSeconds returns the current makespan in seconds.
+func (s *Sim) ElapsedSeconds() float64 { return s.Elapsed() / 1e9 }
+
+// Traffic returns a copy of the communication counters.
+func (s *Sim) Traffic() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cnt
+}
+
+// String summarizes the simulator state.
+func (s *Sim) String() string {
+	return fmt.Sprintf("sim{P=%d elapsed=%.3fms msgs=%d bytes=%d}",
+		s.P(), s.Elapsed()/1e6, s.Traffic().Messages, s.Traffic().Bytes)
+}

@@ -1,0 +1,104 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/semiring"
+)
+
+// COO is a coordinate-format triplet builder. It accumulates (row, col, val)
+// entries in any order and converts to CSR, combining duplicates with a
+// caller-supplied binary operator (a "dup" monoid in GraphBLAS terms).
+type COO[T semiring.Number] struct {
+	NRows, NCols int
+	Rows, Cols   []int
+	Vals         []T
+}
+
+// NewCOO returns an empty nrows×ncols triplet builder.
+func NewCOO[T semiring.Number](nrows, ncols int) *COO[T] {
+	return &COO[T]{NRows: nrows, NCols: ncols}
+}
+
+// Append adds one triplet. Bounds are checked at ToCSR time.
+func (c *COO[T]) Append(i, j int, v T) {
+	c.Rows = append(c.Rows, i)
+	c.Cols = append(c.Cols, j)
+	c.Vals = append(c.Vals, v)
+}
+
+// Len returns the number of accumulated triplets (including duplicates).
+func (c *COO[T]) Len() int { return len(c.Rows) }
+
+// ToCSR converts to CSR, sorting by (row, col) and combining duplicate
+// coordinates with dup (for example semiring.Plus to sum them, or
+// semiring.Second to keep the last inserted).
+func (c *COO[T]) ToCSR(dup semiring.BinaryOp[T]) (*CSR[T], error) {
+	for k := range c.Rows {
+		if c.Rows[k] < 0 || c.Rows[k] >= c.NRows {
+			return nil, fmt.Errorf("sparse: coo: row %d out of range [0,%d)", c.Rows[k], c.NRows)
+		}
+		if c.Cols[k] < 0 || c.Cols[k] >= c.NCols {
+			return nil, fmt.Errorf("sparse: coo: col %d out of range [0,%d)", c.Cols[k], c.NCols)
+		}
+	}
+	perm := make([]int, len(c.Rows))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		pa, pb := perm[a], perm[b]
+		if c.Rows[pa] != c.Rows[pb] {
+			return c.Rows[pa] < c.Rows[pb]
+		}
+		return c.Cols[pa] < c.Cols[pb]
+	})
+
+	a := NewCSR[T](c.NRows, c.NCols)
+	a.ColIdx = make([]int, 0, len(c.Rows))
+	a.Val = make([]T, 0, len(c.Rows))
+	counts := make([]int, c.NRows)
+	prevRow, prevCol := -1, -1
+	for _, p := range perm {
+		i, j, v := c.Rows[p], c.Cols[p], c.Vals[p]
+		if i == prevRow && j == prevCol {
+			last := len(a.Val) - 1
+			a.Val[last] = dup(a.Val[last], v)
+			continue
+		}
+		a.ColIdx = append(a.ColIdx, j)
+		a.Val = append(a.Val, v)
+		counts[i]++
+		prevRow, prevCol = i, j
+	}
+	for i := 0; i < c.NRows; i++ {
+		a.RowPtr[i+1] = a.RowPtr[i] + counts[i]
+	}
+	return a, nil
+}
+
+// CSRFromTriplets is a convenience wrapper building a CSR matrix directly
+// from parallel slices, summing duplicates.
+func CSRFromTriplets[T semiring.Number](nrows, ncols int, rows, cols []int, vals []T) (*CSR[T], error) {
+	if len(rows) != len(cols) || len(rows) != len(vals) {
+		return nil, fmt.Errorf("sparse: triplets: mismatched lengths %d/%d/%d",
+			len(rows), len(cols), len(vals))
+	}
+	c := &COO[T]{NRows: nrows, NCols: ncols, Rows: rows, Cols: cols, Vals: vals}
+	return c.ToCSR(semiring.Plus[T])
+}
+
+// ToCOO converts a CSR matrix back to triplets in row-major order.
+func (a *CSR[T]) ToCOO() *COO[T] {
+	c := NewCOO[T](a.NRows, a.NCols)
+	c.Rows = make([]int, 0, a.NNZ())
+	c.Cols = append([]int(nil), a.ColIdx...)
+	c.Vals = append([]T(nil), a.Val...)
+	for i := 0; i < a.NRows; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			c.Rows = append(c.Rows, i)
+		}
+	}
+	return c
+}

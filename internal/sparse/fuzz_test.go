@@ -1,0 +1,68 @@
+package sparse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets for the two parsers: any input must either parse into a
+// structure that passes Validate, or return an error — never panic and never
+// yield a corrupt structure.
+
+func FuzzReadMatrixMarket(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 2.0\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n1 2\n3 1\n")
+	f.Add("%%MatrixMarket matrix coordinate integer general\n1 1 0\n")
+	f.Add("")
+	f.Add("%%MatrixMarket matrix coordinate real general\n-1 5 2\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 9999999999\n1 1 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		a, err := ReadMatrixMarket[float64](strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if verr := a.Validate(); verr != nil {
+			t.Fatalf("parser returned corrupt matrix: %v\ninput: %q", verr, input)
+		}
+	})
+}
+
+func FuzzReadBinaryCSR(f *testing.F) {
+	a := ErdosRenyi[int64](10, 2, 1)
+	var buf bytes.Buffer
+	if err := a.WriteBinary(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add(buf.Bytes()[:8])
+	f.Fuzz(func(t *testing.T, input []byte) {
+		m, err := ReadBinaryCSR[int64](bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		if verr := m.Validate(); verr != nil {
+			t.Fatalf("binary reader returned corrupt matrix: %v", verr)
+		}
+	})
+}
+
+func FuzzReadBinaryVec(f *testing.F) {
+	v := RandomVec[float64](30, 6, 1)
+	var buf bytes.Buffer
+	if err := v.WriteBinary(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("GBLB garbage"))
+	f.Fuzz(func(t *testing.T, input []byte) {
+		w, err := ReadBinaryVec[float64](bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		if verr := w.Validate(); verr != nil {
+			t.Fatalf("binary reader returned corrupt vector: %v", verr)
+		}
+	})
+}

@@ -1,0 +1,215 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+)
+
+func TestErdosRenyiShape(t *testing.T) {
+	n, d := 5000, 8.0
+	a := ErdosRenyi[int64](n, d, 42)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.NRows != n || a.NCols != n {
+		t.Fatal("dims wrong")
+	}
+	// Expected nnz = n*d; allow 5% slack (binomial concentration).
+	want := float64(n) * d
+	got := float64(a.NNZ())
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("nnz = %.0f, want ~%.0f", got, want)
+	}
+	// Row degrees should concentrate: standard deviation ~ sqrt(d).
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		deg := float64(a.RowNNZ(i))
+		sum += deg
+		sumSq += deg * deg
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean-d) > 0.5 {
+		t.Errorf("mean degree = %.2f, want ~%.1f", mean, d)
+	}
+	if variance < d/2 || variance > d*2 {
+		t.Errorf("degree variance = %.2f, want ~%.1f", variance, d)
+	}
+	// Values must be in [1, 100).
+	for _, v := range a.Val {
+		if v < 1 || v >= 100 {
+			t.Fatalf("value %d out of range", v)
+		}
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	a := ErdosRenyi[int32](300, 4, 7)
+	b := ErdosRenyi[int32](300, 4, 7)
+	if !a.Equal(b) {
+		t.Fatal("same seed produced different matrices")
+	}
+	c := ErdosRenyi[int32](300, 4, 8)
+	if a.Equal(c) {
+		t.Fatal("different seeds produced identical matrices")
+	}
+}
+
+func TestErdosRenyiDense(t *testing.T) {
+	// d >= n clamps p to 1: a full matrix.
+	a := ErdosRenyi[int8](20, 25, 1)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != 400 {
+		t.Fatalf("p=1 matrix nnz = %d, want 400", a.NNZ())
+	}
+}
+
+func TestErdosRenyiTiny(t *testing.T) {
+	a := ErdosRenyi[int](1, 0.5, 1)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	empty := ErdosRenyi[int](10, 0, 1)
+	if empty.NNZ() != 0 {
+		t.Fatalf("d=0 nnz = %d, want 0", empty.NNZ())
+	}
+}
+
+func TestRandomVec(t *testing.T) {
+	n, nnz := 10000, 200
+	v := RandomVec[float64](n, nnz, 9)
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if v.NNZ() != nnz {
+		t.Fatalf("nnz = %d, want exactly %d", v.NNZ(), nnz)
+	}
+	if math.Abs(v.Density()-0.02) > 1e-9 {
+		t.Errorf("density = %v, want 0.02", v.Density())
+	}
+	for _, x := range v.Val {
+		if x < 1 || x >= 100 {
+			t.Fatalf("value %v out of range", x)
+		}
+	}
+	// Deterministic.
+	w := RandomVec[float64](n, nnz, 9)
+	if !v.Equal(w) {
+		t.Fatal("same seed produced different vectors")
+	}
+}
+
+func TestRandomVecClamped(t *testing.T) {
+	v := RandomVec[int](5, 100, 3)
+	if v.NNZ() != 5 {
+		t.Fatalf("nnz = %d, want clamped to 5", v.NNZ())
+	}
+	for k, i := range v.Ind {
+		if i != k {
+			t.Fatalf("full vector should hold every index, got %v", v.Ind)
+		}
+	}
+}
+
+func TestRandomBoolDense(t *testing.T) {
+	n := 100000
+	d := RandomBoolDense[int](n, 0.5, 4)
+	ones := 0
+	for _, x := range d.Data {
+		if x != 0 && x != 1 {
+			t.Fatalf("non-boolean value %d", x)
+		}
+		if x == 1 {
+			ones++
+		}
+	}
+	frac := float64(ones) / float64(n)
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("keep fraction = %.3f, want ~0.5", frac)
+	}
+}
+
+func TestRMAT(t *testing.T) {
+	a, err := RMAT[int64](10, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.NRows != 1024 {
+		t.Fatal("dims wrong")
+	}
+	if a.NNZ() == 0 || a.NNZ() > 1024*8 {
+		t.Fatalf("nnz = %d out of expected range", a.NNZ())
+	}
+	// R-MAT must be skewed: max degree far above the mean.
+	maxDeg := 0
+	for i := 0; i < a.NRows; i++ {
+		if a.RowNNZ(i) > maxDeg {
+			maxDeg = a.RowNNZ(i)
+		}
+	}
+	if maxDeg < 3*8 {
+		t.Errorf("max degree %d does not look skewed", maxDeg)
+	}
+}
+
+func TestRing(t *testing.T) {
+	a := Ring[int](5)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != 5 {
+		t.Fatal("ring nnz wrong")
+	}
+	for i := 0; i < 5; i++ {
+		if v, ok := a.Get(i, (i+1)%5); !ok || v != 1 {
+			t.Fatalf("missing edge %d->%d", i, (i+1)%5)
+		}
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	a, err := Grid2D[int](3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Undirected grid: edges = rows*(cols-1) + (rows-1)*cols, stored twice.
+	wantEdges := 2 * (3*3 + 2*4)
+	if a.NNZ() != wantEdges {
+		t.Fatalf("grid nnz = %d, want %d", a.NNZ(), wantEdges)
+	}
+	// Symmetry.
+	if !a.Equal(a.Transpose()) {
+		t.Fatal("grid adjacency not symmetric")
+	}
+	// Corner vertex has exactly 2 neighbors.
+	if a.RowNNZ(0) != 2 {
+		t.Fatalf("corner degree = %d, want 2", a.RowNNZ(0))
+	}
+	// Interior vertex has 4.
+	if a.RowNNZ(1*4+1) != 4 {
+		t.Fatalf("interior degree = %d, want 4", a.RowNNZ(5))
+	}
+}
+
+func TestBinomialDistribution(t *testing.T) {
+	// Large-mean path (normal approximation) and small-mean path must both
+	// produce plausible means.
+	rngTest := func(n int, p float64, label string) {
+		a := ErdosRenyi[int](n, p*float64(n), 99)
+		mean := float64(a.NNZ()) / float64(n)
+		want := p * float64(n)
+		if math.Abs(mean-want)/want > 0.15 {
+			t.Errorf("%s: mean degree %.2f, want ~%.2f", label, mean, want)
+		}
+	}
+	rngTest(2000, 0.002, "small mean")   // mean 4 -> exact path
+	rngTest(2000, 0.03, "moderate mean") // mean 60 -> normal path
+}

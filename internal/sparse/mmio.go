@@ -1,0 +1,113 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/semiring"
+)
+
+// WriteMatrixMarket writes a in MatrixMarket coordinate format
+// ("%%MatrixMarket matrix coordinate real general"), 1-based indices.
+func WriteMatrixMarket[T semiring.Number](w io.Writer, a *CSR[T]) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", a.NRows, a.NCols, a.NNZ()); err != nil {
+		return err
+	}
+	for i := 0; i < a.NRows; i++ {
+		cols, vals := a.Row(i)
+		for k, j := range cols {
+			if _, err := fmt.Fprintf(bw, "%d %d %v\n", i+1, j+1, vals[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket parses a MatrixMarket coordinate file into a CSR matrix,
+// summing duplicate coordinates. Both "real" and "integer" fields are
+// accepted; "pattern" files get unit values.
+func ReadMatrixMarket[T semiring.Number](r io.Reader) (*CSR[T], error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	// Header.
+	if !sc.Scan() {
+		return nil, fmt.Errorf("sparse: mm: empty input")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 3 || !strings.HasPrefix(header[0], "%%matrixmarket") {
+		return nil, fmt.Errorf("sparse: mm: missing %%%%MatrixMarket header")
+	}
+	if header[1] != "matrix" || header[2] != "coordinate" {
+		return nil, fmt.Errorf("sparse: mm: only 'matrix coordinate' files are supported")
+	}
+	pattern := len(header) > 3 && header[3] == "pattern"
+	symmetric := len(header) > 4 && header[4] == "symmetric"
+
+	// Size line (skipping comments).
+	var nrows, ncols, nnz int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &nrows, &ncols, &nnz); err != nil {
+			return nil, fmt.Errorf("sparse: mm: bad size line %q: %w", line, err)
+		}
+		break
+	}
+	if nrows <= 0 || ncols <= 0 {
+		return nil, fmt.Errorf("sparse: mm: bad dimensions %dx%d", nrows, ncols)
+	}
+
+	coo := NewCOO[T](nrows, ncols)
+	read := 0
+	for sc.Scan() && read < nnz {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("sparse: mm: bad entry line %q", line)
+		}
+		i, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("sparse: mm: bad row in %q: %w", line, err)
+		}
+		j, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("sparse: mm: bad col in %q: %w", line, err)
+		}
+		v := 1.0
+		if !pattern {
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("sparse: mm: missing value in %q", line)
+			}
+			v, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("sparse: mm: bad value in %q: %w", line, err)
+			}
+		}
+		coo.Append(i-1, j-1, T(v))
+		if symmetric && i != j {
+			coo.Append(j-1, i-1, T(v))
+		}
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if read < nnz {
+		return nil, fmt.Errorf("sparse: mm: expected %d entries, found %d", nnz, read)
+	}
+	return coo.ToCSR(semiring.Plus[T])
+}

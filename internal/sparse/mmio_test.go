@@ -1,0 +1,116 @@
+package sparse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	a := ErdosRenyi[float64](80, 5, 77)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarket[float64](&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(back) {
+		t.Fatal("round trip differs")
+	}
+}
+
+func TestMatrixMarketIntValues(t *testing.T) {
+	a, _ := CSRFromTriplets(3, 4, []int{0, 2}, []int{1, 3}, []int64{5, -7})
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarket[int64](&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(back) {
+		t.Fatal("integer round trip differs")
+	}
+}
+
+func TestMatrixMarketPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+% a comment
+3 3 2
+1 2
+3 1
+`
+	a, err := ReadMatrixMarket[int64](strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != 2 {
+		t.Fatalf("nnz = %d", a.NNZ())
+	}
+	if v, ok := a.Get(0, 1); !ok || v != 1 {
+		t.Error("pattern entry (0,1) wrong")
+	}
+	if v, ok := a.Get(2, 0); !ok || v != 1 {
+		t.Error("pattern entry (2,0) wrong")
+	}
+}
+
+func TestMatrixMarketSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+3 3 2
+2 1 5.0
+3 3 1.0
+`
+	a, err := ReadMatrixMarket[float64](strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != 3 { // (1,0), (0,1) mirrored, (2,2) diagonal once
+		t.Fatalf("nnz = %d, want 3", a.NNZ())
+	}
+	if v, _ := a.Get(0, 1); v != 5 {
+		t.Error("mirrored entry missing")
+	}
+	if v, _ := a.Get(1, 0); v != 5 {
+		t.Error("original entry missing")
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"bad header":     "hello\n1 1 1\n1 1 2.0\n",
+		"not coordinate": "%%MatrixMarket matrix array real general\n1 1\n2.0\n",
+		"bad size":       "%%MatrixMarket matrix coordinate real general\nx y z\n",
+		"zero dims":      "%%MatrixMarket matrix coordinate real general\n0 0 0\n",
+		"missing value":  "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
+		"bad row":        "%%MatrixMarket matrix coordinate real general\n2 2 1\nx 1 2.0\n",
+		"bad col":        "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 x 2.0\n",
+		"bad value":      "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 x\n",
+		"truncated":      "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 2.0\n",
+		"out of range":   "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 2.0\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadMatrixMarket[float64](strings.NewReader(in)); err == nil {
+			t.Errorf("%s: error not detected", name)
+		}
+	}
+}
+
+func TestMatrixMarketEmptyMatrix(t *testing.T) {
+	a := NewCSR[float64](5, 5)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarket[float64](&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != 0 || back.NRows != 5 {
+		t.Fatal("empty matrix round trip wrong")
+	}
+}

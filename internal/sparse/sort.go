@@ -1,0 +1,200 @@
+package sparse
+
+import (
+	"sort"
+)
+
+// MergeSortInts sorts xs ascending with a parallel merge sort using up to
+// workers goroutines, matching the "parallel merge sort available in Chapel"
+// the paper's SpMSpV uses for its index-sorting step. Stats about the work
+// performed (comparisons, element moves, recursion depth) are returned so the
+// performance model can charge it faithfully.
+func MergeSortInts(xs []int, workers int) SortStats {
+	if workers < 1 {
+		workers = 1
+	}
+	if len(xs) < 2 {
+		return SortStats{}
+	}
+	buf := make([]int, len(xs))
+	sem := make(chan struct{}, workers)
+	return parallelMergeSort(xs, buf, sem, 0)
+}
+
+// SortStats records the work a sorting call performed, for cost accounting.
+type SortStats struct {
+	Comparisons int64
+	Moves       int64
+	Depth       int // recursion depth of the largest chain
+}
+
+func (s SortStats) add(o SortStats) SortStats {
+	d := s.Depth
+	if o.Depth > d {
+		d = o.Depth
+	}
+	return SortStats{
+		Comparisons: s.Comparisons + o.Comparisons,
+		Moves:       s.Moves + o.Moves,
+		Depth:       d + 1,
+	}
+}
+
+const mergeSortCutoff = 2048
+
+// parallelMergeSort sorts xs in place using buf as scratch. The left half is
+// sorted concurrently when a worker slot is free; the result is reported on a
+// per-spawn channel so nested levels synchronize only with their own child.
+func parallelMergeSort(xs, buf []int, sem chan struct{}, depth int) SortStats {
+	n := len(xs)
+	if n <= mergeSortCutoff {
+		sort.Ints(xs)
+		// sort.Ints is introsort: ~n log n comparisons, ~n moves per level.
+		c := int64(n) * log2int64(n)
+		return SortStats{Comparisons: c, Moves: int64(n), Depth: depth}
+	}
+	mid := n / 2
+	var leftStats, rightStats SortStats
+	select {
+	case sem <- struct{}{}:
+		done := make(chan SortStats, 1)
+		go func() {
+			done <- parallelMergeSort(xs[:mid], buf[:mid], sem, depth+1)
+			<-sem
+		}()
+		rightStats = parallelMergeSort(xs[mid:], buf[mid:], sem, depth+1)
+		leftStats = <-done
+	default:
+		leftStats = parallelMergeSort(xs[:mid], buf[:mid], sem, depth+1)
+		rightStats = parallelMergeSort(xs[mid:], buf[mid:], sem, depth+1)
+	}
+	m := mergeInts(xs, mid, buf)
+	st := leftStats.add(rightStats)
+	st.Comparisons += m.Comparisons
+	st.Moves += m.Moves
+	return st
+}
+
+// mergeInts merges the sorted halves xs[:mid] and xs[mid:] using buf.
+func mergeInts(xs []int, mid int, buf []int) SortStats {
+	copy(buf, xs[:mid])
+	left, right := buf[:mid], xs[mid:]
+	i, j, k := 0, 0, 0
+	var comp int64
+	for i < len(left) && j < len(right) {
+		comp++
+		if left[i] <= right[j] {
+			xs[k] = left[i]
+			i++
+		} else {
+			xs[k] = right[j]
+			j++
+		}
+		k++
+	}
+	for i < len(left) {
+		xs[k] = left[i]
+		i++
+		k++
+	}
+	return SortStats{Comparisons: comp, Moves: int64(len(xs))}
+}
+
+// RadixSortInts sorts non-negative xs ascending with an LSD radix sort
+// (8-bit digits), the "less expensive integer sorting algorithm (e.g., radix
+// sort)" the paper expects to reduce the SpMSpV sorting cost. Returns the
+// number of counting passes performed, for cost accounting.
+func RadixSortInts(xs []int) int {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	maxV := xs[0]
+	for _, x := range xs[1:] {
+		if x > maxV {
+			maxV = x
+		}
+	}
+	buf := make([]int, n)
+	src, dst := xs, buf
+	passes := 0
+	var count [256]int
+	for shift := uint(0); maxV>>shift > 0; shift += 8 {
+		for i := range count {
+			count[i] = 0
+		}
+		for _, x := range src {
+			count[(x>>shift)&0xFF]++
+		}
+		sum := 0
+		for i := range count {
+			c := count[i]
+			count[i] = sum
+			sum += c
+		}
+		for _, x := range src {
+			d := (x >> shift) & 0xFF
+			dst[count[d]] = x
+			count[d]++
+		}
+		src, dst = dst, src
+		passes++
+	}
+	if passes%2 == 1 {
+		copy(xs, src)
+	}
+	return passes
+}
+
+// log2int64 returns ceil(log2(n)) for n >= 1 (0 for n <= 1), as int64.
+func log2int64(n int) int64 {
+	var l int64
+	for v := 1; v < n; v <<= 1 {
+		l++
+	}
+	return l
+}
+
+// RadixSortInts32 sorts non-negative int32 values ascending with the same LSD
+// radix approach as RadixSortInts; used for compacted position buffers.
+func RadixSortInts32(xs []int32) int {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	maxV := xs[0]
+	for _, x := range xs[1:] {
+		if x > maxV {
+			maxV = x
+		}
+	}
+	buf := make([]int32, n)
+	src, dst := xs, buf
+	passes := 0
+	var count [256]int
+	for shift := uint(0); maxV>>shift > 0; shift += 8 {
+		for i := range count {
+			count[i] = 0
+		}
+		for _, x := range src {
+			count[(x>>shift)&0xFF]++
+		}
+		sum := 0
+		for i := range count {
+			c := count[i]
+			count[i] = sum
+			sum += c
+		}
+		for _, x := range src {
+			d := (x >> shift) & 0xFF
+			dst[count[d]] = x
+			count[d]++
+		}
+		src, dst = dst, src
+		passes++
+	}
+	if passes%2 == 1 {
+		copy(xs, src)
+	}
+	return passes
+}

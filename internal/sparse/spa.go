@@ -1,0 +1,138 @@
+package sparse
+
+import (
+	"sync/atomic"
+
+	"repro/internal/semiring"
+)
+
+// SPA is the sparse accumulator of Gilbert, Moler and Schreiber: a dense
+// vector of values, a dense vector of Booleans (IsThere) marking which
+// entries have been initialized, and a list of indices (NzInds) for which
+// IsThere has been set. It supports O(1) scatter/accumulate and O(nnz)
+// harvest of the result.
+//
+// This is the sequential variant; AtomicSPA below is the concurrent variant
+// used by the paper's shared-memory SpMSpV, where IsThere is made atomic
+// because multiple threads can visit the same column.
+type SPA[T semiring.Number] struct {
+	Val     []T
+	IsThere []bool
+	NzInds  []int
+}
+
+// NewSPA returns a SPA over index domain [0, n).
+func NewSPA[T semiring.Number](n int) *SPA[T] {
+	return &SPA[T]{
+		Val:     make([]T, n),
+		IsThere: make([]bool, n),
+		NzInds:  make([]int, 0, 64),
+	}
+}
+
+// Scatter accumulates v into position i with op, initializing the position
+// on first touch.
+func (s *SPA[T]) Scatter(i int, v T, op semiring.BinaryOp[T]) {
+	if !s.IsThere[i] {
+		s.IsThere[i] = true
+		s.Val[i] = v
+		s.NzInds = append(s.NzInds, i)
+		return
+	}
+	s.Val[i] = op(s.Val[i], v)
+}
+
+// ScatterFirst records v at position i only if the position was untouched,
+// mirroring the paper's "only keeping the first index" logic.
+func (s *SPA[T]) ScatterFirst(i int, v T) {
+	if !s.IsThere[i] {
+		s.IsThere[i] = true
+		s.Val[i] = v
+		s.NzInds = append(s.NzInds, i)
+	}
+}
+
+// NNZ returns the number of touched positions.
+func (s *SPA[T]) NNZ() int { return len(s.NzInds) }
+
+// Gather produces the sparse result vector (capacity n = len(Val)) with
+// indices sorted, then resets the SPA for reuse. Sorting uses the supplied
+// sort function so callers can choose merge sort vs radix sort (the paper's
+// ablation).
+func (s *SPA[T]) Gather(sortFn func([]int)) *Vec[T] {
+	sortFn(s.NzInds)
+	out := &Vec[T]{
+		N:   len(s.Val),
+		Ind: append([]int(nil), s.NzInds...),
+		Val: make([]T, len(s.NzInds)),
+	}
+	for k, i := range out.Ind {
+		out.Val[k] = s.Val[i]
+	}
+	s.Reset()
+	return out
+}
+
+// Reset clears the touched positions in O(nnz) so the SPA can be reused
+// without reallocating its dense arrays.
+func (s *SPA[T]) Reset() {
+	for _, i := range s.NzInds {
+		s.IsThere[i] = false
+	}
+	s.NzInds = s.NzInds[:0]
+}
+
+// AtomicSPA is the concurrent sparse accumulator the paper's shared-memory
+// SpMSpV uses: IsThere is an atomic Boolean vector so that threads claiming
+// the same column race safely, and the nzinds list is compacted through an
+// atomic fetch-and-add cursor.
+type AtomicSPA[T semiring.Number] struct {
+	Val     []T
+	LocalY  []int64 // the paper's "localy": row id that discovered the column
+	isThere []atomic.Bool
+	NzInds  []int
+	Cursor  atomic.Int64
+}
+
+// NewAtomicSPA returns an atomic SPA over index domain [0, n).
+func NewAtomicSPA[T semiring.Number](n int) *AtomicSPA[T] {
+	return &AtomicSPA[T]{
+		Val:     make([]T, n),
+		LocalY:  make([]int64, n),
+		isThere: make([]atomic.Bool, n),
+		NzInds:  make([]int, n),
+	}
+}
+
+// TryClaim attempts to claim position i for the calling thread. Exactly one
+// caller per position wins; the winner's slot in the compacted index list is
+// reserved with a fetch-and-add, exactly as Listing 7 of the paper does with
+// `nzinds[k.fetchAdd(1)] = colid`.
+func (s *AtomicSPA[T]) TryClaim(i int) bool {
+	if s.isThere[i].Load() {
+		return false
+	}
+	if !s.isThere[i].CompareAndSwap(false, true) {
+		return false
+	}
+	k := s.Cursor.Add(1) - 1
+	s.NzInds[k] = i
+	return true
+}
+
+// Claimed reports whether position i has been claimed.
+func (s *AtomicSPA[T]) Claimed(i int) bool { return s.isThere[i].Load() }
+
+// CompactInds returns the claimed indices (unsorted; length = claim count),
+// mirroring the paper's `nzinds.remove(k.read(), ncol-k.read())`.
+func (s *AtomicSPA[T]) CompactInds() []int {
+	return s.NzInds[:s.Cursor.Load()]
+}
+
+// Reset clears all claimed positions in O(claimed) for reuse.
+func (s *AtomicSPA[T]) Reset() {
+	for _, i := range s.CompactInds() {
+		s.isThere[i].Store(false)
+	}
+	s.Cursor.Store(0)
+}

@@ -1,0 +1,157 @@
+package sparse
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/semiring"
+)
+
+func TestSPAScatterGather(t *testing.T) {
+	s := NewSPA[int](10)
+	s.Scatter(3, 5, semiring.Plus[int])
+	s.Scatter(7, 1, semiring.Plus[int])
+	s.Scatter(3, 2, semiring.Plus[int]) // accumulate
+	if s.NNZ() != 2 {
+		t.Fatalf("nnz = %d, want 2", s.NNZ())
+	}
+	v := s.Gather(func(xs []int) { sort.Ints(xs) })
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if x, _ := v.Get(3); x != 7 {
+		t.Errorf("accumulated value = %d, want 7", x)
+	}
+	if x, _ := v.Get(7); x != 1 {
+		t.Errorf("value = %d, want 1", x)
+	}
+	// Gather resets the SPA.
+	if s.NNZ() != 0 {
+		t.Fatal("gather did not reset")
+	}
+	s.Scatter(1, 4, semiring.Plus[int])
+	v2 := s.Gather(func(xs []int) { sort.Ints(xs) })
+	if v2.NNZ() != 1 {
+		t.Fatalf("reuse after reset broken: nnz=%d", v2.NNZ())
+	}
+	if x, _ := v2.Get(1); x != 4 {
+		t.Fatal("stale value after reset")
+	}
+}
+
+func TestSPAScatterFirst(t *testing.T) {
+	s := NewSPA[int](5)
+	s.ScatterFirst(2, 10)
+	s.ScatterFirst(2, 99) // ignored: first wins
+	v := s.Gather(func(xs []int) { sort.Ints(xs) })
+	if x, _ := v.Get(2); x != 10 {
+		t.Errorf("first-wins value = %d, want 10", x)
+	}
+}
+
+func TestSPAMinAccumulate(t *testing.T) {
+	s := NewSPA[int64](4)
+	s.Scatter(0, 9, semiring.Min[int64])
+	s.Scatter(0, 3, semiring.Min[int64])
+	s.Scatter(0, 7, semiring.Min[int64])
+	v := s.Gather(func(xs []int) { sort.Ints(xs) })
+	if x, _ := v.Get(0); x != 3 {
+		t.Errorf("min accumulate = %d, want 3", x)
+	}
+}
+
+func TestAtomicSPASequential(t *testing.T) {
+	s := NewAtomicSPA[int](8)
+	if !s.TryClaim(3) {
+		t.Fatal("first claim failed")
+	}
+	if s.TryClaim(3) {
+		t.Fatal("second claim of same index succeeded")
+	}
+	if !s.Claimed(3) || s.Claimed(4) {
+		t.Fatal("Claimed wrong")
+	}
+	if !s.TryClaim(5) {
+		t.Fatal("claim of fresh index failed")
+	}
+	inds := s.CompactInds()
+	if len(inds) != 2 {
+		t.Fatalf("compact count = %d, want 2", len(inds))
+	}
+	sort.Ints(inds)
+	if inds[0] != 3 || inds[1] != 5 {
+		t.Fatalf("compact inds = %v", inds)
+	}
+	s.Reset()
+	if s.Claimed(3) || len(s.CompactInds()) != 0 {
+		t.Fatal("reset incomplete")
+	}
+	if !s.TryClaim(3) {
+		t.Fatal("claim after reset failed")
+	}
+}
+
+func TestAtomicSPAConcurrent(t *testing.T) {
+	// Many goroutines hammer overlapping index ranges; every index must be
+	// claimed exactly once and the compacted list must be a permutation of
+	// the claimed set. Run with -race to validate the synchronization.
+	n := 1 << 12
+	s := NewAtomicSPA[int](n)
+	workers := 8
+	var wg sync.WaitGroup
+	claims := make([][]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				idx := (i*7 + w) % n // overlapping strides
+				if s.TryClaim(idx) {
+					claims[w] = append(claims[w], idx)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	totalClaims := 0
+	seen := make([]bool, n)
+	for _, c := range claims {
+		totalClaims += len(c)
+		for _, i := range c {
+			if seen[i] {
+				t.Fatalf("index %d claimed twice", i)
+			}
+			seen[i] = true
+		}
+	}
+	inds := append([]int(nil), s.CompactInds()...)
+	if len(inds) != totalClaims {
+		t.Fatalf("compacted %d inds, but %d claims succeeded", len(inds), totalClaims)
+	}
+	sort.Ints(inds)
+	for k := 1; k < len(inds); k++ {
+		if inds[k] == inds[k-1] {
+			t.Fatalf("duplicate in compacted list: %d", inds[k])
+		}
+	}
+}
+
+func TestSPAGatherWithRadix(t *testing.T) {
+	s := NewSPA[int](100)
+	for _, i := range []int{42, 7, 99, 0, 55} {
+		s.Scatter(i, i*2, semiring.Plus[int])
+	}
+	v := s.Gather(func(xs []int) { RadixSortInts(xs) })
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if v.NNZ() != 5 {
+		t.Fatal("nnz wrong")
+	}
+	for _, i := range []int{0, 7, 42, 55, 99} {
+		if x, ok := v.Get(i); !ok || x != i*2 {
+			t.Fatalf("value at %d = %d,%v", i, x, ok)
+		}
+	}
+}
