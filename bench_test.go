@@ -28,7 +28,10 @@ func benchFigure(b *testing.B, run bench.Runner, picks ...struct {
 	b.Helper()
 	var fig bench.Figure
 	for i := 0; i < b.N; i++ {
-		fig = run(bench.ScaleSmall)
+		var err error
+		if fig, err = run(bench.ScaleSmall); err != nil {
+			b.Fatal(err)
+		}
 	}
 	for _, p := range picks {
 		if v, ok := fig.Get(p.series, p.x); ok {

@@ -22,13 +22,19 @@ import (
 
 func main() {
 	var (
-		figure = flag.String("figure", "all", "figure id (fig1l fig1r fig2l fig2r fig3 fig4 fig5a fig5b fig7a-c fig8a-c fig9a-c fig10) or 'all'")
-		scale  = flag.String("scale", "small", "workload scale: 'paper' (exact sizes, needs ~8 GB) or 'small' (1/10)")
-		format = flag.String("format", "table", "output format: 'table', 'csv', or 'chart' (ASCII log-scale plot)")
-		quiet  = flag.Bool("q", false, "suppress progress messages on stderr")
-		list   = flag.Bool("list", false, "list the available figure ids and exit")
+		figure    = flag.String("figure", "all", "figure id (fig1l fig1r fig2l fig2r fig3 fig4 fig5a fig5b fig7a-c fig8a-c fig9a-c fig10) or 'all'")
+		scale     = flag.String("scale", "small", "workload scale: 'paper' (exact sizes, needs ~8 GB) or 'small' (1/10)")
+		format    = flag.String("format", "table", "output format: 'table', 'csv', or 'chart' (ASCII log-scale plot)")
+		quiet     = flag.Bool("q", false, "suppress progress messages on stderr")
+		list      = flag.Bool("list", false, "list the available figure ids and exit")
+		chaos     = flag.Bool("chaos", false, "run every figure under a deterministic fault plan (message drops, delays, stalls); results are unchanged, modeled times include the recovery cost")
+		chaosSeed = flag.Int64("chaos-seed", 1, "seed of the -chaos fault plan")
 	)
 	flag.Parse()
+
+	if *chaos {
+		bench.EnableChaos(*chaosSeed)
+	}
 
 	if *list {
 		for _, e := range bench.Registry() {
@@ -69,12 +75,18 @@ func main() {
 	}
 
 	csvHeaderDone := false
+	failed := 0
 	for _, e := range runs {
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "gbbench: running %s (scale=%s)...\n", e.ID, sc)
 		}
 		start := time.Now()
-		fig := e.Run(sc)
+		fig, err := e.Run(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gbbench: %s failed: %v\n", e.ID, err)
+			failed++
+			continue
+		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "gbbench: %s done in %.1fs\n", e.ID, time.Since(start).Seconds())
 		}
@@ -94,5 +106,9 @@ func main() {
 		default:
 			fmt.Println(fig.Table())
 		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "gbbench: %d figure(s) failed\n", failed)
+		os.Exit(1)
 	}
 }

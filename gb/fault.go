@@ -1,0 +1,65 @@
+package gb
+
+import (
+	"errors"
+
+	"repro/internal/fault"
+)
+
+// Fault tolerance surface: a Context can carry a deterministic fault plan
+// (message drops, delays, transient stalls, one locale crash). Collectives
+// retry dropped transfers with timeout + exponential backoff, iterative
+// algorithms checkpoint and replay around a locale crash, and the runtime
+// degrades onto the surviving locales — all charged to the modeled clock.
+
+type (
+	// FaultPlan is a deterministic, seedable fault plan (see fault.Plan for
+	// the knobs). The zero value with CrashLocale -1 injects nothing.
+	FaultPlan = fault.Plan
+	// FaultStats counts the faults injected so far.
+	FaultStats = fault.Stats
+	// RetryPolicy governs collective retry timeout/backoff; the zero value
+	// means the library defaults.
+	RetryPolicy = fault.RetryPolicy
+)
+
+// Typed errors, matchable with errors.Is.
+var (
+	// ErrLocaleLost reports a permanent locale crash that could not be
+	// recovered (single-locale runtime, or a second loss).
+	ErrLocaleLost = fault.ErrLocaleLost
+	// ErrRetriesExhausted reports a collective transfer dropped more times
+	// than the retry policy allows.
+	ErrRetriesExhausted = fault.ErrRetriesExhausted
+	// ErrDimensionMismatch reports operands whose shapes do not conform.
+	ErrDimensionMismatch = errors.New("gb: dimension mismatch")
+	// ErrIndexOutOfRange reports a vertex or element index outside the
+	// operand's domain.
+	ErrIndexOutOfRange = errors.New("gb: index out of range")
+)
+
+// WithFaultPlan installs a fault plan on the context: every subsequent
+// operation draws from the plan's deterministic fault sequence. Returns the
+// context for chaining.
+func (c *Context) WithFaultPlan(p FaultPlan) *Context {
+	c.rt.WithFault(p)
+	return c
+}
+
+// WithRetryPolicy overrides the collective retry policy (zero fields fall
+// back to the defaults). Returns the context for chaining.
+func (c *Context) WithRetryPolicy(rp RetryPolicy) *Context {
+	c.rt.Retry = rp
+	return c
+}
+
+// StandardChaosPlan returns the stock chaos plan (2% drops, 5% delays, 1%
+// stalls, no crash), deterministic under seed — what `gbbench -chaos` uses.
+func StandardChaosPlan(seed int64) FaultPlan { return fault.StandardChaos(seed) }
+
+// FaultStats returns the counts of faults injected so far (zero without a
+// plan).
+func (c *Context) FaultStats() FaultStats { return c.rt.Fault.Stats() }
+
+// Retries returns the modeled collective transfer retries performed so far.
+func (c *Context) Retries() int64 { return c.rt.S.Traffic().Retries }

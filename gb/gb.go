@@ -230,6 +230,9 @@ func AssignNaive[T Number](dst, src *Vector[T]) error { return core.Assign1(dst.
 // EWiseMult returns the entries of x whose positions satisfy pred against
 // the dense vector y (the paper's sparse-dense specialization).
 func EWiseMult[T Number](x *Vector[T], y *DenseVector[T], pred Pred[T]) (*Vector[T], error) {
+	if x.v.N != y.d.N {
+		return nil, fmt.Errorf("gb: EWiseMult: vector capacities %d and %d differ: %w", x.v.N, y.d.N, ErrDimensionMismatch)
+	}
 	z, err := core.EWiseMultSD(x.ctx.rt, x.v, y.d, pred)
 	if err != nil {
 		return nil, err
@@ -242,7 +245,7 @@ func EWiseMult[T Number](x *Vector[T], y *DenseVector[T], pred Pred[T]) (*Vector
 // paper's formulation; exactly BFS parents).
 func SpMSpV[T Number](a *Matrix[T], x *Vector[T]) (*Vector[int64], error) {
 	if x.v.N != a.m.NRows {
-		return nil, fmt.Errorf("gb: SpMSpV: vector capacity %d != matrix rows %d", x.v.N, a.m.NRows)
+		return nil, fmt.Errorf("gb: SpMSpV: vector capacity %d != matrix rows %d: %w", x.v.N, a.m.NRows, ErrDimensionMismatch)
 	}
 	y, _ := core.SpMSpVDist(a.ctx.rt, a.m, x.v)
 	return &Vector[int64]{ctx: a.ctx, v: y}, nil
@@ -252,7 +255,7 @@ func SpMSpV[T Number](a *Matrix[T], x *Vector[T]) (*Vector[int64], error) {
 // y[j] = ⊕_i x[i] ⊗ A[i,j].
 func SpMSpVSemiring[T Number](a *Matrix[T], x *Vector[T], sr Semiring[T]) (*Vector[T], error) {
 	if x.v.N != a.m.NRows {
-		return nil, fmt.Errorf("gb: SpMSpVSemiring: vector capacity %d != matrix rows %d", x.v.N, a.m.NRows)
+		return nil, fmt.Errorf("gb: SpMSpVSemiring: vector capacity %d != matrix rows %d: %w", x.v.N, a.m.NRows, ErrDimensionMismatch)
 	}
 	y, _ := core.SpMSpVDistSemiring(a.ctx.rt, a.m, x.v, sr)
 	return &Vector[T]{ctx: a.ctx, v: y}, nil
@@ -268,9 +271,24 @@ func Reduce[T Number](v *Vector[T], m Monoid[T]) T {
 // BFSResult re-exports the BFS output type.
 type BFSResult = algorithms.BFSResult
 
+// checkGraphSource validates the common algorithm preconditions: a square
+// adjacency matrix and a source vertex inside it.
+func checkGraphSource[T Number](op string, a *Matrix[T], source int) error {
+	if a.m.NRows != a.m.NCols {
+		return fmt.Errorf("gb: %s: adjacency matrix is %dx%d, want square: %w", op, a.m.NRows, a.m.NCols, ErrDimensionMismatch)
+	}
+	if source < 0 || source >= a.m.NRows {
+		return fmt.Errorf("gb: %s: source vertex %d outside graph of %d vertices: %w", op, source, a.m.NRows, ErrIndexOutOfRange)
+	}
+	return nil
+}
+
 // BFS runs distributed breadth-first search from source over the adjacency
 // matrix, composed from SpMSpV, eWiseMult and Assign.
 func BFS[T Number](ctx *Context, a *Matrix[T], source int) (*BFSResult, error) {
+	if err := checkGraphSource("BFS", a, source); err != nil {
+		return nil, err
+	}
 	return algorithms.BFSDist(ctx.rt, a.m, source)
 }
 
@@ -278,6 +296,9 @@ func BFS[T Number](ctx *Context, a *Matrix[T], source int) (*BFSResult, error) {
 // semiring) on the distributed graph: each round is one distributed SpMV
 // plus an all-reduce of the convergence flag.
 func SSSP[T Number](a *Matrix[T], source int) ([]T, int, error) {
+	if err := checkGraphSource("SSSP", a, source); err != nil {
+		return nil, 0, err
+	}
 	return algorithms.SSSPDist(a.ctx.rt, a.m, source)
 }
 
@@ -310,6 +331,9 @@ func ApplyMatrix[T Number](a *Matrix[T], op UnaryOp[T]) {
 // EWiseAdd adds two identically distributed sparse vectors over the union of
 // their patterns.
 func EWiseAdd[T Number](x, y *Vector[T], op BinaryOp[T]) (*Vector[T], error) {
+	if x.v.N != y.v.N {
+		return nil, fmt.Errorf("gb: EWiseAdd: vector capacities %d and %d differ: %w", x.v.N, y.v.N, ErrDimensionMismatch)
+	}
 	z, err := core.EWiseAddDist(x.ctx.rt, x.v, y.v, op)
 	if err != nil {
 		return nil, err
@@ -319,6 +343,9 @@ func EWiseAdd[T Number](x, y *Vector[T], op BinaryOp[T]) (*Vector[T], error) {
 
 // EWiseMultSparse intersects two identically distributed sparse vectors.
 func EWiseMultSparse[T Number](x, y *Vector[T], op BinaryOp[T]) (*Vector[T], error) {
+	if x.v.N != y.v.N {
+		return nil, fmt.Errorf("gb: EWiseMultSparse: vector capacities %d and %d differ: %w", x.v.N, y.v.N, ErrDimensionMismatch)
+	}
 	z, err := core.EWiseMultDistSS(x.ctx.rt, x.v, y.v, op)
 	if err != nil {
 		return nil, err
@@ -330,6 +357,9 @@ func EWiseMultSparse[T Number](x, y *Vector[T], op BinaryOp[T]) (*Vector[T], err
 // distributed 2-D algorithm (row-team all-gather, local multiply, column-team
 // reduce).
 func SpMV[T Number](a *Matrix[T], x *DenseVector[T], sr Semiring[T]) (*DenseVector[T], error) {
+	if x.d.N != a.m.NRows {
+		return nil, fmt.Errorf("gb: SpMV: vector capacity %d != matrix rows %d: %w", x.d.N, a.m.NRows, ErrDimensionMismatch)
+	}
 	y, err := core.SpMVDist(a.ctx.rt, a.m, x.d, sr)
 	if err != nil {
 		return nil, err
@@ -373,12 +403,25 @@ func BetweennessCentrality[T Number](a *Matrix[T], sources []int) ([]float64, er
 // untargeted positions are untouched. Updates are routed to owner locales in
 // batches.
 func AssignIndexed[T Number](dst *Vector[T], indices []int, src *Vector[T]) error {
+	if src.v.N != len(indices) {
+		return fmt.Errorf("gb: AssignIndexed: source capacity %d != %d indices: %w", src.v.N, len(indices), ErrDimensionMismatch)
+	}
+	for _, i := range indices {
+		if i < 0 || i >= dst.v.N {
+			return fmt.Errorf("gb: AssignIndexed: index %d outside destination of capacity %d: %w", i, dst.v.N, ErrIndexOutOfRange)
+		}
+	}
 	return core.AssignIndexedDist(dst.ctx.rt, dst.v, indices, src.v)
 }
 
 // Extract returns the subvector v(indices) as a new distributed vector of
 // capacity len(indices).
 func Extract[T Number](v *Vector[T], indices []int) (*Vector[T], error) {
+	for _, i := range indices {
+		if i < 0 || i >= v.v.N {
+			return nil, fmt.Errorf("gb: Extract: index %d outside vector of capacity %d: %w", i, v.v.N, ErrIndexOutOfRange)
+		}
+	}
 	out, err := core.ExtractDist(v.ctx.rt, v.v, indices)
 	if err != nil {
 		return nil, err
@@ -402,6 +445,9 @@ func ReduceRows[T Number](a *Matrix[T], m Monoid[T]) *Vector[T] {
 // MxM multiplies two distributed matrices over a semiring with the sparse
 // SUMMA algorithm (requires a square locale grid).
 func MxM[T Number](a, b *Matrix[T], sr Semiring[T]) (*Matrix[T], error) {
+	if a.m.NCols != b.m.NRows {
+		return nil, fmt.Errorf("gb: MxM: inner dimensions %d and %d differ: %w", a.m.NCols, b.m.NRows, ErrDimensionMismatch)
+	}
 	c, err := core.SpGEMMDist(a.ctx.rt, a.m, b.m, sr)
 	if err != nil {
 		return nil, err
@@ -413,5 +459,8 @@ func MxM[T Number](a, b *Matrix[T], sr Semiring[T]) (*Matrix[T], error) {
 // multiplication (the paper's future-work distributed mask): suppressed
 // vertices never cross the network during the scatter.
 func BFSMasked[T Number](ctx *Context, a *Matrix[T], source int) (*BFSResult, error) {
+	if err := checkGraphSource("BFSMasked", a, source); err != nil {
+		return nil, err
+	}
 	return algorithms.BFSDistMasked(ctx.rt, a.m, source)
 }

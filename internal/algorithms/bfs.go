@@ -77,6 +77,14 @@ func BFSShm[T semiring.Number](a *sparse.CSR[T], source int, cfg core.ShmConfig)
 // the tentative next frontier with parents, EWiseMultSD against the visited
 // flags drops already-discovered vertices, and Assign2 installs the new
 // frontier.
+//
+// Because the SpMSpV rounds charge fine-grained traffic (no collective
+// reports a crash mid-round), a permanent locale loss is detected at the
+// round boundary — the bulk-synchronous failure-at-barrier model. Under a
+// fault plan the frontier, visited flags and result arrays are snapshotted
+// every CheckpointInterval rounds; detection degrades the runtime onto the
+// survivors, rolls back to the last checkpoint and replays, reproducing the
+// fault-free result bit for bit.
 func BFSDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], source int) (*BFSResult, error) {
 	if a.NRows != a.NCols {
 		return nil, fmt.Errorf("algorithms: BFSDist: adjacency matrix must be square, got %dx%d", a.NRows, a.NCols)
@@ -102,7 +110,44 @@ func BFSDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], source int) 
 	notVisited.Set(source, 0)
 	res.Level[source] = 0
 
+	var ckptFrontier *sparse.Vec[T]
+	var ckptNotVisited *sparse.Dense[int64]
+	var ckptLevel, ckptParent []int64
+	ckptRounds := 0
+	recovered := false
+	snapshot := func() {
+		ckptFrontier = frontier.ToVec()
+		ckptNotVisited = notVisited.ToDense()
+		ckptLevel = append(ckptLevel[:0], res.Level...)
+		ckptParent = append(ckptParent[:0], res.Parent...)
+		ckptRounds = res.Rounds
+		chargeCheckpoint(rt, int64(n)*8)
+	}
+	if rt.Fault != nil {
+		snapshot()
+	}
+
 	for level := int64(1); frontier.NNZ() > 0; level++ {
+		if rt.Fault != nil {
+			if d := rt.DownLocale(); d >= 0 && !recovered {
+				recovered = true
+				na, err := core.RecoverRedistribute(rt, a, d)
+				if err != nil {
+					return nil, err
+				}
+				a = na
+				frontier = dist.SpVecFromVec(rt, ckptFrontier)
+				notVisited = dist.DenseVecFromDense(rt, ckptNotVisited)
+				copy(res.Level, ckptLevel)
+				copy(res.Parent, ckptParent)
+				res.Rounds = ckptRounds
+				level = int64(res.Rounds) // the for-post ++ resumes the next round
+				continue
+			}
+			if res.Rounds > ckptRounds && res.Rounds%CheckpointInterval == 0 {
+				snapshot()
+			}
+		}
 		y, _ := core.SpMSpVDist(rt, a, frontier)
 		// Keep only vertices not yet visited. The parents vector y carries
 		// int64 values; mask it against the visited flags.
@@ -183,7 +228,44 @@ func BFSDistMasked[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], source
 	visited.Set(source, 1)
 	res.Level[source] = 0
 
+	var ckptFrontier *sparse.Vec[T]
+	var ckptVisited *sparse.Dense[int64]
+	var ckptLevel, ckptParent []int64
+	ckptRounds := 0
+	recovered := false
+	snapshot := func() {
+		ckptFrontier = frontier.ToVec()
+		ckptVisited = visited.ToDense()
+		ckptLevel = append(ckptLevel[:0], res.Level...)
+		ckptParent = append(ckptParent[:0], res.Parent...)
+		ckptRounds = res.Rounds
+		chargeCheckpoint(rt, int64(n)*8)
+	}
+	if rt.Fault != nil {
+		snapshot()
+	}
+
 	for level := int64(1); frontier.NNZ() > 0; level++ {
+		if rt.Fault != nil {
+			if d := rt.DownLocale(); d >= 0 && !recovered {
+				recovered = true
+				na, err := core.RecoverRedistribute(rt, a, d)
+				if err != nil {
+					return nil, err
+				}
+				a = na
+				frontier = dist.SpVecFromVec(rt, ckptFrontier)
+				visited = dist.DenseVecFromDense(rt, ckptVisited)
+				copy(res.Level, ckptLevel)
+				copy(res.Parent, ckptParent)
+				res.Rounds = ckptRounds
+				level = int64(res.Rounds)
+				continue
+			}
+			if res.Rounds > ckptRounds && res.Rounds%CheckpointInterval == 0 {
+				snapshot()
+			}
+		}
 		fresh, _ := core.SpMSpVDistMasked(rt, a, frontier, visited)
 		if fresh.NNZ() == 0 {
 			break

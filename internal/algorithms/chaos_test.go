@@ -1,0 +1,218 @@
+package algorithms
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/fault"
+	"repro/internal/locale"
+	"repro/internal/sparse"
+)
+
+// Chaos acceptance suite: under a seeded fault plan injecting drops, delays,
+// stalls and one permanent locale crash, every distributed algorithm must
+// produce results bitwise-identical to its fault-free run, the modeled
+// elapsed time must strictly increase (faults cost time), and exactly one
+// crash must fire and be recovered from.
+
+// chaosPlan injects drops, delays, stalls and a crash of locale 4 early in
+// the run (the step counter advances on every collective attempt and charged
+// transfer, so step 25 lands mid-algorithm for all four algorithms).
+func chaosPlan() fault.Plan {
+	return fault.Plan{
+		Seed:        99,
+		DropProb:    0.05,
+		DelayProb:   0.10,
+		DelayNS:     100_000,
+		StallProb:   0.02,
+		StallNS:     500_000,
+		CrashLocale: 4,
+		CrashStep:   25,
+	}
+}
+
+// checkChaos verifies the shared acceptance conditions after a faulted run.
+func checkChaos(t *testing.T, clean, chaotic *locale.Runtime) {
+	t.Helper()
+	st := chaotic.Fault.Stats()
+	if st.Crashes != 1 {
+		t.Errorf("crashes = %d, want exactly 1 (tune CrashStep if the run ended early)", st.Crashes)
+	}
+	if st.Steps == 0 {
+		t.Error("fault injector never consulted")
+	}
+	if chaotic.S.Elapsed() <= clean.S.Elapsed() {
+		t.Errorf("faulted run (%.0fns) must be strictly slower than fault-free (%.0fns)",
+			chaotic.S.Elapsed(), clean.S.Elapsed())
+	}
+	if chaotic.G.Host == nil {
+		t.Error("locale loss was never recovered (no adoption recorded)")
+	}
+}
+
+func TestChaosBFSDistBitwiseIdentical(t *testing.T) {
+	a0 := sparse.ErdosRenyi[int64](150, 5, 71)
+	clean := newRT(t, 6)
+	want, err := BFSDist(clean, dist.MatFromCSR(clean, a0), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	chaotic := newRT(t, 6).WithFault(chaosPlan())
+	got, err := BFSDist(chaotic, dist.MatFromCSR(chaotic, a0), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rounds != want.Rounds {
+		t.Errorf("rounds = %d, want %d", got.Rounds, want.Rounds)
+	}
+	for v := range want.Level {
+		if got.Level[v] != want.Level[v] || got.Parent[v] != want.Parent[v] {
+			t.Fatalf("vertex %d: (level %d, parent %d), want (%d, %d)",
+				v, got.Level[v], got.Parent[v], want.Level[v], want.Parent[v])
+		}
+	}
+	checkChaos(t, clean, chaotic)
+}
+
+func TestChaosBFSDistMaskedBitwiseIdentical(t *testing.T) {
+	a0 := sparse.ErdosRenyi[int64](150, 5, 73)
+	clean := newRT(t, 6)
+	want, err := BFSDistMasked(clean, dist.MatFromCSR(clean, a0), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	chaotic := newRT(t, 6).WithFault(chaosPlan())
+	got, err := BFSDistMasked(chaotic, dist.MatFromCSR(chaotic, a0), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rounds != want.Rounds {
+		t.Errorf("rounds = %d, want %d", got.Rounds, want.Rounds)
+	}
+	for v := range want.Level {
+		if got.Level[v] != want.Level[v] || got.Parent[v] != want.Parent[v] {
+			t.Fatalf("vertex %d: (level %d, parent %d), want (%d, %d)",
+				v, got.Level[v], got.Parent[v], want.Level[v], want.Parent[v])
+		}
+	}
+	checkChaos(t, clean, chaotic)
+}
+
+func TestChaosSSSPDistBitwiseIdentical(t *testing.T) {
+	a0 := sparse.ErdosRenyi[float64](140, 5, 75)
+	clean := newRT(t, 6)
+	want, wantRounds, err := SSSPDist(clean, dist.MatFromCSR(clean, a0), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	chaotic := newRT(t, 6).WithFault(chaosPlan())
+	got, rounds, err := SSSPDist(chaotic, dist.MatFromCSR(chaotic, a0), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != wantRounds {
+		t.Errorf("rounds = %d, want %d", rounds, wantRounds)
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("dist[%d] = %v, want bitwise-identical %v", v, got[v], want[v])
+		}
+	}
+	checkChaos(t, clean, chaotic)
+}
+
+func TestChaosPageRankDistBitwiseIdentical(t *testing.T) {
+	a0 := sparse.ErdosRenyi[float64](120, 4, 77)
+	clean := newRT(t, 6)
+	want, wantIters, err := PageRankDist(clean, dist.MatFromCSR(clean, a0), 0.85, 1e-8, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	chaotic := newRT(t, 6).WithFault(chaosPlan())
+	got, iters, err := PageRankDist(chaotic, dist.MatFromCSR(chaotic, a0), 0.85, 1e-8, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters != wantIters {
+		t.Errorf("iters = %d, want %d", iters, wantIters)
+	}
+	for v := range want {
+		// Floating point, compared with == on purpose: replay preserves the
+		// layout and reduction order, so recovery must be exact to the bit.
+		if got[v] != want[v] {
+			t.Fatalf("rank[%d] = %v, want bitwise-identical %v", v, got[v], want[v])
+		}
+	}
+	checkChaos(t, clean, chaotic)
+}
+
+func TestChaosCCDistBitwiseIdentical(t *testing.T) {
+	a0 := sparse.ErdosRenyi[int64](130, 3, 79)
+	clean := newRT(t, 6)
+	want, wantComps, err := CCDist(clean, dist.MatFromCSR(clean, a0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	chaotic := newRT(t, 6).WithFault(chaosPlan())
+	got, comps, err := CCDist(chaotic, dist.MatFromCSR(chaotic, a0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comps != wantComps {
+		t.Errorf("components = %d, want %d", comps, wantComps)
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("label[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+	checkChaos(t, clean, chaotic)
+}
+
+func TestChaosRetriesExhaustedSurfaces(t *testing.T) {
+	// Every collective attempt drops: the retry budget runs out and the error
+	// must reach the caller as ErrRetriesExhausted, not hang or panic.
+	a0 := sparse.ErdosRenyi[int64](60, 4, 81)
+	rt := newRT(t, 4).WithFault(fault.Plan{Seed: 2, DropProb: 1, CrashLocale: -1})
+	rt.Retry = fault.RetryPolicy{MaxAttempts: 4}
+	_, _, err := SSSPDist(rt, dist.MatFromCSR(rt, a0), 0)
+	if !errors.Is(err, fault.ErrRetriesExhausted) {
+		t.Fatalf("SSSPDist error = %v, want ErrRetriesExhausted", err)
+	}
+	var re *fault.RetryError
+	if !errors.As(err, &re) || re.Attempts != 4 {
+		t.Fatalf("error should carry the attempt count, got %v", err)
+	}
+}
+
+func TestChaosDelaysOnlyKeepsResultsAndSlowsDown(t *testing.T) {
+	// The crash-free StandardChaos plan: results identical, time strictly up.
+	a0 := sparse.ErdosRenyi[int64](150, 5, 83)
+	clean := newRT(t, 6)
+	want, err := BFSDist(clean, dist.MatFromCSR(clean, a0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaotic := newRT(t, 6).WithFault(fault.StandardChaos(7))
+	got, err := BFSDist(chaotic, dist.MatFromCSR(chaotic, a0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want.Level {
+		if got.Level[v] != want.Level[v] {
+			t.Fatalf("level[%d] = %d, want %d", v, got.Level[v], want.Level[v])
+		}
+	}
+	if chaotic.S.Elapsed() <= clean.S.Elapsed() {
+		t.Error("chaos run should be strictly slower")
+	}
+	if chaotic.Fault.Stats().Crashes != 0 {
+		t.Error("StandardChaos must not crash locales")
+	}
+}

@@ -1,0 +1,35 @@
+package algorithms
+
+import (
+	"errors"
+
+	"repro/internal/fault"
+	"repro/internal/locale"
+)
+
+// CheckpointInterval is the number of algorithm rounds between state
+// snapshots when a fault plan is installed on the runtime. Fault-free runs
+// take no checkpoints at all, so the paper's figures are unaffected by the
+// fault-tolerance machinery. Exported so the chaos benchmarks can tune the
+// cadence.
+var CheckpointInterval = 4
+
+// lostLocale extracts the crashed locale from err, or -1 when err does not
+// report a permanent locale loss.
+func lostLocale(err error) int {
+	var ll *fault.LocaleLostError
+	if errors.As(err, &ll) {
+		return ll.Locale
+	}
+	return -1
+}
+
+// chargeCheckpoint charges every locale the bulk write of its share of a
+// totalBytes-sized state snapshot to node-local storage.
+func chargeCheckpoint(rt *locale.Runtime, totalBytes int64) {
+	per := totalBytes / int64(rt.G.P)
+	t := rt.S.BulkTime(per, true)
+	for l := 0; l < rt.G.P; l++ {
+		rt.S.Advance(l, t)
+	}
+}

@@ -12,6 +12,16 @@ import (
 	"repro/internal/sparse"
 )
 
+// The distributed iterative algorithms in this file are fault tolerant: when
+// a fault plan is installed they snapshot their iteration state every
+// CheckpointInterval rounds, and on a permanent locale loss (surfaced by the
+// collectives as fault.ErrLocaleLost) they degrade the runtime onto the
+// survivors (core.RecoverRedistribute), roll back to the last checkpoint and
+// replay. Because the logical grid shape — and with it every data layout and
+// reduction order — is preserved across the loss, the replayed computation
+// reproduces the fault-free results bit for bit; only the modeled clock shows
+// the failure.
+
 // SSSPDist runs Bellman–Ford single-source shortest paths over a 2-D
 // block-distributed matrix: each round is one distributed SpMV over the
 // (min, +) semiring followed by an elementwise min with the current
@@ -30,11 +40,42 @@ func SSSPDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], source int)
 	d0.Data[source] = 0
 	dcur := dist.DenseVecFromDense(rt, d0)
 
+	ckptD := append([]T(nil), d0.Data...)
+	ckptIter, ckptRounds := 0, 0
+	recovered := false
 	rounds := 0
+
+	// restore recovers from a locale loss and rolls the iteration state back
+	// to the last checkpoint; any other error (or a second loss) propagates.
+	restore := func(err error) error {
+		lost := lostLocale(err)
+		if lost < 0 || recovered {
+			return err
+		}
+		recovered = true
+		na, rerr := core.RecoverRedistribute(rt, a, lost)
+		if rerr != nil {
+			return rerr
+		}
+		a = na
+		dcur = dist.DenseVecFromDense(rt, &sparse.Dense[T]{Data: ckptD})
+		rounds = ckptRounds
+		return nil
+	}
+
 	for iter := 0; iter < n-1; iter++ {
+		if rt.Fault != nil && iter%CheckpointInterval == 0 {
+			ckptD = append(ckptD[:0], dcur.ToDense().Data...)
+			ckptIter, ckptRounds = iter, rounds
+			chargeCheckpoint(rt, int64(n)*8)
+		}
 		relaxed, err := core.SpMVDist(rt, a, dcur, sr)
 		if err != nil {
-			return nil, 0, err
+			if err = restore(err); err != nil {
+				return nil, 0, err
+			}
+			iter = ckptIter - 1
+			continue
 		}
 		// Elementwise min per locale, tracking change flags.
 		changedFlags := make([]int64, rt.G.P)
@@ -49,7 +90,15 @@ func SSSPDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], source int)
 			}
 		})
 		rounds++
-		if comm.AllReduce(rt, changedFlags, semiring.MaxMonoid[int64]()) == 0 {
+		changed, err := comm.AllReduce(rt, changedFlags, semiring.MaxMonoid[int64]())
+		if err != nil {
+			if err = restore(err); err != nil {
+				return nil, 0, err
+			}
+			iter = ckptIter - 1
+			continue
+		}
+		if changed == 0 {
 			break
 		}
 	}
@@ -91,8 +140,33 @@ func PageRankDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], d, tol 
 	for i := range r {
 		r[i] = 1 / float64(n)
 	}
+	ckptR := append([]float64(nil), r...)
+	ckptIter, ckptIters := 0, 0
+	recovered := false
 	iters := 0
+
+	restore := func(err error) error {
+		lost := lostLocale(err)
+		if lost < 0 || recovered {
+			return err
+		}
+		recovered = true
+		npm, rerr := core.RecoverRedistribute(rt, pm, lost)
+		if rerr != nil {
+			return rerr
+		}
+		pm = npm
+		r = append(r[:0], ckptR...)
+		iters = ckptIters
+		return nil
+	}
+
 	for iter := 0; iter < maxIter; iter++ {
+		if rt.Fault != nil && iter%CheckpointInterval == 0 {
+			ckptR = append(ckptR[:0], r...)
+			ckptIter, ckptIters = iter, iters
+			chargeCheckpoint(rt, int64(n)*8)
+		}
 		iters++
 		x := make([]float64, n)
 		danglingParts := make([]float64, rt.G.P)
@@ -103,11 +177,22 @@ func PageRankDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], d, tol 
 				danglingParts[locale.OwnerOf(n, rt.G.P, i)] += r[i]
 			}
 		}
-		dangling := comm.AllReduce(rt, danglingParts, semiring.PlusMonoid[float64]())
+		dangling, err := comm.AllReduce(rt, danglingParts, semiring.PlusMonoid[float64]())
+		if err != nil {
+			if err = restore(err); err != nil {
+				return nil, 0, err
+			}
+			iter = ckptIter - 1
+			continue
+		}
 		xd := dist.DenseVecFromDense(rt, &sparse.Dense[float64]{Data: x})
 		spread, err := core.SpMVDist(rt, pm, xd, sr)
 		if err != nil {
-			return nil, 0, err
+			if err = restore(err); err != nil {
+				return nil, 0, err
+			}
+			iter = ckptIter - 1
+			continue
 		}
 		sd := spread.ToDense().Data
 		base := (1-d)/float64(n) + d*dangling/float64(n)
@@ -118,7 +203,15 @@ func PageRankDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], d, tol 
 			deltaParts[locale.OwnerOf(n, rt.G.P, i)] += math.Abs(next[i] - r[i])
 		}
 		r = next
-		if comm.AllReduce(rt, deltaParts, semiring.PlusMonoid[float64]()) < tol {
+		delta, err := comm.AllReduce(rt, deltaParts, semiring.PlusMonoid[float64]())
+		if err != nil {
+			if err = restore(err); err != nil {
+				return nil, 0, err
+			}
+			iter = ckptIter - 1
+			continue
+		}
+		if delta < tol {
 			break
 		}
 	}
@@ -155,13 +248,41 @@ func CCDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T]) ([]int64, int
 	for i := range labels {
 		labels[i] = int64(i)
 	}
+	ckptL := append([]int64(nil), labels...)
+	ckptRounds := 0
+	recovered := false
 	rounds := 0
+
+	restore := func(err error) error {
+		lost := lostLocale(err)
+		if lost < 0 || recovered {
+			return err
+		}
+		recovered = true
+		npm, rerr := core.RecoverRedistribute(rt, pm, lost)
+		if rerr != nil {
+			return rerr
+		}
+		pm = npm
+		labels = append(labels[:0], ckptL...)
+		rounds = ckptRounds
+		return nil
+	}
+
 	for {
+		if rt.Fault != nil && rounds%CheckpointInterval == 0 {
+			ckptL = append(ckptL[:0], labels...)
+			ckptRounds = rounds
+			chargeCheckpoint(rt, int64(n)*8)
+		}
 		rounds++
 		ld := dist.DenseVecFromDense(rt, &sparse.Dense[int64]{Data: labels})
 		prop, err := core.SpMVDist(rt, pm, ld, sr)
 		if err != nil {
-			return nil, 0, err
+			if err = restore(err); err != nil {
+				return nil, 0, err
+			}
+			continue
 		}
 		pd := prop.ToDense().Data
 		changedParts := make([]int64, rt.G.P)
@@ -171,7 +292,14 @@ func CCDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T]) ([]int64, int
 				changedParts[locale.OwnerOf(n, rt.G.P, i)] = 1
 			}
 		}
-		if comm.AllReduce(rt, changedParts, semiring.MaxMonoid[int64]()) == 0 {
+		changed, err := comm.AllReduce(rt, changedParts, semiring.MaxMonoid[int64]())
+		if err != nil {
+			if err = restore(err); err != nil {
+				return nil, 0, err
+			}
+			continue
+		}
+		if changed == 0 {
 			break
 		}
 	}

@@ -17,7 +17,7 @@ import (
 // AblGather compares the fine-grained element-wise gather/scatter of the
 // paper's SpMSpV (Listing 8) with the bulk-synchronous batched communication
 // its §IV recommends, on the Fig 8 workload (ER n=1M, d=16, f=2%).
-func AblGather(scale Scale) Figure {
+func AblGather(scale Scale) (Figure, error) {
 	c := spmspvScaled(scale, fig7Configs[0])
 	a0 := sparse.ErdosRenyi[int64](c.n, c.d, 901)
 	x0 := sparse.RandomVec[int64](c.n, int(float64(c.n)*c.f), 902)
@@ -28,25 +28,30 @@ func AblGather(scale Scale) Figure {
 		YLabel: "time",
 	}
 	for _, p := range nodeSweep {
-		rt := newRT(p, 24)
+		rt, err := newRT(p, 24)
+		if err != nil {
+			return fig, err
+		}
 		a := dist.MatFromCSR(rt, a0)
 		x := dist.SpVecFromVec(rt, x0)
 		_, _ = core.SpMSpVDist(rt, a, x)
 		fig.Points = append(fig.Points, Point{"fine-grained", p, rt.S.ElapsedSeconds()})
 
-		rt = newRT(p, 24)
+		if rt, err = newRT(p, 24); err != nil {
+			return fig, err
+		}
 		a = dist.MatFromCSR(rt, a0)
 		x = dist.SpVecFromVec(rt, x0)
 		_, _ = core.SpMSpVDistBulk(rt, a, x)
 		fig.Points = append(fig.Points, Point{"bulk-synchronous", p, rt.S.ElapsedSeconds()})
 	}
-	return fig
+	return fig, nil
 }
 
 // AblSort compares merge sort (the paper's choice) with radix sort (the
 // "less expensive integer sorting algorithm" it expects to win) inside the
 // shared-memory SpMSpV.
-func AblSort(scale Scale) Figure {
+func AblSort(scale Scale) (Figure, error) {
 	c := spmspvScaled(scale, fig7Configs[0])
 	a := sparse.ErdosRenyi[int64](c.n, c.d, 903)
 	x := sparse.RandomVec[int64](c.n, int(float64(c.n)*c.f), 904)
@@ -61,19 +66,22 @@ func AblSort(scale Scale) Figure {
 			name string
 			k    core.SortKind
 		}{{"merge sort", core.MergeSort}, {"radix sort", core.RadixSort}} {
-			rt := newRT(1, th)
+			rt, err := newRT(1, th)
+			if err != nil {
+				return fig, err
+			}
 			_, _ = core.SpMSpVShm(a, x, core.ShmConfig{
 				Threads: th, Sort: kind.k, Sim: rt.S, Loc: 0, Phased: true,
 			})
 			fig.Points = append(fig.Points, Point{kind.name, th, rt.S.PhaseNS("Sorting") / 1e9})
 		}
 	}
-	return fig
+	return fig, nil
 }
 
 // AblAtomic compares the paper's atomic-compaction eWiseMult with the
 // thread-private-buffer + prefix-sum organization it sketches as the fix.
-func AblAtomic(scale Scale) Figure {
+func AblAtomic(scale Scale) (Figure, error) {
 	nnz := scaled(scale, 10_000_000)
 	x0 := randomVec(nnz, 905)
 	y0 := sparse.RandomBoolDense[int64](x0.N, 0.5, 906)
@@ -84,27 +92,34 @@ func AblAtomic(scale Scale) Figure {
 		YLabel: "time",
 	}
 	for _, th := range threadSweep {
-		rt := newRT(1, th)
+		rt, err := newRT(1, th)
+		if err != nil {
+			return fig, err
+		}
 		x := dist.SpVecFromVec(rt, x0)
 		y := dist.DenseVecFromDense(rt, y0)
-		_, err := core.EWiseMultSD(rt, x, y, keepTrue)
-		mustNil(err)
+		if _, err := core.EWiseMultSD(rt, x, y, keepTrue); err != nil {
+			return fig, err
+		}
 		fig.Points = append(fig.Points, Point{"atomic", th, rt.S.ElapsedSeconds()})
 
-		rt = newRT(1, th)
+		if rt, err = newRT(1, th); err != nil {
+			return fig, err
+		}
 		x = dist.SpVecFromVec(rt, x0)
 		y = dist.DenseVecFromDense(rt, y0)
-		_, err = core.EWiseMultSDNoAtomic(rt, x, y, keepTrue)
-		mustNil(err)
+		if _, err := core.EWiseMultSDNoAtomic(rt, x, y, keepTrue); err != nil {
+			return fig, err
+		}
 		fig.Points = append(fig.Points, Point{"no-atomic", th, rt.S.ElapsedSeconds()})
 	}
-	return fig
+	return fig, nil
 }
 
 // AblGrid compares the 2-D processor grid (the paper's choice, citing its
 // scalability) with 1-D row and 1-D column distributions for the distributed
 // SpMSpV communication.
-func AblGrid(scale Scale) Figure {
+func AblGrid(scale Scale) (Figure, error) {
 	c := spmspvScaled(scale, fig7Configs[0])
 	a0 := sparse.ErdosRenyi[int64](c.n, c.d, 907)
 	x0 := sparse.RandomVec[int64](c.n, int(float64(c.n)*c.f), 908)
@@ -125,13 +140,15 @@ func AblGrid(scale Scale) Figure {
 	for _, p := range nodeSweep {
 		for _, s := range shapes {
 			g, err := s.shape(p)
-			mustNil(err)
-			rt := locale.NewWithGrid(machine.Edison(), g, 24)
+			if err != nil {
+				return fig, err
+			}
+			rt := applyChaos(locale.NewWithGrid(machine.Edison(), g, 24))
 			a := dist.MatFromCSR(rt, a0)
 			x := dist.SpVecFromVec(rt, x0)
 			_, _ = core.SpMSpVDist(rt, a, x)
 			fig.Points = append(fig.Points, Point{s.name, p, rt.S.ElapsedSeconds()})
 		}
 	}
-	return fig
+	return fig, nil
 }

@@ -44,8 +44,10 @@ type Figure struct {
 	Points []Point
 }
 
-// Runner produces a figure at a given scale.
-type Runner func(scale Scale) Figure
+// Runner produces a figure at a given scale. A non-nil error means the
+// figure could not be regenerated (for example, a fault plan in -chaos mode
+// exceeded the retry budget); the partial figure accompanies it.
+type Runner func(scale Scale) (Figure, error)
 
 // Registry maps figure ids to runners, in presentation order.
 func Registry() []struct {

@@ -16,6 +16,17 @@ func skipShort(t *testing.T) {
 	}
 }
 
+
+// runFig runs a figure and fails the test on error.
+func runFig(t *testing.T, r Runner) Figure {
+	t.Helper()
+	f, err := r(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
 func TestRegistryAndLookup(t *testing.T) {
 	reg := Registry()
 	if len(reg) != 22 {
@@ -36,7 +47,7 @@ func TestRegistryAndLookup(t *testing.T) {
 
 func TestFig1LeftShape(t *testing.T) {
 	skipShort(t)
-	f := Fig1Left(ScaleSmall)
+	f := runFig(t, Fig1Left)
 	// Both variants scale near-linearly in shared memory.
 	for _, s := range []string{"Apply1", "Apply2"} {
 		t1, ok1 := f.Get(s, 1)
@@ -52,7 +63,7 @@ func TestFig1LeftShape(t *testing.T) {
 
 func TestFig1RightShape(t *testing.T) {
 	skipShort(t)
-	f := Fig1Right(ScaleSmall)
+	f := runFig(t, Fig1Right)
 	// Apply1 is orders of magnitude slower and does not scale; Apply2 scales.
 	a1, _ := f.Get("Apply1", 64)
 	a2, _ := f.Get("Apply2", 64)
@@ -73,7 +84,7 @@ func TestFig1RightShape(t *testing.T) {
 }
 
 func TestFig2Shape(t *testing.T) {
-	l := Fig2Left(ScaleSmall)
+	l := runFig(t, Fig2Left)
 	a1, _ := l.Get("Assign1", 1)
 	a2, _ := l.Get("Assign2", 1)
 	if r := a1 / a2; r < 5 || r > 40 {
@@ -87,7 +98,7 @@ func TestFig2Shape(t *testing.T) {
 			t.Errorf("%s speedup at 32 threads = %.1f, want the paper's modest 5-8x", s, sp)
 		}
 	}
-	r := Fig2Right(ScaleSmall)
+	r := runFig(t, Fig2Right)
 	d1, _ := r.Get("Assign1", 16)
 	d2, _ := r.Get("Assign2", 16)
 	if d1 < 20*d2 {
@@ -97,7 +108,7 @@ func TestFig2Shape(t *testing.T) {
 
 func TestFig3Shape(t *testing.T) {
 	skipShort(t)
-	f := Fig3(ScaleSmall)
+	f := runFig(t, Fig3)
 	series := f.SeriesOf()
 	if len(series) != 2 {
 		t.Fatalf("series = %v", series)
@@ -118,7 +129,7 @@ func TestFig3Shape(t *testing.T) {
 
 func TestFig4Shape(t *testing.T) {
 	skipShort(t)
-	f := Fig4(ScaleSmall)
+	f := runFig(t, Fig4)
 	series := f.SeriesOf()
 	if len(series) != 3 {
 		t.Fatalf("series = %v", series)
@@ -140,7 +151,7 @@ func TestFig4Shape(t *testing.T) {
 
 func TestFig5Shape(t *testing.T) {
 	skipShort(t)
-	b := Fig5AllThreads(ScaleSmall)
+	b := runFig(t, Fig5AllThreads)
 	series := b.SeriesOf()
 	big := series[1]
 	t1, _ := b.Get(big, 1)
@@ -155,7 +166,7 @@ func TestFig5Shape(t *testing.T) {
 		t.Errorf("small distributed eWiseMult scaled %.1fx; insufficient work should cap it", s1/s64)
 	}
 	// 1-thread-per-node variant exists and is slower at 1 node than 24t.
-	a := Fig5OneThread(ScaleSmall)
+	a := runFig(t, Fig5OneThread)
 	a1, _ := a.Get(big, 1)
 	b1, _ := b.Get(big, 1)
 	if a1 <= b1 {
@@ -164,7 +175,7 @@ func TestFig5Shape(t *testing.T) {
 }
 
 func TestFig7Shape(t *testing.T) {
-	f := Fig7(0)(ScaleSmall)
+	f := runFig(t, Fig7(0))
 	// Sorting dominates at every thread count (paper's main observation).
 	for _, th := range []int{1, 32} {
 		spa, _ := f.Get("SPA", th)
@@ -176,7 +187,7 @@ func TestFig7Shape(t *testing.T) {
 		}
 	}
 	// The denser-vector workload (f=20%) has more work than f=2%.
-	fc := Fig7(2)(ScaleSmall)
+	fc := runFig(t, Fig7(2))
 	t0, _ := f.Get("SPA", 1)
 	t2, _ := fc.Get("SPA", 1)
 	if t2 < t0 {
@@ -185,7 +196,7 @@ func TestFig7Shape(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
-	f := Fig8(0)(ScaleSmall)
+	f := runFig(t, Fig8(0))
 	l1, _ := f.Get("Local Multiply", 1)
 	l64, _ := f.Get("Local Multiply", 64)
 	if l1/l64 < 10 {
@@ -203,7 +214,7 @@ func TestFig8Shape(t *testing.T) {
 
 func TestFig9Shape(t *testing.T) {
 	skipShort(t)
-	f := Fig9(1)(ScaleSmall)
+	f := runFig(t, Fig9(1))
 	// Same qualitative story at the larger scale.
 	g64, _ := f.Get("Gather Input", 64)
 	l64, _ := f.Get("Local Multiply", 64)
@@ -213,7 +224,7 @@ func TestFig9Shape(t *testing.T) {
 }
 
 func TestFig10Shape(t *testing.T) {
-	f := Fig10(ScaleSmall)
+	f := runFig(t, Fig10)
 	// Assign1 degrades by orders of magnitude with oversubscription; Assign2
 	// stays flat (and fast).
 	a1at32, _ := f.Get("Assign1", 32)
@@ -232,7 +243,7 @@ func TestFig10Shape(t *testing.T) {
 }
 
 func TestTableAndCSVRendering(t *testing.T) {
-	f := Fig10(ScaleSmall)
+	f := runFig(t, Fig10)
 	tbl := f.Table()
 	if !strings.Contains(tbl, "Assign1") || !strings.Contains(tbl, "locales") {
 		t.Error("table rendering incomplete")
@@ -262,7 +273,7 @@ func TestFormatSeconds(t *testing.T) {
 
 func TestAblationGatherShape(t *testing.T) {
 	skipShort(t)
-	f := AblGather(ScaleSmall)
+	f := runFig(t, AblGather)
 	// Bulk-synchronous communication should beat fine-grained at scale — the
 	// paper's recommendation quantified.
 	fine, _ := f.Get("fine-grained", 64)
@@ -276,7 +287,7 @@ func TestAblationGatherShape(t *testing.T) {
 }
 
 func TestAblationSortShape(t *testing.T) {
-	f := AblSort(ScaleSmall)
+	f := runFig(t, AblSort)
 	m, _ := f.Get("merge sort", 32)
 	r, _ := f.Get("radix sort", 32)
 	if r >= m {
@@ -286,7 +297,7 @@ func TestAblationSortShape(t *testing.T) {
 
 func TestAblationAtomicShape(t *testing.T) {
 	skipShort(t)
-	f := AblAtomic(ScaleSmall)
+	f := runFig(t, AblAtomic)
 	a, _ := f.Get("atomic", 32)
 	n, _ := f.Get("no-atomic", 32)
 	if n >= a {
@@ -302,7 +313,7 @@ func TestAblationAtomicShape(t *testing.T) {
 
 func TestAblationGridShape(t *testing.T) {
 	skipShort(t)
-	f := AblGrid(ScaleSmall)
+	f := runFig(t, AblGrid)
 	// The 2-D grid should beat at least one of the 1-D extremes at 64 nodes
 	// (the paper's cited motivation for 2-D distributions).
 	two, _ := f.Get("2-D grid", 64)
@@ -315,7 +326,7 @@ func TestAblationGridShape(t *testing.T) {
 }
 
 func TestChartRendering(t *testing.T) {
-	f := Fig10(ScaleSmall)
+	f := runFig(t, Fig10)
 	chart := f.Chart()
 	if !strings.Contains(chart, "Assign1") || !strings.Contains(chart, "locales") {
 		t.Error("chart legend/axis missing")
@@ -326,5 +337,32 @@ func TestChartRendering(t *testing.T) {
 	empty := Figure{ID: "none"}
 	if !strings.Contains(empty.Chart(), "no data") {
 		t.Error("empty figure should render a placeholder")
+	}
+}
+
+func TestChaosModeSlowsFiguresDeterministically(t *testing.T) {
+	total := func(f Figure) float64 {
+		var s float64
+		for _, p := range f.Points {
+			s += p.Seconds
+		}
+		return s
+	}
+	clean := runFig(t, Fig8(0))
+	// Seed 2: the standard plan's delay/stall draws land inside this figure's
+	// transfer sequence (seed 1 happens to miss every draw — determinism cuts
+	// both ways).
+	EnableChaos(2)
+	defer DisableChaos()
+	chaotic := runFig(t, Fig8(0))
+	if total(chaotic) <= total(clean) {
+		t.Errorf("chaos figure total %.6fs should exceed fault-free %.6fs",
+			total(chaotic), total(clean))
+	}
+	// Same seed, same plan, same fault sequence: the run is reproducible.
+	again := runFig(t, Fig8(0))
+	if total(again) != total(chaotic) {
+		t.Errorf("chaos runs differ under one seed: %.9fs vs %.9fs",
+			total(again), total(chaotic))
 	}
 }

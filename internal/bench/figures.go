@@ -5,20 +5,44 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/fault"
 	"repro/internal/locale"
 	"repro/internal/machine"
 	"repro/internal/sparse"
 )
 
+// chaos holds the fault plan applied to every runtime the figures build; nil
+// outside -chaos mode.
+var chaos *fault.Plan
+
+// EnableChaos makes every subsequent figure run under the standard chaos plan
+// (drops, delays, stalls — no crash) seeded with seed. The modeled times then
+// include retry and perturbation costs; the computed results are unchanged.
+func EnableChaos(seed int64) {
+	p := fault.StandardChaos(seed)
+	chaos = &p
+}
+
+// DisableChaos returns figure runs to fault-free execution.
+func DisableChaos() { chaos = nil }
+
+// applyChaos installs the chaos plan, if any, on a freshly built runtime.
+func applyChaos(rt *locale.Runtime) *locale.Runtime {
+	if chaos != nil {
+		rt.WithFault(*chaos)
+	}
+	return rt
+}
+
 // newRT builds a runtime with p locales (one per node) and the given modeled
 // threads per locale. Benchmarks run the real work single-goroutine
 // (RealWorkers=1) for determinism; the model supplies the parallel times.
-func newRT(p, threads int) *locale.Runtime {
+func newRT(p, threads int) (*locale.Runtime, error) {
 	rt, err := locale.New(machine.Edison(), p, threads)
 	if err != nil {
-		panic(err) // p comes from fixed sweeps; cannot fail
+		return nil, err
 	}
-	return rt
+	return applyChaos(rt), nil
 }
 
 // scaled divides n by 10 under ScaleSmall.
@@ -40,7 +64,7 @@ func randomVec(nnz int, seed int64) *sparse.Vec[int64] {
 
 // Fig1Left reproduces Fig 1 (left): shared-memory Apply on a 10M-nonzero
 // sparse vector, 1-32 threads, Apply1 vs Apply2.
-func Fig1Left(scale Scale) Figure {
+func Fig1Left(scale Scale) (Figure, error) {
 	nnz := scaled(scale, 10_000_000)
 	x0 := randomVec(nnz, 101)
 	fig := Figure{
@@ -51,22 +75,27 @@ func Fig1Left(scale Scale) Figure {
 	}
 	inc := func(v int64) int64 { return v + 1 }
 	for _, th := range threadSweep {
-		rt := newRT(1, th)
+		rt, err := newRT(1, th)
+		if err != nil {
+			return fig, err
+		}
 		x := dist.SpVecFromVec(rt, x0)
 		core.Apply1(rt, x, inc)
 		fig.Points = append(fig.Points, Point{"Apply1", th, rt.S.ElapsedSeconds()})
 
-		rt = newRT(1, th)
+		if rt, err = newRT(1, th); err != nil {
+			return fig, err
+		}
 		x = dist.SpVecFromVec(rt, x0)
 		core.Apply2(rt, x, inc)
 		fig.Points = append(fig.Points, Point{"Apply2", th, rt.S.ElapsedSeconds()})
 	}
-	return fig
+	return fig, nil
 }
 
 // Fig1Right reproduces Fig 1 (right): distributed Apply on 1-64 nodes with
 // 24 threads per node.
-func Fig1Right(scale Scale) Figure {
+func Fig1Right(scale Scale) (Figure, error) {
 	nnz := scaled(scale, 10_000_000)
 	x0 := randomVec(nnz, 102)
 	fig := Figure{
@@ -77,24 +106,29 @@ func Fig1Right(scale Scale) Figure {
 	}
 	inc := func(v int64) int64 { return v + 1 }
 	for _, p := range nodeSweep {
-		rt := newRT(p, 24)
+		rt, err := newRT(p, 24)
+		if err != nil {
+			return fig, err
+		}
 		x := dist.SpVecFromVec(rt, x0)
 		core.Apply1(rt, x, inc)
 		fig.Points = append(fig.Points, Point{"Apply1", p, rt.S.ElapsedSeconds()})
 
-		rt = newRT(p, 24)
+		if rt, err = newRT(p, 24); err != nil {
+			return fig, err
+		}
 		x = dist.SpVecFromVec(rt, x0)
 		core.Apply2(rt, x, inc)
 		fig.Points = append(fig.Points, Point{"Apply2", p, rt.S.ElapsedSeconds()})
 	}
-	return fig
+	return fig, nil
 }
 
 // --- Fig 2: Assign -----------------------------------------------------------
 
 // Fig2Left reproduces Fig 2 (left): shared-memory Assign of a 1M-nonzero
 // sparse vector.
-func Fig2Left(scale Scale) Figure {
+func Fig2Left(scale Scale) (Figure, error) {
 	nnz := scaled(scale, 1_000_000)
 	b0 := randomVec(nnz, 201)
 	fig := Figure{
@@ -104,23 +138,32 @@ func Fig2Left(scale Scale) Figure {
 		YLabel: "time",
 	}
 	for _, th := range threadSweep {
-		rt := newRT(1, th)
+		rt, err := newRT(1, th)
+		if err != nil {
+			return fig, err
+		}
 		b := dist.SpVecFromVec(rt, b0)
 		a := dist.NewSpVec[int64](rt, b0.N)
-		mustNil(core.Assign1(rt, a, b))
+		if err := core.Assign1(rt, a, b); err != nil {
+			return fig, err
+		}
 		fig.Points = append(fig.Points, Point{"Assign1", th, rt.S.ElapsedSeconds()})
 
-		rt = newRT(1, th)
+		if rt, err = newRT(1, th); err != nil {
+			return fig, err
+		}
 		b = dist.SpVecFromVec(rt, b0)
 		a = dist.NewSpVec[int64](rt, b0.N)
-		mustNil(core.Assign2(rt, a, b))
+		if err := core.Assign2(rt, a, b); err != nil {
+			return fig, err
+		}
 		fig.Points = append(fig.Points, Point{"Assign2", th, rt.S.ElapsedSeconds()})
 	}
-	return fig
+	return fig, nil
 }
 
 // Fig2Right reproduces Fig 2 (right): distributed Assign on 1-64 nodes.
-func Fig2Right(scale Scale) Figure {
+func Fig2Right(scale Scale) (Figure, error) {
 	nnz := scaled(scale, 1_000_000)
 	b0 := randomVec(nnz, 202)
 	fig := Figure{
@@ -130,23 +173,32 @@ func Fig2Right(scale Scale) Figure {
 		YLabel: "time",
 	}
 	for _, p := range nodeSweep {
-		rt := newRT(p, 24)
+		rt, err := newRT(p, 24)
+		if err != nil {
+			return fig, err
+		}
 		b := dist.SpVecFromVec(rt, b0)
 		a := dist.NewSpVec[int64](rt, b0.N)
-		mustNil(core.Assign1(rt, a, b))
+		if err := core.Assign1(rt, a, b); err != nil {
+			return fig, err
+		}
 		fig.Points = append(fig.Points, Point{"Assign1", p, rt.S.ElapsedSeconds()})
 
-		rt = newRT(p, 24)
+		if rt, err = newRT(p, 24); err != nil {
+			return fig, err
+		}
 		b = dist.SpVecFromVec(rt, b0)
 		a = dist.NewSpVec[int64](rt, b0.N)
-		mustNil(core.Assign2(rt, a, b))
+		if err := core.Assign2(rt, a, b); err != nil {
+			return fig, err
+		}
 		fig.Points = append(fig.Points, Point{"Assign2", p, rt.S.ElapsedSeconds()})
 	}
-	return fig
+	return fig, nil
 }
 
 // Fig3 reproduces Fig 3: distributed Assign2 with 1M and 100M nonzeros.
-func Fig3(scale Scale) Figure {
+func Fig3(scale Scale) (Figure, error) {
 	fig := Figure{
 		ID:     "fig3",
 		Title:  "Assign2, distributed, 24 threads/node",
@@ -158,14 +210,19 @@ func Fig3(scale Scale) Figure {
 		b0 := randomVec(nnz, 301)
 		series := "nnz=" + human(nnz)
 		for _, p := range nodeSweep {
-			rt := newRT(p, 24)
+			rt, err := newRT(p, 24)
+			if err != nil {
+				return fig, err
+			}
 			b := dist.SpVecFromVec(rt, b0)
 			a := dist.NewSpVec[int64](rt, b0.N)
-			mustNil(core.Assign2(rt, a, b))
+			if err := core.Assign2(rt, a, b); err != nil {
+				return fig, err
+			}
 			fig.Points = append(fig.Points, Point{series, p, rt.S.ElapsedSeconds()})
 		}
 	}
-	return fig
+	return fig, nil
 }
 
 // --- Figs 4/5: eWiseMult -------------------------------------------------------
@@ -176,7 +233,7 @@ func keepTrue(_, y int64) bool { return y != 0 }
 
 // Fig4 reproduces Fig 4: shared-memory eWiseMult of a sparse vector with a
 // boolean dense vector, nnz in {10K, 1M, 100M}.
-func Fig4(scale Scale) Figure {
+func Fig4(scale Scale) (Figure, error) {
 	fig := Figure{
 		ID:     "fig4",
 		Title:  "eWiseMult (sparse x dense), shared memory",
@@ -189,19 +246,23 @@ func Fig4(scale Scale) Figure {
 		y0 := sparse.RandomBoolDense[int64](x0.N, 0.5, 402)
 		series := "nnz=" + human(nnz)
 		for _, th := range threadSweep {
-			rt := newRT(1, th)
+			rt, err := newRT(1, th)
+			if err != nil {
+				return fig, err
+			}
 			x := dist.SpVecFromVec(rt, x0)
 			y := dist.DenseVecFromDense(rt, y0)
-			_, err := core.EWiseMultSD(rt, x, y, keepTrue)
-			mustNil(err)
+			if _, err := core.EWiseMultSD(rt, x, y, keepTrue); err != nil {
+				return fig, err
+			}
 			fig.Points = append(fig.Points, Point{series, th, rt.S.ElapsedSeconds()})
 		}
 	}
-	return fig
+	return fig, nil
 }
 
 // fig5 runs the distributed eWiseMult sweep at a fixed thread count.
-func fig5(scale Scale, id string, threads int) Figure {
+func fig5(scale Scale, id string, threads int) (Figure, error) {
 	fig := Figure{
 		ID:     id,
 		Title:  fmt.Sprintf("eWiseMult (sparse x dense), distributed, %d thread(s)/node", threads),
@@ -214,22 +275,26 @@ func fig5(scale Scale, id string, threads int) Figure {
 		y0 := sparse.RandomBoolDense[int64](x0.N, 0.5, 502)
 		series := "nnz=" + human(nnz)
 		for _, p := range nodeSweep {
-			rt := newRT(p, threads)
+			rt, err := newRT(p, threads)
+			if err != nil {
+				return fig, err
+			}
 			x := dist.SpVecFromVec(rt, x0)
 			y := dist.DenseVecFromDense(rt, y0)
-			_, err := core.EWiseMultSD(rt, x, y, keepTrue)
-			mustNil(err)
+			if _, err := core.EWiseMultSD(rt, x, y, keepTrue); err != nil {
+				return fig, err
+			}
 			fig.Points = append(fig.Points, Point{series, p, rt.S.ElapsedSeconds()})
 		}
 	}
-	return fig
+	return fig, nil
 }
 
 // Fig5OneThread reproduces Fig 5 (left): 1 thread per node.
-func Fig5OneThread(scale Scale) Figure { return fig5(scale, "fig5a", 1) }
+func Fig5OneThread(scale Scale) (Figure, error) { return fig5(scale, "fig5a", 1) }
 
 // Fig5AllThreads reproduces Fig 5 (right): 24 threads per node.
-func Fig5AllThreads(scale Scale) Figure { return fig5(scale, "fig5b", 24) }
+func Fig5AllThreads(scale Scale) (Figure, error) { return fig5(scale, "fig5b", 24) }
 
 // --- Figs 7-9: SpMSpV ----------------------------------------------------------
 
@@ -269,7 +334,7 @@ func spmspvScaled(scale Scale, c spmspvConfig) spmspvConfig {
 // Fig7 reproduces one column of Fig 7: the shared-memory SpMSpV component
 // breakdown (SPA, Sorting, Output) for the cfgIdx-th workload.
 func Fig7(cfgIdx int) Runner {
-	return func(scale Scale) Figure {
+	return func(scale Scale) (Figure, error) {
 		c0 := fig7Configs[cfgIdx]
 		c := spmspvScaled(scale, c0)
 		a := sparse.ErdosRenyi[int64](c.n, c.d, 701+int64(cfgIdx))
@@ -281,7 +346,10 @@ func Fig7(cfgIdx int) Runner {
 			YLabel: "time",
 		}
 		for _, th := range threadSweep {
-			rt := newRT(1, th)
+			rt, err := newRT(1, th)
+			if err != nil {
+				return fig, err
+			}
 			_, _ = core.SpMSpVShm(a, x, core.ShmConfig{
 				Threads: th, Sim: rt.S, Loc: 0, Phased: true,
 			})
@@ -289,14 +357,14 @@ func Fig7(cfgIdx int) Runner {
 				fig.Points = append(fig.Points, Point{ph.Name, th, ph.NS / 1e9})
 			}
 		}
-		return fig
+		return fig, nil
 	}
 }
 
 // figDist runs one column of Fig 8 or Fig 9: the distributed SpMSpV
 // component breakdown (Gather Input, Local Multiply, Scatter Output).
 func figDist(id string, c0 spmspvConfig, cfgIdx int) Runner {
-	return func(scale Scale) Figure {
+	return func(scale Scale) (Figure, error) {
 		c := spmspvScaled(scale, c0)
 		a0 := sparse.ErdosRenyi[int64](c.n, c.d, 801+int64(cfgIdx))
 		x0 := sparse.RandomVec[int64](c.n, int(float64(c.n)*c.f), 802)
@@ -307,7 +375,10 @@ func figDist(id string, c0 spmspvConfig, cfgIdx int) Runner {
 			YLabel: "time",
 		}
 		for _, p := range nodeSweep {
-			rt := newRT(p, 24)
+			rt, err := newRT(p, 24)
+			if err != nil {
+				return fig, err
+			}
 			a := dist.MatFromCSR(rt, a0)
 			x := dist.SpVecFromVec(rt, x0)
 			_, _ = core.SpMSpVDist(rt, a, x)
@@ -319,7 +390,7 @@ func figDist(id string, c0 spmspvConfig, cfgIdx int) Runner {
 				fig.Points = append(fig.Points, Point{name, p, totals[name] / 1e9})
 			}
 		}
-		return fig
+		return fig, nil
 	}
 }
 
@@ -337,7 +408,7 @@ func Fig9(cfgIdx int) Runner {
 
 // Fig10 reproduces Fig 10: both Assign variants with all locales placed on a
 // single node, one thread per locale, on a 10K-nonzero vector.
-func Fig10(scale Scale) Figure {
+func Fig10(scale Scale) (Figure, error) {
 	nnz := 10_000 // small on purpose in the paper; keep at paper size
 	b0 := randomVec(nnz, 1001)
 	fig := Figure{
@@ -348,20 +419,26 @@ func Fig10(scale Scale) Figure {
 	}
 	for _, p := range localeSweep {
 		g, err := locale.NewGridOnOneNode(p)
-		mustNil(err)
-		rt := locale.NewWithGrid(machine.Edison(), g, 1)
+		if err != nil {
+			return fig, err
+		}
+		rt := applyChaos(locale.NewWithGrid(machine.Edison(), g, 1))
 		b := dist.SpVecFromVec(rt, b0)
 		a := dist.NewSpVec[int64](rt, b0.N)
-		mustNil(core.Assign1(rt, a, b))
+		if err := core.Assign1(rt, a, b); err != nil {
+			return fig, err
+		}
 		fig.Points = append(fig.Points, Point{"Assign1", p, rt.S.ElapsedSeconds()})
 
-		rt = locale.NewWithGrid(machine.Edison(), g, 1)
+		rt = applyChaos(locale.NewWithGrid(machine.Edison(), g, 1))
 		b = dist.SpVecFromVec(rt, b0)
 		a = dist.NewSpVec[int64](rt, b0.N)
-		mustNil(core.Assign2(rt, a, b))
+		if err := core.Assign2(rt, a, b); err != nil {
+			return fig, err
+		}
 		fig.Points = append(fig.Points, Point{"Assign2", p, rt.S.ElapsedSeconds()})
 	}
-	return fig
+	return fig, nil
 }
 
 // human renders counts as 10K / 1M / 100M.
@@ -373,11 +450,5 @@ func human(n int) string {
 		return fmt.Sprintf("%dK", n/1_000)
 	default:
 		return fmt.Sprintf("%d", n)
-	}
-}
-
-func mustNil(err error) {
-	if err != nil {
-		panic(err)
 	}
 }

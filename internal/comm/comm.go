@@ -8,11 +8,22 @@
 // Like everything else in this library, the collectives move real data and
 // charge the machine model for the communication structure: tree-based
 // collectives cost log2(P) rounds of bulk transfers.
+//
+// Every collective is retryable: each logical transfer consults the
+// runtime's fault injector (internal/fault) and, when an attempt is dropped,
+// pays a detection timeout plus an exponential backoff (capped by the
+// runtime's retry policy) before the resend — all charged to the modeled
+// clock, so the figures show the cost of resilience. A transfer whose
+// endpoint has permanently crashed fails with fault.ErrLocaleLost; a
+// transfer dropped more than MaxAttempts times fails with
+// fault.ErrRetriesExhausted. Without an installed injector the fault-free
+// path charges exactly what it always did.
 package comm
 
 import (
 	"math"
 
+	"repro/internal/fault"
 	"repro/internal/locale"
 	"repro/internal/semiring"
 )
@@ -29,10 +40,49 @@ func treeDepth(p int) float64 {
 	return math.Ceil(math.Log2(float64(p)))
 }
 
+// retryExtra plays one fault-checked logical transfer from src to dst under
+// the runtime's retry policy and returns the extra modeled time beyond the
+// first clean send: injected delays, plus (timeout + backoff + resend) for
+// every dropped attempt. Retries are recorded in the simulator's counters.
+// A crashed endpoint returns ErrLocaleLost after one detection timeout;
+// exhausting the attempt budget returns ErrRetriesExhausted.
+func retryExtra(rt *locale.Runtime, src, dst int, resendNS float64, op string) (float64, error) {
+	if rt.Fault == nil {
+		return 0, nil
+	}
+	pol := rt.RetryPolicy()
+	extra := 0.0
+	backoff := pol.BackoffNS
+	for attempt := 1; ; attempt++ {
+		v, err := rt.FaultAttempt(src, dst)
+		if err != nil {
+			// The failure is detected by the timeout, not reported politely.
+			return extra + pol.TimeoutNS, err
+		}
+		extra += v.ExtraNS
+		if !v.Drop {
+			if attempt > 1 {
+				rt.S.NoteRetries(int64(attempt - 1))
+			}
+			return extra, nil
+		}
+		if attempt >= pol.MaxAttempts {
+			rt.S.NoteRetries(int64(attempt - 1))
+			return extra + pol.TimeoutNS, &fault.RetryError{Op: op, Src: src, Dst: dst, Attempts: attempt}
+		}
+		extra += pol.TimeoutNS + backoff + resendNS
+		backoff *= 2
+		if backoff > pol.MaxBackoffNS {
+			backoff = pol.MaxBackoffNS
+		}
+	}
+}
+
 // Broadcast copies the root locale's slice to every other locale; returns
 // one slice per locale (the root's own slice is shared, remote ones are
-// copies). Charges a log2(P)-depth broadcast tree.
-func Broadcast[T semiring.Number](rt *locale.Runtime, root int, data []T) [][]T {
+// copies). Charges a log2(P)-depth broadcast tree, with per-destination
+// retries under faults.
+func Broadcast[T semiring.Number](rt *locale.Runtime, root int, data []T) ([][]T, error) {
 	p := rt.G.P
 	out := make([][]T, p)
 	for l := 0; l < p; l++ {
@@ -43,18 +93,25 @@ func Broadcast[T semiring.Number](rt *locale.Runtime, root int, data []T) [][]T 
 		out[l] = append([]T(nil), data...)
 	}
 	if p > 1 {
-		depth := treeDepth(p)
-		per := rt.S.BulkTime(bytesOf(len(data)), false) * depth
+		base := rt.S.BulkTime(bytesOf(len(data)), false) * treeDepth(p)
 		for l := 0; l < p; l++ {
+			per := base
+			if l != root {
+				extra, err := retryExtra(rt, root, l, base, "broadcast")
+				if err != nil {
+					return nil, err
+				}
+				per += extra
+			}
 			rt.S.Advance(l, per)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Gather concatenates each locale's slice at the root, in locale order.
-// Charges one bulk transfer per non-root locale into the root.
-func Gather[T semiring.Number](rt *locale.Runtime, root int, parts [][]T) []T {
+// Charges one bulk transfer per non-root locale into the root, with retries.
+func Gather[T semiring.Number](rt *locale.Runtime, root int, parts [][]T) ([]T, error) {
 	total := 0
 	for _, p := range parts {
 		total += len(p)
@@ -63,57 +120,86 @@ func Gather[T semiring.Number](rt *locale.Runtime, root int, parts [][]T) []T {
 	for l, part := range parts {
 		out = append(out, part...)
 		if l != root && len(part) > 0 {
-			rt.S.Bulk(root, bytesOf(len(part)), rt.G.SameNode(root, l))
+			intra := rt.G.SameNode(root, l)
+			extra, err := retryExtra(rt, l, root, rt.S.BulkTime(bytesOf(len(part)), intra), "gather")
+			if err != nil {
+				return nil, err
+			}
+			rt.S.Bulk(root, bytesOf(len(part)), intra)
+			if extra > 0 {
+				rt.S.Advance(root, extra)
+			}
 		}
 	}
 	rt.S.Barrier()
-	return out
+	return out, nil
 }
 
 // AllGather concatenates every locale's slice on every locale. Charges a
 // gather followed by a broadcast (the standard tree implementation).
-func AllGather[T semiring.Number](rt *locale.Runtime, parts [][]T) [][]T {
+func AllGather[T semiring.Number](rt *locale.Runtime, parts [][]T) ([][]T, error) {
 	root := 0
-	joined := Gather(rt, root, parts)
+	joined, err := Gather(rt, root, parts)
+	if err != nil {
+		return nil, err
+	}
 	return Broadcast(rt, root, joined)
 }
 
 // Reduce folds one value per locale into a single value at the root with a
 // monoid, charging a log2(P)-depth reduction tree of tiny messages.
-func Reduce[T semiring.Number](rt *locale.Runtime, root int, vals []T, m semiring.Monoid[T]) T {
+func Reduce[T semiring.Number](rt *locale.Runtime, root int, vals []T, m semiring.Monoid[T]) (T, error) {
 	acc := m.Identity
 	for _, v := range vals {
 		acc = m.Op(acc, v)
 	}
 	p := rt.G.P
 	if p > 1 {
-		per := rt.S.BulkTime(8, false) * treeDepth(p)
+		base := rt.S.BulkTime(8, false) * treeDepth(p)
 		for l := 0; l < p; l++ {
+			per := base
+			if l != root {
+				extra, err := retryExtra(rt, l, root, base, "reduce")
+				if err != nil {
+					return acc, err
+				}
+				per += extra
+			}
 			rt.S.Advance(l, per)
 		}
 	}
-	_ = root
-	return acc
+	return acc, nil
 }
 
 // AllReduce folds one value per locale and makes the result available on
 // every locale (reduce + broadcast tree).
-func AllReduce[T semiring.Number](rt *locale.Runtime, vals []T, m semiring.Monoid[T]) T {
-	v := Reduce(rt, 0, vals, m)
+func AllReduce[T semiring.Number](rt *locale.Runtime, vals []T, m semiring.Monoid[T]) (T, error) {
+	v, err := Reduce(rt, 0, vals, m)
+	if err != nil {
+		return v, err
+	}
 	if rt.G.P > 1 {
-		per := rt.S.BulkTime(8, false) * treeDepth(rt.G.P)
+		base := rt.S.BulkTime(8, false) * treeDepth(rt.G.P)
 		for l := 0; l < rt.G.P; l++ {
+			per := base
+			if l != 0 {
+				extra, err := retryExtra(rt, 0, l, base, "allreduce")
+				if err != nil {
+					return v, err
+				}
+				per += extra
+			}
 			rt.S.Advance(l, per)
 		}
 	}
-	return v
+	return v, nil
 }
 
 // RowAllGather concatenates, for every locale, the slices of its processor
 // row's team (the communication pattern of the SpMSpV gather step, done with
 // collectives instead of fine-grained access). Returns one concatenation per
 // locale.
-func RowAllGather[T semiring.Number](rt *locale.Runtime, parts [][]T) [][]T {
+func RowAllGather[T semiring.Number](rt *locale.Runtime, parts [][]T) ([][]T, error) {
 	g := rt.G
 	out := make([][]T, g.P)
 	for r := 0; r < g.Pr; r++ {
@@ -127,9 +213,16 @@ func RowAllGather[T semiring.Number](rt *locale.Runtime, parts [][]T) [][]T {
 			joined = append(joined, parts[l]...)
 		}
 		// Tree all-gather within the team.
-		depth := treeDepth(len(team))
-		per := rt.S.BulkTime(bytesOf(total), false) * depth
+		base := rt.S.BulkTime(bytesOf(total), false) * treeDepth(len(team))
 		for _, l := range team {
+			per := base
+			if l != team[0] {
+				extra, err := retryExtra(rt, team[0], l, base, "rowallgather")
+				if err != nil {
+					return nil, err
+				}
+				per += extra
+			}
 			rt.S.Advance(l, per)
 			if l != team[0] {
 				out[l] = append([]T(nil), joined...)
@@ -138,13 +231,13 @@ func RowAllGather[T semiring.Number](rt *locale.Runtime, parts [][]T) [][]T {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // ColReduceScatter reduces, for every grid column team, one dense slice per
 // member elementwise with a monoid, leaving each member with the reduced
 // slice (the communication pattern of a column-wise SpMV accumulation).
-func ColReduceScatter[T semiring.Number](rt *locale.Runtime, parts [][]T, m semiring.Monoid[T]) [][]T {
+func ColReduceScatter[T semiring.Number](rt *locale.Runtime, parts [][]T, m semiring.Monoid[T]) ([][]T, error) {
 	g := rt.G
 	out := make([][]T, g.P)
 	for c := 0; c < g.Pc; c++ {
@@ -164,9 +257,16 @@ func ColReduceScatter[T semiring.Number](rt *locale.Runtime, parts [][]T, m semi
 				acc[i] = m.Op(acc[i], v)
 			}
 		}
-		depth := treeDepth(len(team))
-		per := rt.S.BulkTime(bytesOf(width), false) * depth
+		base := rt.S.BulkTime(bytesOf(width), false) * treeDepth(len(team))
 		for _, l := range team {
+			per := base
+			if l != team[0] {
+				extra, err := retryExtra(rt, team[0], l, base, "colreducescatter")
+				if err != nil {
+					return nil, err
+				}
+				per += extra
+			}
 			rt.S.Advance(l, per)
 			if l == team[0] {
 				out[l] = acc
@@ -175,5 +275,5 @@ func ColReduceScatter[T semiring.Number](rt *locale.Runtime, parts [][]T, m semi
 			}
 		}
 	}
-	return out
+	return out, nil
 }

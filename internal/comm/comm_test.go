@@ -29,7 +29,10 @@ func TestTreeDepth(t *testing.T) {
 func TestBroadcast(t *testing.T) {
 	rt := newRT(t, 4)
 	data := []int64{1, 2, 3}
-	out := Broadcast(rt, 1, data)
+	out, err := Broadcast(rt, 1, data)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(out) != 4 {
 		t.Fatal("wrong fan-out")
 	}
@@ -48,7 +51,10 @@ func TestBroadcast(t *testing.T) {
 	}
 	// Single locale broadcast is free and shares the slice.
 	rt1 := newRT(t, 1)
-	out1 := Broadcast(rt1, 0, data)
+	out1, err := Broadcast(rt1, 0, data)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if &out1[0][0] != &data[0] {
 		t.Error("single-locale broadcast should share storage")
 	}
@@ -60,7 +66,10 @@ func TestBroadcast(t *testing.T) {
 func TestGather(t *testing.T) {
 	rt := newRT(t, 3)
 	parts := [][]int64{{1, 2}, {}, {3}}
-	out := Gather(rt, 0, parts)
+	out, err := Gather(rt, 0, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(out) != 3 || out[0] != 1 || out[2] != 3 {
 		t.Fatalf("gather = %v", out)
 	}
@@ -73,7 +82,10 @@ func TestGather(t *testing.T) {
 func TestAllGather(t *testing.T) {
 	rt := newRT(t, 4)
 	parts := [][]int32{{1}, {2, 3}, {}, {4}}
-	out := AllGather(rt, parts)
+	out, err := AllGather(rt, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for l := range out {
 		if len(out[l]) != 4 || out[l][0] != 1 || out[l][3] != 4 {
 			t.Fatalf("locale %d allgather = %v", l, out[l])
@@ -84,15 +96,15 @@ func TestAllGather(t *testing.T) {
 func TestReduceAndAllReduce(t *testing.T) {
 	rt := newRT(t, 4)
 	vals := []int64{3, 1, 7, 5}
-	if got := Reduce(rt, 0, vals, semiring.PlusMonoid[int64]()); got != 16 {
-		t.Errorf("reduce sum = %d, want 16", got)
+	if got, err := Reduce(rt, 0, vals, semiring.PlusMonoid[int64]()); err != nil || got != 16 {
+		t.Errorf("reduce sum = %d (%v), want 16", got, err)
 	}
-	if got := Reduce(rt, 0, vals, semiring.MaxMonoid[int64]()); got != 7 {
-		t.Errorf("reduce max = %d, want 7", got)
+	if got, err := Reduce(rt, 0, vals, semiring.MaxMonoid[int64]()); err != nil || got != 7 {
+		t.Errorf("reduce max = %d (%v), want 7", got, err)
 	}
 	before := rt.S.Elapsed()
-	if got := AllReduce(rt, vals, semiring.MinMonoid[int64]()); got != 1 {
-		t.Errorf("allreduce min = %d, want 1", got)
+	if got, err := AllReduce(rt, vals, semiring.MinMonoid[int64]()); err != nil || got != 1 {
+		t.Errorf("allreduce min = %d (%v), want 1", got, err)
 	}
 	if rt.S.Elapsed() <= before {
 		t.Error("allreduce charged nothing")
@@ -105,7 +117,10 @@ func TestRowAllGather(t *testing.T) {
 	for l := range parts {
 		parts[l] = []int64{int64(l * 10)}
 	}
-	out := RowAllGather(rt, parts)
+	out, err := RowAllGather(rt, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Row 0 = locales 0,1,2; row 1 = locales 3,4,5.
 	for _, l := range []int{0, 1, 2} {
 		if len(out[l]) != 3 || out[l][0] != 0 || out[l][1] != 10 || out[l][2] != 20 {
@@ -130,7 +145,10 @@ func TestColReduceScatter(t *testing.T) {
 	for l := range parts {
 		parts[l] = []int64{int64(l), int64(l * 2)}
 	}
-	out := ColReduceScatter(rt, parts, semiring.PlusMonoid[int64]())
+	out, err := ColReduceScatter(rt, parts, semiring.PlusMonoid[int64]())
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Column 0 = locales 0 and 3: sums {0+3, 0+6}.
 	for _, l := range []int{0, 3} {
 		if out[l][0] != 3 || out[l][1] != 6 {
@@ -150,9 +168,13 @@ func TestCollectiveCostsScaleWithTeam(t *testing.T) {
 	// but only logarithmically so.
 	data := make([]float64, 1000)
 	rt2 := newRT(t, 2)
-	Broadcast(rt2, 0, data)
+	if _, err := Broadcast(rt2, 0, data); err != nil {
+		t.Fatal(err)
+	}
 	rt64 := newRT(t, 64)
-	Broadcast(rt64, 0, data)
+	if _, err := Broadcast(rt64, 0, data); err != nil {
+		t.Fatal(err)
+	}
 	t2, t64 := rt2.S.Elapsed(), rt64.S.Elapsed()
 	if t64 <= t2 {
 		t.Errorf("64-locale broadcast (%.1fus) should cost more than 2-locale (%.1fus)", t64/1e3, t2/1e3)

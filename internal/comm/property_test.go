@@ -1,0 +1,247 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/locale"
+	"repro/internal/machine"
+	"repro/internal/semiring"
+)
+
+// Property tests for the collectives on irregular grids: prime locale counts
+// (which force 1×P grids), oversubscribed one-node grids, with and without
+// injected faults. Each case checks data correctness against a naive
+// reference and monotone advancement of the modeled clock; fault runs must be
+// strictly slower than fault-free ones on the same inputs.
+
+var propGrids = []int{1, 2, 3, 5, 7, 11, 13}
+
+func oneNodeRT(t *testing.T, p int) *locale.Runtime {
+	t.Helper()
+	g, err := locale.NewGridOnOneNode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return locale.NewWithGrid(machine.Edison(), g, 4)
+}
+
+func mkParts(p int) [][]int64 {
+	parts := make([][]int64, p)
+	for l := range parts {
+		// Irregular sizes, including empties.
+		n := (l*3 + 1) % 5
+		for i := 0; i < n; i++ {
+			parts[l] = append(parts[l], int64(l*100+i))
+		}
+	}
+	return parts
+}
+
+// runAll exercises every collective once on rt and checks results against
+// naive references. It returns the modeled elapsed time after the run.
+func runAll(t *testing.T, rt *locale.Runtime) float64 {
+	t.Helper()
+	p := rt.G.P
+	parts := mkParts(p)
+
+	want := []int64(nil)
+	for _, pp := range parts {
+		want = append(want, pp...)
+	}
+
+	before := rt.S.Elapsed()
+	out, err := Broadcast(rt, p-1, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := range out {
+		if len(out[l]) != len(want) {
+			t.Fatalf("P=%d broadcast locale %d: %v", p, l, out[l])
+		}
+		for i := range want {
+			if out[l][i] != want[i] {
+				t.Fatalf("P=%d broadcast locale %d idx %d: got %d want %d", p, l, i, out[l][i], want[i])
+			}
+		}
+	}
+	mid := rt.S.Elapsed()
+	if mid < before {
+		t.Fatalf("P=%d clock went backwards across broadcast: %v -> %v", p, before, mid)
+	}
+
+	gathered, err := Gather(rt, 0, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(gathered) != fmt.Sprint(want) {
+		t.Fatalf("P=%d gather = %v, want %v", p, gathered, want)
+	}
+
+	ag, err := AllGather(rt, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := range ag {
+		if fmt.Sprint(ag[l]) != fmt.Sprint(want) {
+			t.Fatalf("P=%d allgather locale %d = %v, want %v", p, l, ag[l], want)
+		}
+	}
+
+	vals := make([]int64, p)
+	sum := int64(0)
+	for l := range vals {
+		vals[l] = int64(l*l + 1)
+		sum += vals[l]
+	}
+	if got, err := Reduce(rt, 0, vals, semiring.PlusMonoid[int64]()); err != nil || got != sum {
+		t.Fatalf("P=%d reduce = %d (%v), want %d", p, got, err, sum)
+	}
+	if got, err := AllReduce(rt, vals, semiring.PlusMonoid[int64]()); err != nil || got != sum {
+		t.Fatalf("P=%d allreduce = %d (%v), want %d", p, got, err, sum)
+	}
+
+	rag, err := RowAllGather(rt, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rt.G
+	for r := 0; r < g.Pr; r++ {
+		rowWant := []int64(nil)
+		for _, l := range g.RowLocales(r) {
+			rowWant = append(rowWant, parts[l]...)
+		}
+		for _, l := range g.RowLocales(r) {
+			if fmt.Sprint(rag[l]) != fmt.Sprint(rowWant) {
+				t.Fatalf("P=%d rowallgather row %d locale %d = %v, want %v", p, r, l, rag[l], rowWant)
+			}
+		}
+	}
+
+	crs, err := ColReduceScatter(rt, parts, semiring.PlusMonoid[int64]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < g.Pc; c++ {
+		width := 0
+		for _, l := range g.ColLocales(c) {
+			if len(parts[l]) > width {
+				width = len(parts[l])
+			}
+		}
+		colWant := make([]int64, width)
+		for _, l := range g.ColLocales(c) {
+			for i, v := range parts[l] {
+				colWant[i] += v
+			}
+		}
+		for _, l := range g.ColLocales(c) {
+			if fmt.Sprint(crs[l]) != fmt.Sprint(colWant) {
+				t.Fatalf("P=%d colreducescatter col %d locale %d = %v, want %v", p, c, l, crs[l], colWant)
+			}
+		}
+	}
+
+	after := rt.S.Elapsed()
+	if after < mid {
+		t.Fatalf("P=%d clock went backwards: %v -> %v", p, mid, after)
+	}
+	return after
+}
+
+func TestCollectivesPrimeGridsFaultFree(t *testing.T) {
+	for _, p := range propGrids {
+		rt := newRT(t, p)
+		elapsed := runAll(t, rt)
+		if p > 1 && elapsed <= 0 {
+			t.Errorf("P=%d collectives charged nothing", p)
+		}
+	}
+}
+
+func TestCollectivesOversubscribedOneNodeGrids(t *testing.T) {
+	for _, p := range []int{2, 3, 5, 7} {
+		rt := oneNodeRT(t, p)
+		if rt.G.Nodes() != 1 {
+			t.Fatalf("P=%d not on one node", p)
+		}
+		runAll(t, rt)
+	}
+}
+
+func TestCollectivesUnderFaultsCorrectAndSlower(t *testing.T) {
+	// Drops and delays (no crash): every collective must still return the
+	// fault-free data, the clock must advance monotonically, and the faulted
+	// run must be strictly slower than the clean one.
+	plan := fault.Plan{Seed: 11, DropProb: 0.2, DelayProb: 0.3, DelayNS: 50_000, CrashLocale: -1}
+	for _, p := range propGrids {
+		if p == 1 {
+			continue // a single locale has no transfers to perturb
+		}
+		clean := newRT(t, p)
+		cleanNS := runAll(t, clean)
+
+		chaotic := newRT(t, p).WithFault(plan)
+		chaosNS := runAll(t, chaotic)
+		if chaosNS <= cleanNS {
+			t.Errorf("P=%d faulted run (%.0fns) should be strictly slower than clean (%.0fns)", p, chaosNS, cleanNS)
+		}
+		st := chaotic.Fault.Stats()
+		if st.Steps == 0 {
+			t.Errorf("P=%d injector never consulted", p)
+		}
+		if got := chaotic.S.Traffic().Retries; st.Drops > 0 && got == 0 {
+			t.Errorf("P=%d drops=%d but no retries recorded", p, st.Drops)
+		}
+	}
+}
+
+func TestCollectivesFaultDeterminism(t *testing.T) {
+	// Same plan, same call sequence: identical data and identical clocks.
+	plan := fault.Plan{Seed: 3, DropProb: 0.15, DelayProb: 0.2, DelayNS: 80_000, CrashLocale: -1}
+	a := newRT(t, 7).WithFault(plan)
+	b := newRT(t, 7).WithFault(plan)
+	na := runAll(t, a)
+	nb := runAll(t, b)
+	if na != nb {
+		t.Errorf("same plan produced different modeled times: %v vs %v", na, nb)
+	}
+	if a.Fault.Stats() != b.Fault.Stats() {
+		t.Errorf("same plan produced different fault stats: %+v vs %+v", a.Fault.Stats(), b.Fault.Stats())
+	}
+}
+
+func TestCollectivesRetriesExhausted(t *testing.T) {
+	// DropProb 1 exceeds any finite retry budget.
+	rt := newRT(t, 5).WithFault(fault.Plan{Seed: 1, DropProb: 1, CrashLocale: -1})
+	rt.Retry = fault.RetryPolicy{MaxAttempts: 3}
+	_, err := Broadcast(rt, 0, []int64{1, 2, 3})
+	if !errors.Is(err, fault.ErrRetriesExhausted) {
+		t.Fatalf("broadcast error = %v, want ErrRetriesExhausted", err)
+	}
+	var re *fault.RetryError
+	if !errors.As(err, &re) || re.Attempts != 3 {
+		t.Fatalf("retry error should carry the attempt count, got %v", err)
+	}
+	if _, err := AllReduce(rt, []int64{1, 2, 3, 4, 5}, semiring.PlusMonoid[int64]()); !errors.Is(err, fault.ErrRetriesExhausted) {
+		t.Errorf("allreduce error = %v, want ErrRetriesExhausted", err)
+	}
+	if rt.S.Traffic().Retries == 0 {
+		t.Error("exhausted retries should be recorded in the traffic counters")
+	}
+}
+
+func TestCollectivesLocaleLost(t *testing.T) {
+	// A crash at step 0 makes the first transfer observe the lost locale.
+	rt := newRT(t, 4).WithFault(fault.Plan{Seed: 1, CrashLocale: 2, CrashStep: 0})
+	_, err := Broadcast(rt, 0, []int64{1})
+	if !errors.Is(err, fault.ErrLocaleLost) {
+		t.Fatalf("broadcast error = %v, want ErrLocaleLost", err)
+	}
+	var ll *fault.LocaleLostError
+	if !errors.As(err, &ll) || ll.Locale != 2 {
+		t.Fatalf("error should identify the lost locale, got %v", err)
+	}
+}

@@ -19,7 +19,7 @@ import (
 
 // ReduceDist folds every stored value of a distributed sparse vector with a
 // monoid: a local reduction per locale followed by a log2(P) reduction tree.
-func ReduceDist[T semiring.Number](rt *locale.Runtime, v *dist.SpVec[T], m semiring.Monoid[T]) T {
+func ReduceDist[T semiring.Number](rt *locale.Runtime, v *dist.SpVec[T], m semiring.Monoid[T]) (T, error) {
 	partials := make([]T, rt.G.P)
 	rt.Coforall(func(l int) {
 		partials[l] = m.Reduce(v.Loc[l].Val)
@@ -50,7 +50,10 @@ func SpMVDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *dist.Den
 	// The vector's block distribution aligns with the bands (same identity
 	// used by SpMSpVDist), so the row team's local parts concatenate to the
 	// band segment.
-	xParts := comm.RowAllGather(rt, x.Loc)
+	xParts, err := comm.RowAllGather(rt, x.Loc)
+	if err != nil {
+		return nil, err
+	}
 
 	// Local multiply: partial y over the locale's column band.
 	partials := make([][]T, g.P)
@@ -88,7 +91,10 @@ func SpMVDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *dist.Den
 	// Column-team reduction of the partial results; the reduced slice of
 	// column band c lives on every locale of grid column c, and the final
 	// block-distributed y takes each global index from its owner's copy.
-	reduced := comm.ColReduceScatter(rt, partials, sr.Add)
+	reduced, err := comm.ColReduceScatter(rt, partials, sr.Add)
+	if err != nil {
+		return nil, err
+	}
 	y := dist.NewDenseVec[T](rt, a.NCols)
 	for l := 0; l < g.P; l++ {
 		lo, hi := y.Bounds[l], y.Bounds[l+1]

@@ -23,18 +23,18 @@ func TestReduceDist(t *testing.T) {
 	for _, p := range []int{1, 4, 9} {
 		rt := newRT(t, p, 24)
 		x := dist.SpVecFromVec(rt, x0)
-		if got := ReduceDist(rt, x, semiring.PlusMonoid[int64]()); got != wantSum {
-			t.Fatalf("p=%d: sum = %d, want %d", p, got, wantSum)
+		if got, err := ReduceDist(rt, x, semiring.PlusMonoid[int64]()); err != nil || got != wantSum {
+			t.Fatalf("p=%d: sum = %d (%v), want %d", p, got, err, wantSum)
 		}
-		if got := ReduceDist(rt, x, semiring.MaxMonoid[int64]()); got != wantMax {
-			t.Fatalf("p=%d: max = %d, want %d", p, got, wantMax)
+		if got, err := ReduceDist(rt, x, semiring.MaxMonoid[int64]()); err != nil || got != wantMax {
+			t.Fatalf("p=%d: max = %d (%v), want %d", p, got, err, wantMax)
 		}
 	}
 	// Empty vector reduces to the identity.
 	rt := newRT(t, 4, 8)
 	empty := dist.NewSpVec[int64](rt, 100)
-	if got := ReduceDist(rt, empty, semiring.PlusMonoid[int64]()); got != 0 {
-		t.Fatalf("empty sum = %d", got)
+	if got, err := ReduceDist(rt, empty, semiring.PlusMonoid[int64]()); err != nil || got != 0 {
+		t.Fatalf("empty sum = %d (%v)", got, err)
 	}
 }
 

@@ -171,7 +171,8 @@ func TestPropertyReduceMatchesSum(t *testing.T) {
 		}
 		rt := newRT(t, 6, 8)
 		x := dist.SpVecFromVec(rt, x0)
-		return ReduceDist(rt, x, semiring.PlusMonoid[int64]()) == want
+		got, err := ReduceDist(rt, x, semiring.PlusMonoid[int64]())
+		return err == nil && got == want
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)

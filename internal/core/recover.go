@@ -1,0 +1,30 @@
+package core
+
+import (
+	"repro/internal/dist"
+	"repro/internal/locale"
+	"repro/internal/semiring"
+)
+
+// RecoverRedistribute rebuilds the block distribution of a over the surviving
+// locales after the permanent loss of locale lost. The logical Pr×Pc
+// decomposition is preserved — the lost locale's block is adopted by the next
+// surviving locale (locale.Runtime.Degrade), whose clock from now on pays for
+// both shares — so every data layout and reduction order is unchanged and a
+// rolled-back replay reproduces fault-free results bit for bit. All blocks
+// are rebuilt from the gathered global matrix (standing in for checkpointed
+// replicas), and the host is charged the bulk reload of the adopted block.
+func RecoverRedistribute[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], lost int) (*dist.Mat[T], error) {
+	csr, err := a.ToCSR()
+	if err != nil {
+		return nil, err
+	}
+	host, err := rt.Degrade(lost, rt.RetryPolicy().TimeoutNS)
+	if err != nil {
+		return nil, err
+	}
+	m := dist.MatFromCSR(rt, csr)
+	rt.S.Bulk(host, int64(m.Blocks[lost].NNZ())*16, false)
+	rt.S.Barrier()
+	return m, nil
+}

@@ -12,6 +12,7 @@ package locale
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/sim"
 )
@@ -23,6 +24,12 @@ type Grid struct {
 	// LocalesPerNode is how many consecutive locale ids share one node
 	// (1 = one locale per node, the normal configuration).
 	LocalesPerNode int
+	// Host, when non-nil, remaps each logical locale to the physical locale
+	// hosting it (identity except for crashed locales adopted by a survivor).
+	// The logical Pr×Pc decomposition — and with it every data layout and
+	// arithmetic order — is preserved across a locale loss; only the placement
+	// changes.
+	Host []int
 }
 
 // NewGrid builds the squarest possible Pr×Pc grid for p locales
@@ -57,8 +64,28 @@ func (g *Grid) Coords(l int) (r, c int) { return l / g.Pc, l % g.Pc }
 // ID returns the locale id at grid position (r, c).
 func (g *Grid) ID(r, c int) int { return r*g.Pc + c }
 
+// HostOf returns the physical locale hosting logical locale l (l itself
+// unless l's work was adopted by a survivor after a crash).
+func (g *Grid) HostOf(l int) int {
+	if g.Host == nil {
+		return l
+	}
+	return g.Host[l]
+}
+
+// Adopt reassigns logical locale dead to be hosted by locale host.
+func (g *Grid) Adopt(dead, host int) {
+	if g.Host == nil {
+		g.Host = make([]int, g.P)
+		for i := range g.Host {
+			g.Host[i] = i
+		}
+	}
+	g.Host[dead] = g.Host[host]
+}
+
 // NodeOf returns the physical node hosting locale l.
-func (g *Grid) NodeOf(l int) int { return l / g.LocalesPerNode }
+func (g *Grid) NodeOf(l int) int { return g.HostOf(l) / g.LocalesPerNode }
 
 // SameNode reports whether two locales share a physical node.
 func (g *Grid) SameNode(a, b int) bool { return g.NodeOf(a) == g.NodeOf(b) }
@@ -124,6 +151,59 @@ type Runtime struct {
 	// spawn. 1 gives deterministic execution (the default); tests raise it to
 	// exercise the concurrent code paths under -race.
 	RealWorkers int
+	// Fault is the optional fault injector driving modeled failures; nil runs
+	// fault-free. Install with WithFault.
+	Fault *fault.Injector
+	// Retry governs the timeout/backoff of the retryable collectives; zero
+	// fields fall back to fault.DefaultRetryPolicy.
+	Retry fault.RetryPolicy
+}
+
+// WithFault builds an injector from plan, installs it on the runtime and
+// registers it as the simulator's transfer hook. Returns rt for chaining.
+func (rt *Runtime) WithFault(plan fault.Plan) *Runtime {
+	in := fault.NewInjector(plan, rt.G.P)
+	rt.Fault = in
+	rt.S.SetHook(in)
+	return rt
+}
+
+// FaultAttempt draws the fault verdict for one collective transfer attempt
+// between src and dst; without an injector every attempt succeeds cleanly.
+func (rt *Runtime) FaultAttempt(src, dst int) (fault.Verdict, error) {
+	return rt.Fault.Attempt(src, dst)
+}
+
+// DownLocale returns the lowest-numbered permanently lost locale, or -1 when
+// every locale is alive.
+func (rt *Runtime) DownLocale() int { return rt.Fault.AnyDown() }
+
+// RetryPolicy returns the runtime's retry policy with defaults filled in.
+func (rt *Runtime) RetryPolicy() fault.RetryPolicy { return rt.Retry.WithDefaults() }
+
+// Degrade reconfigures the runtime in place after the permanent loss of
+// locale dead: the next locale in the grid adopts the dead locale's work (its
+// clock is aliased onto the host's, so the host pays for both shares), every
+// live clock absorbs penalty ns of failure detection/reconfiguration cost,
+// and the fault injector is rebased so the consumed crash cannot re-fire.
+// The logical grid shape is deliberately preserved — data layouts and
+// reduction orders stay identical, which is what lets a rolled-back replay
+// reproduce the fault-free results bit for bit. Returns the adopting host.
+func (rt *Runtime) Degrade(dead int, penaltyNS float64) (int, error) {
+	p := rt.G.P
+	if p < 2 {
+		return -1, fmt.Errorf("locale: cannot degrade a %d-locale runtime", p)
+	}
+	if dead < 0 || dead >= p {
+		return -1, fmt.Errorf("locale: degrade: locale %d outside grid of %d", dead, p)
+	}
+	host := (dead + 1) % p
+	rt.G.Adopt(dead, host)
+	rt.S.Alias(dead, host)
+	rt.S.Advance(host, penaltyNS)
+	rt.S.Barrier()
+	rt.Fault.Rebase(p)
+	return host, nil
 }
 
 // New builds a runtime with p locales (one per node) and the given modeled

@@ -51,6 +51,15 @@ type Counters struct {
 	BulkOps   int64 // bulk transfers
 	Barriers  int64
 	Coforalls int64
+	Retries   int64 // collective transfer retries (fault recovery)
+}
+
+// Hook is consulted on every charged transfer (Bulk and FineGrained); the
+// returned extra time is added to the charged locale's clock. internal/fault
+// implements it to inject modeled delays and stalls and to advance its
+// deterministic fault sequence.
+type Hook interface {
+	PerturbTransfer(loc int, bytes int64) float64
 }
 
 // Sim is the simulated machine state: one clock per locale plus phase and
@@ -60,11 +69,61 @@ type Sim struct {
 
 	mu      sync.Mutex
 	clocks  []float64
+	alias   []int // per-locale clock redirect; nil = identity
 	phases  []Phase
 	started bool
 	pStart  float64 // max clock when the current phase opened
 	pName   string
 	cnt     Counters
+	hook    Hook
+}
+
+// SetHook installs h as the transfer hook (nil removes it).
+func (s *Sim) SetHook(h Hook) {
+	s.mu.Lock()
+	s.hook = h
+	s.mu.Unlock()
+}
+
+// getHook returns the installed hook under the lock.
+func (s *Sim) getHook() Hook {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hook
+}
+
+// NoteRetries records n collective transfer retries in the traffic counters.
+func (s *Sim) NoteRetries(n int64) {
+	s.mu.Lock()
+	s.cnt.Retries += n
+	s.mu.Unlock()
+}
+
+// Alias redirects every future charge against locale dead onto locale host's
+// clock — the cost-model half of adopting a crashed locale's work onto a
+// survivor. The logical locale count (and thus all data layouts) is
+// unchanged; the host simply pays for two locales' work, which is what makes
+// degraded execution slower. Aliases compose: if host is itself aliased, the
+// redirect follows to its live target.
+func (s *Sim) Alias(dead, host int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.alias == nil {
+		s.alias = make([]int, len(s.clocks))
+		for i := range s.alias {
+			s.alias[i] = i
+		}
+	}
+	s.alias[dead] = s.alias[host]
+	s.clocks[dead] = s.clocks[s.alias[host]]
+}
+
+// idx resolves a locale id through the alias table; callers must hold mu.
+func (s *Sim) idx(l int) int {
+	if s.alias == nil {
+		return l
+	}
+	return s.alias[l]
 }
 
 // New returns a simulator for p locales on machine m.
@@ -82,6 +141,7 @@ func (s *Sim) Reset() {
 	for i := range s.clocks {
 		s.clocks[i] = 0
 	}
+	s.alias = nil
 	s.phases = nil
 	s.started = false
 	s.cnt = Counters{}
@@ -118,7 +178,7 @@ func (s *Sim) ComputeTime(threads int, k Kernel) float64 {
 func (s *Sim) Compute(loc, threads int, k Kernel) float64 {
 	t := s.ComputeTime(threads, k)
 	s.mu.Lock()
-	s.clocks[loc] += t
+	s.clocks[s.idx(loc)] += t
 	s.mu.Unlock()
 	return t
 }
@@ -126,7 +186,7 @@ func (s *Sim) Compute(loc, threads int, k Kernel) float64 {
 // Advance adds a fixed time to locale loc's clock.
 func (s *Sim) Advance(loc int, ns float64) {
 	s.mu.Lock()
-	s.clocks[loc] += ns
+	s.clocks[s.idx(loc)] += ns
 	s.mu.Unlock()
 }
 
@@ -178,8 +238,11 @@ func (s *Sim) FineGrainedTime(o RemoteOpts) float64 {
 // charged time.
 func (s *Sim) FineGrained(loc int, o RemoteOpts) float64 {
 	t := s.FineGrainedTime(o)
+	if h := s.getHook(); h != nil {
+		t += h.PerturbTransfer(loc, int64(float64(o.Msgs)*o.BytesPerMsg))
+	}
 	s.mu.Lock()
-	s.clocks[loc] += t
+	s.clocks[s.idx(loc)] += t
 	s.cnt.Messages += o.Msgs
 	s.cnt.Bytes += int64(float64(o.Msgs) * o.BytesPerMsg)
 	s.cnt.FineOps += o.Msgs
@@ -199,8 +262,11 @@ func (s *Sim) BulkTime(bytes int64, intraNode bool) float64 {
 // Bulk charges one bulk transfer of n bytes to locale loc.
 func (s *Sim) Bulk(loc int, bytes int64, intraNode bool) float64 {
 	t := s.BulkTime(bytes, intraNode)
+	if h := s.getHook(); h != nil {
+		t += h.PerturbTransfer(loc, bytes)
+	}
 	s.mu.Lock()
-	s.clocks[loc] += t
+	s.clocks[s.idx(loc)] += t
 	s.cnt.Messages++
 	s.cnt.Bytes += bytes
 	s.cnt.BulkOps++
