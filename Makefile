@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench figures figures-paper ablations clean
+.PHONY: all build vet test test-short race bench bench-smoke figures figures-paper ablations clean
 
 all: build vet test
 
@@ -33,7 +33,13 @@ figures-paper:
 	$(GO) run ./cmd/gbbench -figure all -scale paper
 
 ablations:
-	$(GO) run ./cmd/gbbench -figure ablgather,ablsort,ablatomic,ablgrid -scale paper
+	$(GO) run ./cmd/gbbench -figure ablgather,ablsort,ablatomic,ablgrid,ablengine,ablbulk -scale paper
+
+# The CI smoke benchmark: SpMSpV kernel microbenchmarks once each, plus the
+# Fig 7 / engine / bulk figures at small scale into BENCH_spmspv.json.
+bench-smoke:
+	$(GO) test -run '^$$' -bench SpMSpV -benchtime 1x ./...
+	$(GO) run ./cmd/gbbench -figure fig7,ablengine,ablbulk -scale small -json BENCH_spmspv.json -q
 
 clean:
 	$(GO) clean ./...

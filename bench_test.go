@@ -167,6 +167,15 @@ func BenchmarkRealSpMSpVShm(b *testing.B) {
 	}
 }
 
+func BenchmarkRealSpMSpVBucket(b *testing.B) {
+	a := sparse.ErdosRenyi[int64](100_000, 16, 1)
+	x := sparse.RandomVec[int64](100_000, 2_000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = core.SpMSpVShm(a, x, core.ShmConfig{Engine: core.EngineBucket, Workers: 4})
+	}
+}
+
 func BenchmarkRealSpMSpVSemiring(b *testing.B) {
 	a := sparse.ErdosRenyi[int64](100_000, 16, 1)
 	x := sparse.RandomVec[int64](100_000, 2_000, 2)

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,28 @@ import (
 
 	"repro/internal/bench"
 )
+
+// jsonPoint / jsonFigure / jsonReport shape the -json output: per figure the
+// modeled points plus the wall-clock time the regeneration itself took, so CI
+// trend lines can watch both the model and the real cost of running it.
+type jsonPoint struct {
+	Series  string  `json:"series"`
+	X       int     `json:"x"`
+	Seconds float64 `json:"seconds"`
+}
+
+type jsonFigure struct {
+	ID          string      `json:"id"`
+	Title       string      `json:"title"`
+	WallSeconds float64     `json:"wall_seconds"`
+	Points      []jsonPoint `json:"points"`
+}
+
+type jsonReport struct {
+	Scale   string       `json:"scale"`
+	Chaos   bool         `json:"chaos"`
+	Figures []jsonFigure `json:"figures"`
+}
 
 func main() {
 	var (
@@ -29,6 +52,7 @@ func main() {
 		list      = flag.Bool("list", false, "list the available figure ids and exit")
 		chaos     = flag.Bool("chaos", false, "run every figure under a deterministic fault plan (message drops, delays, stalls); results are unchanged, modeled times include the recovery cost")
 		chaosSeed = flag.Int64("chaos-seed", 1, "seed of the -chaos fault plan")
+		jsonPath  = flag.String("json", "", "also write the figures (modeled points + wall-clock seconds per figure) as JSON to this file")
 	)
 	flag.Parse()
 
@@ -62,18 +86,31 @@ func main() {
 		runs = bench.Registry()
 	} else {
 		for _, id := range strings.Split(*figure, ",") {
-			r := bench.Lookup(id)
-			if r == nil {
+			id = strings.ToLower(strings.TrimSpace(id))
+			if r := bench.Lookup(id); r != nil {
+				runs = append(runs, struct {
+					ID  string
+					Run bench.Runner
+				}{id, r})
+				continue
+			}
+			// Not an exact id: expand it as a prefix, so "fig7" selects
+			// fig7a, fig7b and fig7c.
+			matched := false
+			for _, e := range bench.Registry() {
+				if strings.HasPrefix(e.ID, id) {
+					runs = append(runs, e)
+					matched = true
+				}
+			}
+			if !matched {
 				fmt.Fprintf(os.Stderr, "gbbench: unknown figure %q\n", id)
 				os.Exit(2)
 			}
-			runs = append(runs, struct {
-				ID  string
-				Run bench.Runner
-			}{strings.ToLower(strings.TrimSpace(id)), r})
 		}
 	}
 
+	report := jsonReport{Scale: string(sc), Chaos: *chaos}
 	csvHeaderDone := false
 	failed := 0
 	for _, e := range runs {
@@ -87,8 +124,16 @@ func main() {
 			failed++
 			continue
 		}
+		wall := time.Since(start).Seconds()
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "gbbench: %s done in %.1fs\n", e.ID, time.Since(start).Seconds())
+			fmt.Fprintf(os.Stderr, "gbbench: %s done in %.1fs\n", e.ID, wall)
+		}
+		if *jsonPath != "" {
+			jf := jsonFigure{ID: fig.ID, Title: fig.Title, WallSeconds: wall}
+			for _, p := range fig.Points {
+				jf.Points = append(jf.Points, jsonPoint{Series: p.Series, X: p.X, Seconds: p.Seconds})
+			}
+			report.Figures = append(report.Figures, jf)
 		}
 		switch *format {
 		case "csv":
@@ -105,6 +150,20 @@ func main() {
 			fmt.Println(fig.Chart())
 		default:
 			fmt.Println(fig.Table())
+		}
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gbbench: encoding -json output: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "gbbench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "gbbench: wrote %s (%d figures)\n", *jsonPath, len(report.Figures))
 		}
 	}
 	if failed > 0 {

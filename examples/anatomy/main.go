@@ -68,7 +68,9 @@ func main() {
 		}
 		aB := dist.MatFromCSR(rtB, a0)
 		xB := dist.SpVecFromVec(rtB, x0)
-		_, _ = core.SpMSpVDistBulk(rtB, aB, xB)
+		if _, _, err := core.SpMSpVDistBulk(rtB, aB, xB); err != nil {
+			log.Fatal(err)
+		}
 
 		fmt.Printf("%-7d %6.1f / %6.1f / %6.1f ms           %6.1f ms\n",
 			p, comps["Gather Input"], comps["Local Multiply"], comps["Scatter Output"],

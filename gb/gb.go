@@ -61,11 +61,49 @@ func PlusMonoid[T Number]() Monoid[T]  { return semiring.PlusMonoid[T]() }
 func MinMonoid[T Number]() Monoid[T]   { return semiring.MinMonoid[T]() }
 func MaxMonoid[T Number]() Monoid[T]   { return semiring.MaxMonoid[T]() }
 
+// Engine selects the shared-memory SpMSpV pipeline used by the local
+// multiplies of every operation run through a Context.
+type Engine int
+
+const (
+	// EngineMergeSort is the paper's pipeline: SPA accumulation, a parallel
+	// merge sort of the discovered indices, then output. This is what the
+	// paper's Listings 6–7 describe and what its Fig 7 measures.
+	EngineMergeSort Engine = iota + 1
+	// EngineRadixSort swaps the merge sort for an LSD radix sort of the
+	// index lists — the "less expensive integer sorting algorithm" the
+	// paper's discussion expects to win.
+	EngineRadixSort
+	// EngineBucket is the sort-free bucketed pipeline: the output column
+	// space is split into per-worker bucket ranges, entries are scattered to
+	// private per-(worker,bucket) runs without atomics, and a parallel
+	// ordered bucket merge emits the result already sorted. No global sort,
+	// no global atomic fetch-and-add.
+	EngineBucket
+)
+
 // Context fixes a simulated machine configuration: a grid of locales (one
 // per node unless colocated), a modeled thread count per locale, and the
 // performance-model state.
+//
+// New contexts default to EngineBucket — the fastest SpMSpV pipeline — for
+// their local multiplies; use SetSpMSpVEngine to study the paper's original
+// pipelines. All engines produce bitwise-identical results.
 type Context struct {
 	rt *locale.Runtime
+}
+
+// SetSpMSpVEngine selects the shared-memory SpMSpV pipeline for subsequent
+// operations on this context.
+func (c *Context) SetSpMSpVEngine(e Engine) {
+	switch e {
+	case EngineMergeSort:
+		c.rt.ShmEngine = int(core.EngineMergeSort)
+	case EngineRadixSort:
+		c.rt.ShmEngine = int(core.EngineRadixSort)
+	default:
+		c.rt.ShmEngine = int(core.EngineBucket)
+	}
 }
 
 // NewContext returns a context with p locales (one per node) and the given
@@ -75,6 +113,7 @@ func NewContext(p, threads int) (*Context, error) {
 	if err != nil {
 		return nil, err
 	}
+	rt.ShmEngine = int(core.EngineBucket)
 	return &Context{rt: rt}, nil
 }
 
@@ -85,7 +124,9 @@ func NewContextOneNode(p, threads int) (*Context, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Context{rt: locale.NewWithGrid(machine.Edison(), g, threads)}, nil
+	rt := locale.NewWithGrid(machine.Edison(), g, threads)
+	rt.ShmEngine = int(core.EngineBucket)
+	return &Context{rt: rt}, nil
 }
 
 // Locales returns the locale count.

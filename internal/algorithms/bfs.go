@@ -46,6 +46,14 @@ func BFSShm[T semiring.Number](a *sparse.CSR[T], source int, cfg core.ShmConfig)
 	}
 	visited := sparse.NewDense[int64](n)
 
+	// Callers that leave the engine and sort knobs at their zero values get
+	// the sort-free bucket pipeline — BFS only needs the output pattern and
+	// parents, not the paper's exact sorting phase. An explicit Sort or Engine
+	// choice (e.g. the figure drivers reproducing Fig 7) is honored untouched.
+	if cfg.Engine == core.EngineAuto && cfg.Sort == core.MergeSort {
+		cfg.Engine = core.EngineBucket
+	}
+
 	frontier := sparse.NewVec[T](n)
 	frontier.Ind = []int{source}
 	frontier.Val = []T{1}

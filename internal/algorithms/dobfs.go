@@ -70,8 +70,11 @@ func BFSDirectionOptimizing[T semiring.Number](a *sparse.CSR[T], source int, alp
 				visited.Data[v] = 1
 			}
 		} else {
-			// Top-down (push): the paper's masked SpMSpV step.
-			y, _ := core.SpMSpVMasked(a, frontier, visited, core.ShmConfig{})
+			// Top-down (push): the paper's masked SpMSpV step, run on the
+			// sort-free bucket engine — direction optimization is already a
+			// departure from the paper's Listing, so the push steps take the
+			// fastest pipeline rather than the fidelity default.
+			y, _ := core.SpMSpVMasked(a, frontier, visited, core.ShmConfig{Engine: core.EngineBucket})
 			next = sparse.NewVec[T](n)
 			for k, v := range y.Ind {
 				res.Level[v] = level

@@ -42,7 +42,9 @@ func AblGather(scale Scale) (Figure, error) {
 		}
 		a = dist.MatFromCSR(rt, a0)
 		x = dist.SpVecFromVec(rt, x0)
-		_, _ = core.SpMSpVDistBulk(rt, a, x)
+		if _, _, err := core.SpMSpVDistBulk(rt, a, x); err != nil {
+			return fig, err
+		}
 		fig.Points = append(fig.Points, Point{"bulk-synchronous", p, rt.S.ElapsedSeconds()})
 	}
 	return fig, nil
@@ -75,6 +77,93 @@ func AblSort(scale Scale) (Figure, error) {
 			})
 			fig.Points = append(fig.Points, Point{kind.name, th, rt.S.PhaseNS("Sorting") / 1e9})
 		}
+	}
+	return fig, nil
+}
+
+// AblEngine compares the three shared-memory SpMSpV pipelines end to end:
+// merge sort (the paper's Listing 6–7), radix sort (its suggested cheaper
+// sort), and the sort-free bucket engine (scatter into per-worker bucket
+// ranges, ordered bucket merge, no global sort and no atomic fetch-and-add).
+// Unlike AblSort, which isolates the sorting phase, this measures the whole
+// multiply, so the bucket engine's savings on the accumulation side show too.
+func AblEngine(scale Scale) (Figure, error) {
+	c := spmspvScaled(scale, fig7Configs[0])
+	a := sparse.ErdosRenyi[int64](c.n, c.d, 909)
+	x := sparse.RandomVec[int64](c.n, int(float64(c.n)*c.f), 910)
+	fig := Figure{
+		ID:     "ablengine",
+		Title:  "SpMSpV pipeline: merge sort (paper) vs radix sort vs sort-free buckets, " + fig7Configs[0].label(scale),
+		XLabel: "threads",
+		YLabel: "time",
+	}
+	engines := []struct {
+		name string
+		e    core.Engine
+	}{
+		{"merge sort", core.EngineMergeSort},
+		{"radix sort", core.EngineRadixSort},
+		{"bucket", core.EngineBucket},
+	}
+	for _, th := range threadSweep {
+		for _, eng := range engines {
+			rt, err := newRT(1, th)
+			if err != nil {
+				return fig, err
+			}
+			_, _ = core.SpMSpVShm(a, x, core.ShmConfig{
+				Threads: th, Engine: eng.e, Sim: rt.S, Loc: 0,
+			})
+			fig.Points = append(fig.Points, Point{eng.name, th, rt.S.ElapsedSeconds()})
+		}
+	}
+	return fig, nil
+}
+
+// AblBulk breaks the fine-grained vs bulk-synchronous comparison of AblGather
+// down by communication phase: the gather and scatter times of the paper's
+// element-wise SpMSpVDist against the same phases of SpMSpVDistBulk, whose
+// collectives send one α+βn message per locale pair.
+func AblBulk(scale Scale) (Figure, error) {
+	c := spmspvScaled(scale, fig7Configs[0])
+	a0 := sparse.ErdosRenyi[int64](c.n, c.d, 911)
+	x0 := sparse.RandomVec[int64](c.n, int(float64(c.n)*c.f), 912)
+	fig := Figure{
+		ID:     "ablbulk",
+		Title:  "SpMSpV communication phases: fine-grained vs bulk collectives, " + fig7Configs[0].label(scale),
+		XLabel: "nodes",
+		YLabel: "time",
+	}
+	phaseTotals := func(rt *locale.Runtime) map[string]float64 {
+		totals := map[string]float64{}
+		for _, ph := range rt.S.Phases() {
+			totals[ph.Name] += ph.NS / 1e9
+		}
+		return totals
+	}
+	for _, p := range nodeSweep {
+		rt, err := newRT(p, 24)
+		if err != nil {
+			return fig, err
+		}
+		a := dist.MatFromCSR(rt, a0)
+		x := dist.SpVecFromVec(rt, x0)
+		_, _ = core.SpMSpVDist(rt, a, x)
+		fine := phaseTotals(rt)
+		fig.Points = append(fig.Points, Point{"gather (fine)", p, fine["Gather Input"]})
+		fig.Points = append(fig.Points, Point{"scatter (fine)", p, fine["Scatter Output"]})
+
+		if rt, err = newRT(p, 24); err != nil {
+			return fig, err
+		}
+		a = dist.MatFromCSR(rt, a0)
+		x = dist.SpVecFromVec(rt, x0)
+		if _, _, err := core.SpMSpVDistBulk(rt, a, x); err != nil {
+			return fig, err
+		}
+		bulk := phaseTotals(rt)
+		fig.Points = append(fig.Points, Point{"gather (bulk)", p, bulk["Gather Input"]})
+		fig.Points = append(fig.Points, Point{"scatter (bulk)", p, bulk["Scatter Output"]})
 	}
 	return fig, nil
 }

@@ -80,6 +80,8 @@ func Registry() []struct {
 		{"ablsort", AblSort},
 		{"ablatomic", AblAtomic},
 		{"ablgrid", AblGrid},
+		{"ablengine", AblEngine},
+		{"ablbulk", AblBulk},
 	}
 }
 

@@ -29,8 +29,8 @@ func runFig(t *testing.T, r Runner) Figure {
 
 func TestRegistryAndLookup(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 22 {
-		t.Fatalf("registry has %d figures, want 22", len(reg))
+	if len(reg) != 24 {
+		t.Fatalf("registry has %d figures, want 24", len(reg))
 	}
 	for _, e := range reg {
 		if Lookup(e.ID) == nil {

@@ -66,6 +66,16 @@ const (
 	costOutputCPU   = 500.0
 	costOutputBytes = 24.0
 
+	// Sort-free bucketed SpMSpV (EngineBucket): worker-private bucket runs
+	// replace the contended atomic SPA (no atomic term at all), and an
+	// ordered per-bucket merge plus a range scan replace the comparison
+	// sort. The scatter keeps the same per-entry CPU as the SPA phase (the
+	// row-iteration machinery is unchanged); only the claim cost disappears.
+	costBucketScatterBytes = 24.0  // append (index, value) to a private run
+	costBucketMergeCPU     = 250.0 // first-wins/accumulate into the bucket's dense slice
+	costBucketMergeBytes   = 24.0
+	costBucketEmitCPU      = 8.0 // ordered scan of each bucket's index range
+
 	// Distributed SpMSpV gather/scatter payload per fine-grained message.
 	bytesPerIndex = 8.0
 	bytesPerEntry = 16.0

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"repro/internal/semiring"
+	"repro/internal/sim"
+	"repro/internal/sparse"
+)
+
+// SpMSpVBucket is the third shared-memory SpMSpV engine: the sort-free
+// bucketed pipeline validated in CombBLAS 2.0. The output column space is
+// partitioned into contiguous bucket ranges; each worker scatters the entries
+// it visits into private per-bucket runs (no atomic isthere probe, no global
+// fetch-and-add cursor), each bucket is then claimed and accumulated
+// independently — first append wins, exactly the paper's "only keeping the
+// first index" — and finally emitted by scanning its range in ascending
+// order. Concatenating the buckets yields the sorted output with no sorting
+// step at all, replacing SPA → Sort → Output with
+// Bucket-scatter → per-bucket merge → concat.
+//
+// Unlike SpMSpVShm with Workers > 1, the result is deterministic for any
+// worker count: workers own contiguous ascending chunks of x, so the winning
+// entry for every column is the globally first one in x order — byte-
+// identical to the merge-sort engine run with Workers == 1.
+//
+// When cfg.Phased is set the phases are recorded as "Bucket Scatter",
+// "Bucket Merge" and "Output" (the bucket analogue of Fig 7's breakdown).
+func SpMSpVBucket[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T], cfg ShmConfig) (*sparse.Vec[int64], ShmStats) {
+	cfg.Engine = EngineBucket
+	return spmspvBucket(a, x, cfg)
+}
+
+func spmspvBucket[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T], cfg ShmConfig) (*sparse.Vec[int64], ShmStats) {
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	var st ShmStats
+	nnzX := x.NNZ()
+	workers := cfg.Workers
+	if workers > nnzX && nnzX > 0 {
+		workers = nnzX
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	buckets := bucketCount(cfg.Threads, workers, a.NCols)
+
+	// Phase 1: bucket scatter — worker-private runs, no atomics.
+	if cfg.Sim != nil && cfg.Phased {
+		cfg.Sim.BeginPhase("Bucket Scatter")
+	}
+	spa := sparse.NewBucketSPA[int64](a.NCols, workers, buckets)
+	counts := make([]int64, workers)
+	done := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		lo, hi := w*nnzX/workers, (w+1)*nnzX/workers
+		go func(w, lo, hi int) {
+			var seen int64
+			for k := lo; k < hi; k++ {
+				rid := x.Ind[k]
+				if rid < 0 || rid >= a.NRows {
+					continue
+				}
+				cols, _ := a.Row(rid)
+				seen += int64(len(cols))
+				for _, colid := range cols {
+					spa.Append(w, colid, int64(rid))
+				}
+			}
+			counts[w] = seen
+			done <- struct{}{}
+		}(w, lo, hi)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	for _, c := range counts {
+		st.EntriesVisited += c
+	}
+	st.RowsSelected = nnzX
+	if cfg.Sim != nil {
+		cfg.Sim.Compute(cfg.Loc, cfg.Threads, sim.Kernel{
+			Name:         "spmspv-bucket-scatter",
+			Items:        st.EntriesVisited,
+			CPUPerItem:   costSpaCPU,
+			BytesPerItem: costBucketScatterBytes,
+			// No atomic term: runs are worker-private.
+		})
+		cfg.Sim.Compute(cfg.Loc, cfg.Threads, sim.Kernel{
+			Name:       "spmspv-spa-rows",
+			Items:      int64(nnzX),
+			CPUPerItem: costSpaPerRow,
+		})
+	}
+
+	// Phase 2: per-bucket merge + ordered emission (replaces the sort).
+	if cfg.Sim != nil && cfg.Phased {
+		cfg.Sim.BeginPhase("Bucket Merge")
+	}
+	ind, val, mst := spa.Merge(nil, workers)
+	chargeBucketMerge(cfg, mst)
+
+	// Phase 3: output vector (same yDom build cost as the other engines).
+	if cfg.Sim != nil && cfg.Phased {
+		cfg.Sim.BeginPhase("Output")
+	}
+	y := &sparse.Vec[int64]{N: a.NCols, Ind: ind, Val: val}
+	st.NnzOut = len(ind)
+	if cfg.Sim != nil {
+		cfg.Sim.Compute(cfg.Loc, cfg.Threads, sim.Kernel{
+			Name:         "spmspv-output",
+			Items:        int64(len(ind)),
+			CPUPerItem:   costOutputCPU,
+			BytesPerItem: costOutputBytes,
+		})
+		if cfg.Phased {
+			cfg.Sim.EndPhase()
+		}
+	}
+	return y, st
+}
+
+// spmspvBucketSemiring is the general-semiring bucket engine: entries carry
+// x[i] ⊗ A[i,j] products and the bucket merge accumulates duplicates with the
+// additive monoid instead of first-wins claiming. Deterministic for
+// commutative, associative monoids regardless of worker count.
+func spmspvBucketSemiring[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T], sr semiring.Semiring[T], cfg ShmConfig) (*sparse.Vec[T], ShmStats) {
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	var st ShmStats
+	nnzX := x.NNZ()
+	workers := cfg.Workers
+	if workers > nnzX && nnzX > 0 {
+		workers = nnzX
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	buckets := bucketCount(cfg.Threads, workers, a.NCols)
+
+	if cfg.Sim != nil && cfg.Phased {
+		cfg.Sim.BeginPhase("Bucket Scatter")
+	}
+	spa := sparse.NewBucketSPA[T](a.NCols, workers, buckets)
+	counts := make([]int64, workers)
+	done := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		lo, hi := w*nnzX/workers, (w+1)*nnzX/workers
+		go func(w, lo, hi int) {
+			var seen int64
+			for k := lo; k < hi; k++ {
+				rid := x.Ind[k]
+				if rid < 0 || rid >= a.NRows {
+					continue
+				}
+				cols, vals := a.Row(rid)
+				seen += int64(len(cols))
+				xv := x.Val[k]
+				for c, colid := range cols {
+					spa.Append(w, colid, sr.Mul(xv, vals[c]))
+				}
+			}
+			counts[w] = seen
+			done <- struct{}{}
+		}(w, lo, hi)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	for _, c := range counts {
+		st.EntriesVisited += c
+	}
+	st.RowsSelected = nnzX
+	if cfg.Sim != nil {
+		cfg.Sim.Compute(cfg.Loc, cfg.Threads, sim.Kernel{
+			Name:         "spmspv-bucket-scatter",
+			Items:        st.EntriesVisited,
+			CPUPerItem:   costSpaCPU,
+			BytesPerItem: costBucketScatterBytes,
+		})
+		cfg.Sim.Compute(cfg.Loc, cfg.Threads, sim.Kernel{
+			Name:       "spmspv-spa-rows",
+			Items:      int64(nnzX),
+			CPUPerItem: costSpaPerRow,
+		})
+	}
+
+	if cfg.Sim != nil && cfg.Phased {
+		cfg.Sim.BeginPhase("Bucket Merge")
+	}
+	ind, val, mst := spa.Merge(sr.Add.Op, workers)
+	chargeBucketMerge(cfg, mst)
+
+	if cfg.Sim != nil && cfg.Phased {
+		cfg.Sim.BeginPhase("Output")
+	}
+	y := &sparse.Vec[T]{N: a.NCols, Ind: ind, Val: val}
+	st.NnzOut = len(ind)
+	if cfg.Sim != nil {
+		cfg.Sim.Compute(cfg.Loc, cfg.Threads, sim.Kernel{
+			Name:         "spmspv-output",
+			Items:        int64(len(ind)),
+			CPUPerItem:   costOutputCPU,
+			BytesPerItem: costOutputBytes,
+		})
+		if cfg.Phased {
+			cfg.Sim.EndPhase()
+		}
+	}
+	return y, st
+}
+
+// chargeBucketMerge charges the per-bucket merge and the ordered range-scan
+// emission. Buckets are independent, so both parallelize across the full
+// thread count (bucketCount guarantees buckets >= threads when the domain
+// allows it); there is no serial merge chain and no serialized atomic term.
+func chargeBucketMerge(cfg ShmConfig, mst sparse.BucketMergeStats) {
+	if cfg.Sim == nil {
+		return
+	}
+	cfg.Sim.Compute(cfg.Loc, cfg.Threads, sim.Kernel{
+		Name:         "spmspv-bucket-merge",
+		Items:        mst.Entries,
+		CPUPerItem:   costBucketMergeCPU,
+		BytesPerItem: costBucketMergeBytes,
+	})
+	cfg.Sim.Compute(cfg.Loc, cfg.Threads, sim.Kernel{
+		Name:         "spmspv-bucket-emit",
+		Items:        mst.Scanned,
+		CPUPerItem:   costBucketEmitCPU,
+		BytesPerItem: 1,
+	})
+}
+
+// bucketCount picks the bucket-range count: enough for every modeled thread
+// and every real worker to own distinct ranges, capped by the domain size.
+func bucketCount(threads, workers, n int) int {
+	b := threads
+	if workers > b {
+		b = workers
+	}
+	if b > n && n > 0 {
+		b = n
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
+}

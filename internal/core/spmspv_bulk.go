@@ -1,58 +1,74 @@
 package core
 
 import (
+	"repro/internal/comm"
 	"repro/internal/dist"
 	"repro/internal/locale"
 	"repro/internal/semiring"
-	"repro/internal/sim"
 	"repro/internal/sparse"
 )
 
-// SpMSpVDistBulk is the bulk-synchronous variant of the distributed SpMSpV
-// that the paper's discussion recommends ("We can mitigate this effect by
-// using bulk-synchronous execution and batched communication"): instead of
-// one fine-grained message per element, the gather moves each remote source's
-// slice in a single bulk transfer, and the scatter batches output elements by
-// destination locale, sending one message per destination.
+// SpMSpVDistBulk is the communication-avoiding variant of the distributed
+// SpMSpV the paper's discussion recommends ("We can mitigate this effect by
+// using bulk-synchronous execution and batched communication"). It keeps the
+// gather / local multiply / scatter structure of SpMSpVDist but routes both
+// communication steps through the bulk collectives of internal/comm:
 //
-// The real computation and the result are identical to SpMSpVDist; only the
-// communication structure (and therefore the modeled cost) changes. The
-// ablation figure ablGather compares the two.
-func SpMSpVDistBulk[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *dist.SpVec[T]) (*dist.SpVec[int64], DistStats) {
+//   - Gather: comm.SparseRowAllGather — one α+βn message per (src, dst) pair
+//     of each processor-row team (O(P) messages instead of O(nnz) fine-grained
+//     α-charges), with the sorted per-source runs k-way merged on arrival.
+//   - Scatter: comm.ColMergeScatter — each locale splits its sorted output run
+//     into owner segments and sends each as one bulk message; the destination
+//     merges the segments in source order, which replaces the global atomic
+//     isthere bitmap (and its trailing denseToSparse scan) with a
+//     destination-owned merge producing the sparse result directly.
+//
+// The local multiply picks its engine from rt.ShmEngine (see core.Engine), so
+// the sort-free bucket engine composes with the bulk communication. The
+// result is bitwise identical to SpMSpVDist; retry and fault costs flow
+// through the collectives' retryExtra path, so a fault plan slows the modeled
+// clock without changing the output, and a crashed locale or exhausted retry
+// budget surfaces as an error.
+func SpMSpVDistBulk[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *dist.SpVec[T]) (*dist.SpVec[int64], DistStats, error) {
 	g := rt.G
 	n := a.NCols
 	var st DistStats
 	rt.S.CoforallSpawn()
 
-	// Step 1: gather x along the processor rows — one bulk transfer per
-	// remote source locale.
+	// Step 1: gather x along the processor rows with the bulk collective.
 	rt.S.BeginPhase("Gather Input")
+	srcInds := make([][]int, g.P)
+	srcVals := make([][]T, g.P)
+	for l := 0; l < g.P; l++ {
+		srcInds[l] = x.Loc[l].Ind
+		srcVals[l] = x.Loc[l].Val
+	}
+	gInds, gVals, err := comm.SparseRowAllGather(rt, srcInds, srcVals)
+	if err != nil {
+		return nil, st, err
+	}
 	lxs := make([]*sparse.Vec[T], g.P)
 	for l := 0; l < g.P; l++ {
 		r, _ := g.Coords(l)
 		rowBase := a.RowBands[r]
 		lx := sparse.NewVec[T](a.RowBands[r+1] - rowBase)
-		for _, src := range g.RowLocales(r) {
-			sv := x.Loc[src]
-			for k, gi := range sv.Ind {
-				lx.Ind = append(lx.Ind, gi-rowBase)
-				lx.Val = append(lx.Val, sv.Val[k])
-			}
-			if src != l && sv.NNZ() > 0 {
-				rt.S.Bulk(l, int64(sv.NNZ())*int64(bytesPerEntry), g.SameNode(l, src))
-			}
+		lx.Ind = gInds[l]
+		lx.Val = gVals[l]
+		for k := range lx.Ind {
+			lx.Ind[k] -= rowBase // global row ids → block-local
 		}
 		lxs[l] = lx
 		st.GatheredElems += int64(lx.NNZ())
 	}
 
-	// Step 2: local multiply (identical to the fine-grained version).
+	// Step 2: local multiply, with the engine the runtime selects.
 	rt.S.BeginPhase("Local Multiply")
 	lys := make([]*sparse.Vec[int64], g.P)
 	for l := 0; l < g.P; l++ {
 		ly, shmStats := SpMSpVShm(a.Blocks[l], lxs[l], ShmConfig{
 			Threads: rt.Threads,
 			Workers: rt.RealWorkers,
+			Engine:  Engine(rt.ShmEngine),
 			Sim:     rt.S,
 			Loc:     l,
 		})
@@ -65,58 +81,32 @@ func SpMSpVDistBulk[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *di
 		st.LocalEntries += shmStats.EntriesVisited
 	}
 
-	// Step 3: scatter — batch the output elements by destination locale and
-	// send one message per (source, destination) pair, then merge locally.
+	// Step 3: scatter through the destination-owned merge collective.
 	rt.S.BeginPhase("Scatter Output")
-	bounds := locale.BlockBounds(n, g.P)
-	isthere := make([]bool, n)
-	value := make([]int64, n)
+	outInds := make([][]int, g.P)
+	outVals := make([][]int64, g.P)
 	for l := 0; l < g.P; l++ {
 		_, c := g.Coords(l)
 		colBase := a.ColBands[c]
 		ly := lys[l]
-		perDest := make(map[int]int64)
+		gi := make([]int, len(ly.Ind))
 		for k, lj := range ly.Ind {
-			gj := colBase + lj
-			if !isthere[gj] {
-				isthere[gj] = true
-				value[gj] = ly.Val[k]
-			}
-			owner := locale.OwnerOf(n, g.P, gj)
-			if owner != l {
-				perDest[owner]++
-			}
+			gi[k] = colBase + lj // block-local column ids → global, still sorted
 		}
+		outInds[l] = gi
+		outVals[l] = ly.Val
 		st.ScatteredMsgs += int64(ly.NNZ())
-		for dest, cnt := range perDest {
-			rt.S.Bulk(l, cnt*int64(bytesPerEntry), g.SameNode(l, dest))
-		}
-		// The receiving side merges the batch into its SPA slice.
-		rt.S.Compute(l, rt.Threads, sim.Kernel{
-			Name:       "spmspv-bulk-merge",
-			Items:      int64(ly.NNZ()),
-			CPUPerItem: costScanCPU * 4,
-		})
 	}
-	y := &dist.SpVec[int64]{G: g, N: n, Bounds: bounds, Loc: make([]*sparse.Vec[int64], g.P)}
+	mInds, mVals, err := comm.ColMergeScatter[int64](rt, n, outInds, outVals, nil)
+	if err != nil {
+		return nil, st, err
+	}
+	y := &dist.SpVec[int64]{G: g, N: n, Bounds: locale.BlockBounds(n, g.P), Loc: make([]*sparse.Vec[int64], g.P)}
 	for l := 0; l < g.P; l++ {
-		lv := sparse.NewVec[int64](n)
-		for gj := bounds[l]; gj < bounds[l+1]; gj++ {
-			if isthere[gj] {
-				lv.Ind = append(lv.Ind, gj)
-				lv.Val = append(lv.Val, value[gj])
-			}
-		}
-		y.Loc[l] = lv
-		st.NnzOut += lv.NNZ()
-		rt.S.Compute(l, rt.Threads, sim.Kernel{
-			Name:         "spmspv-densetosparse",
-			Items:        int64(bounds[l+1] - bounds[l]),
-			CPUPerItem:   costScanCPU,
-			BytesPerItem: 1,
-		})
+		y.Loc[l] = &sparse.Vec[int64]{N: n, Ind: mInds[l], Val: mVals[l]}
+		st.NnzOut += len(mInds[l])
 	}
 	rt.S.EndPhase()
 	rt.S.Barrier()
-	return y, st
+	return y, st, nil
 }

@@ -21,7 +21,10 @@ func TestSpMSpVDistBulkMatchesFineGrained(t *testing.T) {
 		rtB := newRT(t, p, 24)
 		aB := dist.MatFromCSR(rtB, a0)
 		xB := dist.SpVecFromVec(rtB, x0)
-		yB, stB := SpMSpVDistBulk(rtB, aB, xB)
+		yB, stB, err := SpMSpVDistBulk(rtB, aB, xB)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
 
 		if !yF.ToVec().Equal(yB.ToVec()) {
 			t.Fatalf("p=%d: bulk result differs from fine-grained", p)
@@ -43,7 +46,9 @@ func TestSpMSpVDistBulkCheaperCommunication(t *testing.T) {
 	rtB := newRT(t, 16, 24)
 	aB := dist.MatFromCSR(rtB, a0)
 	xB := dist.SpVecFromVec(rtB, x0)
-	_, _ = SpMSpVDistBulk(rtB, aB, xB)
+	if _, _, err := SpMSpVDistBulk(rtB, aB, xB); err != nil {
+		t.Fatal(err)
+	}
 
 	if rtB.S.Traffic().Messages >= rtF.S.Traffic().Messages {
 		t.Errorf("bulk used %d messages, fine-grained %d — batching should send far fewer",

@@ -49,6 +49,9 @@ func SpMSpVDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *dist.S
 		srcCount := 0
 		for _, src := range g.RowLocales(r) {
 			sv := x.Loc[src]
+			if sv.NNZ() == 0 {
+				continue // an empty source moves nothing — and charges nothing
+			}
 			for k, gi := range sv.Ind {
 				// Indices arrive in per-source sorted order; sources are
 				// visited in increasing order and own increasing ranges, so
@@ -63,7 +66,7 @@ func SpMSpVDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *dist.S
 		}
 		lxs[l] = lx
 		st.GatheredElems += int64(lx.NNZ())
-		if remoteElems > 0 || srcCount > 0 {
+		if remoteElems > 0 {
 			// Element-wise remote index/value copies plus per-source
 			// remote-domain metadata accesses. The whole machine gathers at
 			// once: the active-message service capacity is shared, so the
@@ -86,6 +89,7 @@ func SpMSpVDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *dist.S
 		ly, shmStats := SpMSpVShm(a.Blocks[l], lxs[l], ShmConfig{
 			Threads: rt.Threads,
 			Workers: rt.RealWorkers,
+			Engine:  Engine(rt.ShmEngine),
 			Sim:     rt.S,
 			Loc:     l,
 		})
@@ -171,6 +175,9 @@ func SpMSpVDistSemiring[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x
 		srcCount := 0
 		for _, src := range g.RowLocales(r) {
 			sv := x.Loc[src]
+			if sv.NNZ() == 0 {
+				continue // empty sources charge nothing
+			}
 			for k, gi := range sv.Ind {
 				lx.Ind = append(lx.Ind, gi-rowBase)
 				lx.Val = append(lx.Val, sv.Val[k])
@@ -182,7 +189,7 @@ func SpMSpVDistSemiring[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x
 		}
 		lxs[l] = lx
 		st.GatheredElems += int64(lx.NNZ())
-		if remoteElems > 0 || srcCount > 0 {
+		if remoteElems > 0 {
 			o := rt.FineLatencyOpts(l, pickRemote(l, g.P), remoteElems+int64(srcCount)*6, bytesPerEntry, g.P)
 			o.Overlap = 1 // serial remote-domain iteration, as in SpMSpVDist
 			rt.S.FineGrained(l, o)
@@ -195,6 +202,7 @@ func SpMSpVDistSemiring[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x
 		ly, shmStats := SpMSpVShmSemiring(a.Blocks[l], lxs[l], sr, ShmConfig{
 			Threads: rt.Threads,
 			Workers: rt.RealWorkers,
+			Engine:  Engine(rt.ShmEngine),
 			Sim:     rt.S,
 			Loc:     l,
 		})

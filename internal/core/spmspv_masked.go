@@ -57,6 +57,9 @@ func SpMSpVDistMasked[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *
 		srcCount := 0
 		for _, src := range g.RowLocales(r) {
 			sv := x.Loc[src]
+			if sv.NNZ() == 0 {
+				continue // empty sources charge nothing
+			}
 			for k, gi := range sv.Ind {
 				lx.Ind = append(lx.Ind, gi-rowBase)
 				lx.Val = append(lx.Val, sv.Val[k])
@@ -68,7 +71,7 @@ func SpMSpVDistMasked[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *
 		}
 		lxs[l] = lx
 		st.GatheredElems += int64(lx.NNZ())
-		if remoteElems > 0 || srcCount > 0 {
+		if remoteElems > 0 {
 			o := rt.FineLatencyOpts(l, pickRemote(l, g.P), remoteElems+int64(srcCount)*6, bytesPerEntry, g.P)
 			o.Overlap = 1
 			rt.S.FineGrained(l, o)
@@ -83,6 +86,7 @@ func SpMSpVDistMasked[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *
 		ly, shmStats := SpMSpVShm(a.Blocks[l], lxs[l], ShmConfig{
 			Threads: rt.Threads,
 			Workers: rt.RealWorkers,
+			Engine:  Engine(rt.ShmEngine),
 			Sim:     rt.S,
 			Loc:     l,
 		})

@@ -21,6 +21,37 @@ const (
 	RadixSort
 )
 
+// Engine selects the shared-memory SpMSpV pipeline.
+type Engine int
+
+const (
+	// EngineAuto resolves from ShmConfig.Sort: the paper's SPA → Sort →
+	// Output pipeline with the configured sorting algorithm. This keeps the
+	// zero-value ShmConfig on the paper's exact behavior (Fig 7).
+	EngineAuto Engine = iota
+	// EngineMergeSort is the paper's pipeline with parallel merge sort.
+	EngineMergeSort
+	// EngineRadixSort is the paper's pipeline with the LSD radix sort the
+	// paper expects to cut the sorting cost.
+	EngineRadixSort
+	// EngineBucket is the sort-free bucketed pipeline: Bucket-scatter →
+	// per-bucket merge → ordered concat. No global sort, no global atomic
+	// fetch-and-add; deterministic for any worker count.
+	EngineBucket
+)
+
+// resolveEngine maps the config to a concrete engine, honoring the legacy
+// Sort field when Engine is left at EngineAuto.
+func (cfg ShmConfig) resolveEngine() Engine {
+	if cfg.Engine == EngineAuto {
+		if cfg.Sort == RadixSort {
+			return EngineRadixSort
+		}
+		return EngineMergeSort
+	}
+	return cfg.Engine
+}
+
 // ShmConfig configures a shared-memory SpMSpV call.
 type ShmConfig struct {
 	// Threads is the modeled thread count.
@@ -29,6 +60,9 @@ type ShmConfig struct {
 	Workers int
 	// Sort selects the sorting algorithm for the result indices.
 	Sort SortKind
+	// Engine selects the pipeline; EngineAuto (the zero value) derives the
+	// engine from Sort, preserving the paper's default.
+	Engine Engine
 	// Sim, if non-nil, receives cost charges on locale Loc. When Phased is
 	// set the three components are recorded as the phases "SPA", "Sorting"
 	// and "Output" (the breakdown of Fig 7).
@@ -62,6 +96,9 @@ type ShmStats struct {
 // may differ between runs (every value is always a valid discovering row);
 // with Workers == 1 the result is deterministic.
 func SpMSpVShm[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T], cfg ShmConfig) (*sparse.Vec[int64], ShmStats) {
+	if cfg.resolveEngine() == EngineBucket {
+		return spmspvBucket(a, x, cfg)
+	}
 	if cfg.Threads < 1 {
 		cfg.Threads = 1
 	}
@@ -151,8 +188,8 @@ func SpMSpVShm[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T], cfg ShmCon
 // chargeSort sorts nzinds in place with the configured algorithm and charges
 // the model for the work actually performed.
 func chargeSort(cfg ShmConfig, nzinds []int) {
-	switch cfg.Sort {
-	case RadixSort:
+	switch cfg.resolveEngine() {
+	case EngineRadixSort:
 		passes := sparse.RadixSortInts(nzinds)
 		if cfg.Sim != nil {
 			cfg.Sim.Compute(cfg.Loc, cfg.Threads, sim.Kernel{
@@ -188,6 +225,9 @@ func chargeSort(cfg ShmConfig, nzinds []int) {
 // deterministic for commutative, associative monoids regardless of the
 // worker count.
 func SpMSpVShmSemiring[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T], sr semiring.Semiring[T], cfg ShmConfig) (*sparse.Vec[T], ShmStats) {
+	if cfg.resolveEngine() == EngineBucket {
+		return spmspvBucketSemiring(a, x, sr, cfg)
+	}
 	if cfg.Threads < 1 {
 		cfg.Threads = 1
 	}

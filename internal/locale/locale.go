@@ -151,6 +151,10 @@ type Runtime struct {
 	// spawn. 1 gives deterministic execution (the default); tests raise it to
 	// exercise the concurrent code paths under -race.
 	RealWorkers int
+	// ShmEngine selects the shared-memory SpMSpV pipeline used by the local
+	// multiplies of distributed operations; the values are internal/core's
+	// Engine constants. 0 (EngineAuto) keeps the paper's default pipeline.
+	ShmEngine int
 	// Fault is the optional fault injector driving modeled failures; nil runs
 	// fault-free. Install with WithFault.
 	Fault *fault.Injector

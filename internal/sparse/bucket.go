@@ -1,0 +1,165 @@
+package sparse
+
+import (
+	"repro/internal/semiring"
+)
+
+// BucketSPA is the sort-free bucketed sparse accumulator: the output index
+// space [0, n) is split into contiguous bucket ranges, every worker appends
+// (index, value) entries to a private run per bucket — no atomics, no shared
+// cursor — and Merge then resolves each bucket independently before emitting
+// its range in ascending index order. Because the bucket ranges themselves
+// ascend, concatenating the per-bucket emissions yields a globally sorted,
+// duplicate-free result without any sorting step. This is the CombBLAS-style
+// remedy for the sort bottleneck the paper's Fig 7 identifies in the
+// SPA → Sort → Output pipeline.
+//
+// Determinism: Merge visits the runs of a bucket in worker order and each
+// worker appends in its input order, so first-wins claiming (op == nil)
+// resolves to the globally first append when workers partition the input into
+// contiguous ascending chunks — the result is independent of both the worker
+// count and the bucket count.
+type BucketSPA[T semiring.Number] struct {
+	N       int // output index domain [0, N)
+	Workers int // run owners (first Append dimension)
+	Buckets int // contiguous index ranges (second Append dimension)
+
+	bounds  []int // bucket b owns [bounds[b], bounds[b+1])
+	runs    [][]bucketEntry[T]
+	val     []T
+	isThere []bool
+}
+
+type bucketEntry[T semiring.Number] struct {
+	ind int
+	val T
+}
+
+// BucketMergeStats records the work one Merge performed, for cost accounting.
+type BucketMergeStats struct {
+	Entries int64 // run entries resolved across all buckets
+	Claimed int   // distinct output positions (= result nnz)
+	Scanned int64 // positions scanned during ordered emission (= N)
+}
+
+// NewBucketSPA returns a bucketed SPA over index domain [0, n) with the given
+// worker and bucket counts (both clamped to at least 1; buckets is capped at
+// n so no bucket range is empty by construction).
+func NewBucketSPA[T semiring.Number](n, workers, buckets int) *BucketSPA[T] {
+	if workers < 1 {
+		workers = 1
+	}
+	if buckets < 1 {
+		buckets = 1
+	}
+	if buckets > n && n > 0 {
+		buckets = n
+	}
+	bounds := make([]int, buckets+1)
+	for b := 1; b <= buckets; b++ {
+		bounds[b] = b * n / buckets
+	}
+	return &BucketSPA[T]{
+		N:       n,
+		Workers: workers,
+		Buckets: buckets,
+		bounds:  bounds,
+		runs:    make([][]bucketEntry[T], workers*buckets),
+		val:     make([]T, n),
+		isThere: make([]bool, n),
+	}
+}
+
+// BucketOf returns the bucket owning index i.
+func (s *BucketSPA[T]) BucketOf(i int) int {
+	b := i * s.Buckets / s.N
+	// The floor-division guess can be off by one around the range edges.
+	for b+1 < len(s.bounds) && i >= s.bounds[b+1] {
+		b++
+	}
+	for b > 0 && i < s.bounds[b] {
+		b--
+	}
+	return b
+}
+
+// Append records (i, v) on worker w's private run for the bucket owning i.
+// Concurrent calls are safe as long as each worker id has one caller.
+func (s *BucketSPA[T]) Append(w, i int, v T) {
+	r := w*s.Buckets + s.BucketOf(i)
+	s.runs[r] = append(s.runs[r], bucketEntry[T]{i, v})
+}
+
+// Merge resolves every bucket and emits the result. With op == nil the first
+// appended entry of each position wins (worker order, then append order);
+// otherwise duplicates are accumulated with op in that same order. Buckets
+// touch disjoint ranges of the dense scratch arrays, so they are processed in
+// parallel with up to `parallel` goroutines without synchronization. The
+// returned index slice is sorted and duplicate-free; val is aligned with it.
+func (s *BucketSPA[T]) Merge(op semiring.BinaryOp[T], parallel int) (ind []int, val []T, st BucketMergeStats) {
+	counts := make([]int, s.Buckets)
+	parForIdx(parallel, s.Buckets, func(b int) {
+		cnt := 0
+		for w := 0; w < s.Workers; w++ {
+			for _, e := range s.runs[w*s.Buckets+b] {
+				if !s.isThere[e.ind] {
+					s.isThere[e.ind] = true
+					s.val[e.ind] = e.val
+					cnt++
+				} else if op != nil {
+					s.val[e.ind] = op(s.val[e.ind], e.val)
+				}
+			}
+		}
+		counts[b] = cnt
+	})
+	for _, r := range s.runs {
+		st.Entries += int64(len(r))
+	}
+	offsets := make([]int, s.Buckets+1)
+	for b := 0; b < s.Buckets; b++ {
+		offsets[b+1] = offsets[b] + counts[b]
+	}
+	total := offsets[s.Buckets]
+	ind = make([]int, total)
+	val = make([]T, total)
+	parForIdx(parallel, s.Buckets, func(b int) {
+		k := offsets[b]
+		for i := s.bounds[b]; i < s.bounds[b+1]; i++ {
+			if s.isThere[i] {
+				ind[k] = i
+				val[k] = s.val[i]
+				k++
+			}
+		}
+	})
+	st.Claimed = total
+	st.Scanned = int64(s.N)
+	return ind, val, st
+}
+
+// parForIdx runs body(i) for every i in [0, n) using up to workers
+// goroutines (strided assignment; workers <= 1 runs inline).
+func parForIdx(workers, n int, body func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	done := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for i := w; i < n; i += workers {
+				body(i)
+			}
+			done <- struct{}{}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+}

@@ -1,0 +1,122 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bucketReference resolves the same append stream with the sequential SPA and
+// a merge sort — the ground truth the bucket SPA must reproduce bitwise.
+func bucketReference(n int, inds []int, vals []int64, firstWins bool) ([]int, []int64) {
+	spa := NewSPA[int64](n)
+	for k, i := range inds {
+		if firstWins {
+			spa.ScatterFirst(i, vals[k])
+		} else {
+			spa.Scatter(i, vals[k], func(a, b int64) int64 { return a + b })
+		}
+	}
+	out := spa.Gather(func(xs []int) { MergeSortInts(xs, 1) })
+	return out.Ind, out.Val
+}
+
+// appendChunked feeds the entry stream into the bucket SPA the way the
+// SpMSpV engine does: contiguous ascending chunks, one per worker.
+func appendChunked(s *BucketSPA[int64], inds []int, vals []int64) {
+	n := len(inds)
+	for w := 0; w < s.Workers; w++ {
+		lo, hi := w*n/s.Workers, (w+1)*n/s.Workers
+		for k := lo; k < hi; k++ {
+			s.Append(w, inds[k], vals[k])
+		}
+	}
+}
+
+func TestBucketSPAFirstWins(t *testing.T) {
+	s := NewBucketSPA[int64](10, 1, 3)
+	for _, e := range []struct {
+		i int
+		v int64
+	}{{7, 70}, {2, 20}, {7, 71}, {0, 1}, {2, 22}} {
+		s.Append(0, e.i, e.v)
+	}
+	ind, val, st := s.Merge(nil, 1)
+	wantInd := []int{0, 2, 7}
+	wantVal := []int64{1, 20, 70}
+	if len(ind) != 3 {
+		t.Fatalf("got %d entries, want 3", len(ind))
+	}
+	for k := range wantInd {
+		if ind[k] != wantInd[k] || val[k] != wantVal[k] {
+			t.Fatalf("entry %d = (%d,%d), want (%d,%d)", k, ind[k], val[k], wantInd[k], wantVal[k])
+		}
+	}
+	if st.Entries != 5 || st.Claimed != 3 || st.Scanned != 10 {
+		t.Errorf("stats %+v, want Entries=5 Claimed=3 Scanned=10", st)
+	}
+}
+
+func TestBucketSPAMonoidAccumulate(t *testing.T) {
+	s := NewBucketSPA[int64](8, 2, 4)
+	s.Append(0, 3, 5)
+	s.Append(0, 6, 1)
+	s.Append(1, 3, 7)
+	s.Append(1, 3, 2)
+	ind, val, _ := s.Merge(func(a, b int64) int64 { return a + b }, 2)
+	if len(ind) != 2 || ind[0] != 3 || ind[1] != 6 {
+		t.Fatalf("indices %v, want [3 6]", ind)
+	}
+	if val[0] != 14 || val[1] != 1 {
+		t.Fatalf("values %v, want [14 1]", val)
+	}
+}
+
+// The result must not depend on the bucket count, the worker count, or the
+// merge parallelism — only on the append order.
+func TestBucketSPAShapeInvariance(t *testing.T) {
+	const n = 1000
+	r := rand.New(rand.NewSource(7))
+	inds := make([]int, 5000)
+	vals := make([]int64, len(inds))
+	for k := range inds {
+		inds[k] = r.Intn(n)
+		vals[k] = int64(k)
+	}
+	wantInd, wantVal := bucketReference(n, inds, vals, true)
+	for _, workers := range []int{1, 2, 3, 8} {
+		for _, buckets := range []int{1, 2, 7, 16, 100, n, 3 * n} {
+			s := NewBucketSPA[int64](n, workers, buckets)
+			appendChunked(s, inds, vals)
+			ind, val, st := s.Merge(nil, workers)
+			if len(ind) != len(wantInd) {
+				t.Fatalf("w=%d b=%d: nnz %d, want %d", workers, buckets, len(ind), len(wantInd))
+			}
+			for k := range ind {
+				if ind[k] != wantInd[k] || val[k] != wantVal[k] {
+					t.Fatalf("w=%d b=%d: entry %d = (%d,%d), want (%d,%d)",
+						workers, buckets, k, ind[k], val[k], wantInd[k], wantVal[k])
+				}
+			}
+			if st.Entries != int64(len(inds)) {
+				t.Fatalf("w=%d b=%d: merged %d entries, want %d", workers, buckets, st.Entries, len(inds))
+			}
+		}
+	}
+}
+
+func TestBucketSPAEmpty(t *testing.T) {
+	s := NewBucketSPA[int64](0, 0, 0)
+	ind, val, st := s.Merge(nil, 4)
+	if len(ind) != 0 || len(val) != 0 || st.Claimed != 0 {
+		t.Fatalf("empty SPA produced %v/%v/%+v", ind, val, st)
+	}
+	s2 := NewBucketSPA[int64](5, 2, 8) // buckets capped at n
+	if s2.Buckets != 5 {
+		t.Fatalf("buckets = %d, want capped to 5", s2.Buckets)
+	}
+	for i := 0; i < 5; i++ {
+		if b := s2.BucketOf(i); b < 0 || b >= s2.Buckets || i < s2.bounds[b] || i >= s2.bounds[b+1] {
+			t.Fatalf("BucketOf(%d) = %d outside its range", i, b)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package sparse
 
 import (
 	"bytes"
+	"math/rand"
 	"strings"
 	"testing"
 )
@@ -63,6 +64,52 @@ func FuzzReadBinaryVec(f *testing.F) {
 		}
 		if verr := w.Validate(); verr != nil {
 			t.Fatalf("binary reader returned corrupt vector: %v", verr)
+		}
+	})
+}
+
+// FuzzBucketSPA drives the sort-free bucket accumulator with random
+// (n, nnz, workers, buckets) shapes and a seeded entry stream: the output
+// must always be sorted, duplicate-free, and bitwise identical to the
+// sequential SPA + merge-sort reference (the merge-sort engine's resolution
+// of the same stream).
+func FuzzBucketSPA(f *testing.F) {
+	f.Add(uint16(100), uint16(500), uint8(1), uint8(1), int64(1))
+	f.Add(uint16(1000), uint16(200), uint8(4), uint8(16), int64(2))
+	f.Add(uint16(7), uint16(900), uint8(9), uint8(200), int64(3))
+	f.Add(uint16(1), uint16(1), uint8(0), uint8(0), int64(4))
+	f.Fuzz(func(t *testing.T, n16, nnz16 uint16, workers8, buckets8 uint8, seed int64) {
+		n := int(n16)%5000 + 1
+		nnz := int(nnz16) % 5000
+		workers := int(workers8)%16 + 1
+		buckets := int(buckets8) + 1
+		r := rand.New(rand.NewSource(seed))
+		inds := make([]int, nnz)
+		vals := make([]int64, nnz)
+		for k := range inds {
+			inds[k] = r.Intn(n)
+			vals[k] = r.Int63n(1 << 20)
+		}
+		wantInd, wantVal := bucketReference(n, inds, vals, true)
+
+		s := NewBucketSPA[int64](n, workers, buckets)
+		appendChunked(s, inds, vals)
+		ind, val, st := s.Merge(nil, workers)
+
+		if len(ind) != len(wantInd) {
+			t.Fatalf("nnz %d, want %d (n=%d w=%d b=%d)", len(ind), len(wantInd), n, workers, buckets)
+		}
+		for k := range ind {
+			if k > 0 && ind[k] <= ind[k-1] {
+				t.Fatalf("indices not strictly sorted at %d: %v", k, ind[k-1:k+1])
+			}
+			if ind[k] != wantInd[k] || val[k] != wantVal[k] {
+				t.Fatalf("entry %d = (%d,%d), want (%d,%d) (n=%d w=%d b=%d)",
+					k, ind[k], val[k], wantInd[k], wantVal[k], n, workers, buckets)
+			}
+		}
+		if st.Entries != int64(nnz) || st.Claimed != len(ind) || st.Scanned != int64(n) {
+			t.Fatalf("stats %+v inconsistent (nnz=%d out=%d n=%d)", st, nnz, len(ind), n)
 		}
 	})
 }
