@@ -36,10 +36,14 @@ ablations:
 	$(GO) run ./cmd/gbbench -figure ablgather,ablsort,ablatomic,ablgrid,ablengine,ablbulk -scale paper
 
 # The CI smoke benchmark: SpMSpV kernel microbenchmarks once each, plus the
-# Fig 7 / engine / bulk figures at small scale into BENCH_spmspv.json.
+# Fig 7 / engine / bulk figures at small scale into BENCH_spmspv.json and
+# their trace spans into trace_smoke.json. -trace-expect fails the run if any
+# listed kernel stops reporting spans.
 bench-smoke:
 	$(GO) test -run '^$$' -bench SpMSpV -benchtime 1x ./...
-	$(GO) run ./cmd/gbbench -figure fig7,ablengine,ablbulk -scale small -json BENCH_spmspv.json -q
+	$(GO) run ./cmd/gbbench -figure fig7,ablengine,ablbulk -scale small -json BENCH_spmspv.json -q \
+		-trace-out trace_smoke.json \
+		-trace-expect SpMSpVShm,SpMSpVDist,SpMSpVDistBulk,SparseRowAllGather,ColMergeScatter
 
 clean:
 	$(GO) clean ./...

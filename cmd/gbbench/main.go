@@ -14,11 +14,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/trace"
 )
 
 // jsonPoint / jsonFigure / jsonReport shape the -json output: per figure the
@@ -53,11 +55,26 @@ func main() {
 		chaos     = flag.Bool("chaos", false, "run every figure under a deterministic fault plan (message drops, delays, stalls); results are unchanged, modeled times include the recovery cost")
 		chaosSeed = flag.Int64("chaos-seed", 1, "seed of the -chaos fault plan")
 		jsonPath  = flag.String("json", "", "also write the figures (modeled points + wall-clock seconds per figure) as JSON to this file")
+		traceOut  = flag.String("trace-out", "", "write the trace spans of the whole run as JSON to this file")
+		traceWant = flag.String("trace-expect", "", "comma-separated op names that must each report at least one span; any missing op fails the run (CI smoke check)")
+		traceHTTP = flag.String("trace-http", "", "serve Prometheus-style trace metrics on this address (e.g. :8080) while the run executes")
 	)
 	flag.Parse()
 
 	if *chaos {
 		bench.EnableChaos(*chaosSeed)
+	}
+
+	var tr *trace.Tracer
+	if *traceOut != "" || *traceWant != "" || *traceHTTP != "" {
+		tr = bench.EnableTrace()
+	}
+	if *traceHTTP != "" {
+		go func() {
+			if err := http.ListenAndServe(*traceHTTP, trace.Handler(tr)); err != nil {
+				fmt.Fprintf(os.Stderr, "gbbench: -trace-http: %v\n", err)
+			}
+		}()
 	}
 
 	if *list {
@@ -166,8 +183,56 @@ func main() {
 			fmt.Fprintf(os.Stderr, "gbbench: wrote %s (%d figures)\n", *jsonPath, len(report.Figures))
 		}
 	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gbbench: creating %s: %v\n", *traceOut, err)
+			os.Exit(1)
+		}
+		if err := trace.WriteJSON(f, tr); err != nil {
+			fmt.Fprintf(os.Stderr, "gbbench: writing %s: %v\n", *traceOut, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "gbbench: closing %s: %v\n", *traceOut, err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "gbbench: wrote %s (%d root spans)\n", *traceOut, len(tr.Roots()))
+		}
+	}
+	if *traceWant != "" {
+		missing := 0
+		for _, op := range strings.Split(*traceWant, ",") {
+			op = strings.TrimSpace(op)
+			if op == "" {
+				continue
+			}
+			if n := countSpans(tr.Roots(), op); n == 0 {
+				fmt.Fprintf(os.Stderr, "gbbench: -trace-expect: op %q reported zero spans\n", op)
+				missing++
+			} else if !*quiet {
+				fmt.Fprintf(os.Stderr, "gbbench: -trace-expect: op %q reported %d span(s)\n", op, n)
+			}
+		}
+		if missing > 0 {
+			os.Exit(1)
+		}
+	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "gbbench: %d figure(s) failed\n", failed)
 		os.Exit(1)
 	}
+}
+
+// countSpans counts spans named name anywhere in the forest.
+func countSpans(spans []*trace.Span, name string) int {
+	n := 0
+	for _, sp := range spans {
+		if sp.Name == name {
+			n++
+		}
+		n += countSpans(sp.Children, name)
+	}
+	return n
 }

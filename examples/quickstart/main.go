@@ -10,8 +10,9 @@ import (
 )
 
 func main() {
-	// A simulated machine: 4 locales (nodes), 24 threads each.
-	ctx, err := gb.NewContext(4, 24)
+	// A simulated machine: 4 locales (nodes), 24 threads each. gb.New also
+	// takes engine, fault-plan, retry-policy and tracer options.
+	ctx, err := gb.New(gb.Locales(4), gb.Threads(24))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,67 @@
+// Package gb is the public face of the GraphBLAS library: a Chapel-paper
+// reproduction of distributed sparse linear algebra for graph computation.
+//
+// The library mirrors "Towards a GraphBLAS Library in Chapel" (Azad & Buluç,
+// IPDPSW 2017): sparse matrices in CSR form, sparse vectors with sorted index
+// lists, 2-D block distribution over a grid of locales, and the GraphBLAS
+// operations Apply, Assign, eWiseMult and SpMSpV — each in the paper's
+// "idiomatic" and "hand-optimized SPMD" variants — plus the primitives needed
+// for complete algorithms (reduce, extract, SpMV, SpGEMM, masks, semirings).
+//
+// A Context fixes the simulated machine configuration (locale count, threads
+// per locale, node placement). All operations execute for real on real data;
+// the Context's simulator additionally models what the execution would cost
+// on the configured machine, which is how the repository regenerates the
+// paper's figures on a laptop. Use Context.Elapsed to read the modeled time.
+//
+// Quick start:
+//
+//	ctx, _ := gb.New(gb.Locales(4), gb.Threads(24)) // 4 locales x 24 threads
+//	a := gb.ErdosRenyi[int64](ctx, 100000, 8, 1)    // G(n, d/n) random graph
+//	res, _ := gb.BFS(ctx, a, 0)                     // GraphBLAS-composed BFS
+//	fmt.Println(res.Rounds, ctx.Elapsed())          // rounds, modeled seconds
+//
+// # Configuration
+//
+// New takes functional options; the defaults are one locale, one thread and
+// the bucket SpMSpV engine. Engines (gb.MergeSort, gb.RadixSort, gb.Bucket),
+// fault plans and retry policies are options themselves:
+//
+//	tr := &gb.Trace{}
+//	ctx, _ := gb.New(gb.Locales(16), gb.Threads(24), gb.MergeSort,
+//	    gb.StandardChaosPlan(7), gb.RetryPolicy{MaxAttempts: 5},
+//	    gb.Tracer(tr))
+//
+// # Tracing
+//
+// A Context carrying a tracer (the Tracer option, or WithTracer) reports one
+// span per operation — kernels, collectives and whole algorithms — with the
+// phase breakdown, per-locale message/byte/retry counters and engine tags.
+// Export the collected spans with trace.WriteJSON or trace.WritePrometheus,
+// or read them programmatically (ctx.Tracer().Roots()). Tracing observes the
+// simulator without charging it: modeled times are bitwise identical with
+// and without a tracer.
+//
+// # Deriving contexts and aliasing
+//
+// The chainable With* methods (WithFaultPlan, WithRetryPolicy, WithTracer)
+// return a new derived context and leave the receiver untouched:
+//
+//	chaotic := ctx.WithFaultPlan(gb.StandardChaosPlan(3))
+//	// ctx still runs fault-free; chaotic draws from the plan.
+//
+// The aliasing rules for a derived context are:
+//
+//   - The modeled clock and traffic counters are copied at derivation time
+//     and advance independently afterwards.
+//   - The locale grid and data layout are shared, so matrices and vectors
+//     created on the parent are usable from the derivation (their blocks are
+//     not copied — element mutations are visible through both).
+//   - Operations on a value route their modeled costs to the context the
+//     value was created on, so create operands after deriving the context
+//     whose clock should observe them.
+//   - A tracer installed on the parent is shared with the derivation and is
+//     rebound to the derivation's simulator: after deriving, spans report
+//     the derivation's costs. Give each lineage its own tracer when both
+//     stay in use.
+package gb

@@ -12,16 +12,18 @@ import (
 // algorithms checkpoint and replay around a locale crash, and the runtime
 // degrades onto the surviving locales — all charged to the modeled clock.
 
-type (
-	// FaultPlan is a deterministic, seedable fault plan (see fault.Plan for
-	// the knobs). The zero value with CrashLocale -1 injects nothing.
-	FaultPlan = fault.Plan
-	// FaultStats counts the faults injected so far.
-	FaultStats = fault.Stats
-	// RetryPolicy governs collective retry timeout/backoff; the zero value
-	// means the library defaults.
-	RetryPolicy = fault.RetryPolicy
-)
+// FaultPlan is a deterministic, seedable fault plan (see fault.Plan for the
+// knobs). The zero value with CrashLocale -1 injects nothing. A FaultPlan is
+// itself a New option: gb.New(gb.StandardChaosPlan(1)).
+type FaultPlan fault.Plan
+
+// RetryPolicy governs collective retry timeout/backoff; the zero value means
+// the library defaults. A RetryPolicy is itself a New option:
+// gb.New(gb.RetryPolicy{MaxAttempts: 5}).
+type RetryPolicy fault.RetryPolicy
+
+// FaultStats counts the faults injected so far.
+type FaultStats = fault.Stats
 
 // Typed errors, matchable with errors.Is.
 var (
@@ -38,24 +40,28 @@ var (
 	ErrIndexOutOfRange = errors.New("gb: index out of range")
 )
 
-// WithFaultPlan installs a fault plan on the context: every subsequent
-// operation draws from the plan's deterministic fault sequence. Returns the
-// context for chaining.
+// WithFaultPlan returns a context on which every subsequent operation draws
+// from the plan's deterministic fault sequence. The receiver is not modified
+// (see the package documentation for the aliasing rules of derived
+// contexts).
 func (c *Context) WithFaultPlan(p FaultPlan) *Context {
-	c.rt.WithFault(p)
-	return c
+	nc := c.clone()
+	nc.rt.WithFault(fault.Plan(p))
+	return nc
 }
 
-// WithRetryPolicy overrides the collective retry policy (zero fields fall
-// back to the defaults). Returns the context for chaining.
+// WithRetryPolicy returns a context with the collective retry policy
+// overridden (zero fields fall back to the defaults). The receiver is not
+// modified.
 func (c *Context) WithRetryPolicy(rp RetryPolicy) *Context {
-	c.rt.Retry = rp
-	return c
+	nc := c.clone()
+	nc.rt.Retry = fault.RetryPolicy(rp)
+	return nc
 }
 
 // StandardChaosPlan returns the stock chaos plan (2% drops, 5% delays, 1%
 // stalls, no crash), deterministic under seed — what `gbbench -chaos` uses.
-func StandardChaosPlan(seed int64) FaultPlan { return fault.StandardChaos(seed) }
+func StandardChaosPlan(seed int64) FaultPlan { return FaultPlan(fault.StandardChaos(seed)) }
 
 // FaultStats returns the counts of faults injected so far (zero without a
 // plan).

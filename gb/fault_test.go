@@ -81,7 +81,7 @@ func TestWithFaultPlanChaosSmoke(t *testing.T) {
 	}
 	plan := StandardChaosPlan(3)
 	plan.CrashLocale, plan.CrashStep = 4, 30
-	chaotic.WithFaultPlan(plan)
+	chaotic = chaotic.WithFaultPlan(plan)
 	got, err := BFS(chaotic, ErdosRenyi[int64](chaotic, 150, 5, 9), 0)
 	if err != nil {
 		t.Fatal(err)
@@ -121,7 +121,7 @@ func TestWithRetryPolicyExhaustion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctx.WithFaultPlan(FaultPlan{Seed: 5, DropProb: 1, CrashLocale: -1}).
+	ctx = ctx.WithFaultPlan(FaultPlan{Seed: 5, DropProb: 1, CrashLocale: -1}).
 		WithRetryPolicy(RetryPolicy{MaxAttempts: 3})
 	a := ErdosRenyi[float64](ctx, 60, 4, 13)
 	_, _, err = SSSP(a, 0)

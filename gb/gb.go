@@ -1,25 +1,3 @@
-// Package gb is the public face of the GraphBLAS library: a Chapel-paper
-// reproduction of distributed sparse linear algebra for graph computation.
-//
-// The library mirrors "Towards a GraphBLAS Library in Chapel" (Azad & Buluç,
-// IPDPSW 2017): sparse matrices in CSR form, sparse vectors with sorted index
-// lists, 2-D block distribution over a grid of locales, and the GraphBLAS
-// operations Apply, Assign, eWiseMult and SpMSpV — each in the paper's
-// "idiomatic" and "hand-optimized SPMD" variants — plus the primitives needed
-// for complete algorithms (reduce, extract, SpMV, SpGEMM, masks, semirings).
-//
-// A Context fixes the simulated machine configuration (locale count, threads
-// per locale, node placement). All operations execute for real on real data;
-// the Context's simulator additionally models what the execution would cost
-// on the configured machine, which is how the repository regenerates the
-// paper's figures on a laptop. Use Context.Elapsed to read the modeled time.
-//
-// Quick start:
-//
-//	ctx, _ := gb.NewContext(4, 24)               // 4 locales x 24 threads
-//	a := gb.ErdosRenyi[int64](ctx, 100000, 8, 1) // G(n, d/n) random graph
-//	res, _ := gb.BFS(ctx, a, 0)                  // GraphBLAS-composed BFS
-//	fmt.Println(res.Rounds, ctx.Elapsed())       // rounds, modeled seconds
 package gb
 
 import (
@@ -29,7 +7,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/locale"
-	"repro/internal/machine"
 	"repro/internal/semiring"
 	"repro/internal/sparse"
 )
@@ -82,6 +59,13 @@ const (
 	EngineBucket
 )
 
+// Short engine names for use as New options: gb.New(gb.Bucket).
+const (
+	MergeSort = EngineMergeSort
+	RadixSort = EngineRadixSort
+	Bucket    = EngineBucket
+)
+
 // Context fixes a simulated machine configuration: a grid of locales (one
 // per node unless colocated), a modeled thread count per locale, and the
 // performance-model state.
@@ -93,8 +77,38 @@ type Context struct {
 	rt *locale.Runtime
 }
 
+// clone returns a context sharing this one's grid and data layout but with
+// its own simulator state, so With* methods can derive configured contexts
+// without mutating the receiver. The modeled clock, traffic counters and open
+// phases are copied; matrices and vectors created on the old context remain
+// usable from the clone (the distribution is identical). A tracer carried
+// across the clone is rebound to the clone's simulator: spans report the
+// newest derivation's costs.
+func (c *Context) clone() *Context {
+	rt := *c.rt
+	rt.S = c.rt.S.Clone()
+	if rt.Tr != nil {
+		rt.Tr.Bind(rt.S)
+	}
+	return &Context{rt: &rt}
+}
+
+// WithTracer returns a context that reports a span into t for every
+// subsequent operation. The receiver is not modified.
+func (c *Context) WithTracer(t *Trace) *Context {
+	nc := c.clone()
+	nc.rt.SetTracer(t)
+	return nc
+}
+
+// Tracer returns the tracer operations on this context report into, or nil.
+func (c *Context) Tracer() *Trace { return c.rt.Tr }
+
 // SetSpMSpVEngine selects the shared-memory SpMSpV pipeline for subsequent
 // operations on this context.
+//
+// Deprecated: pass the Engine to New instead (gb.New(gb.MergeSort)); this
+// mutating setter remains for existing callers.
 func (c *Context) SetSpMSpVEngine(e Engine) {
 	switch e {
 	case EngineMergeSort:
@@ -108,25 +122,18 @@ func (c *Context) SetSpMSpVEngine(e Engine) {
 
 // NewContext returns a context with p locales (one per node) and the given
 // modeled thread count per locale, on the Edison machine model.
+//
+// Deprecated: use New(Locales(p), Threads(threads)).
 func NewContext(p, threads int) (*Context, error) {
-	rt, err := locale.New(machine.Edison(), p, threads)
-	if err != nil {
-		return nil, err
-	}
-	rt.ShmEngine = int(core.EngineBucket)
-	return &Context{rt: rt}, nil
+	return New(Locales(p), Threads(threads))
 }
 
 // NewContextOneNode places all p locales on a single node (the configuration
 // of the paper's Fig 10).
+//
+// Deprecated: use New(Locales(p), Threads(threads), OneNode()).
 func NewContextOneNode(p, threads int) (*Context, error) {
-	g, err := locale.NewGridOnOneNode(p)
-	if err != nil {
-		return nil, err
-	}
-	rt := locale.NewWithGrid(machine.Edison(), g, threads)
-	rt.ShmEngine = int(core.EngineBucket)
-	return &Context{rt: rt}, nil
+	return New(Locales(p), Threads(threads), OneNode())
 }
 
 // Locales returns the locale count.
@@ -137,6 +144,8 @@ func (c *Context) Threads() int { return c.rt.Threads }
 
 // SetRealWorkers sets how many goroutines shared-memory kernels actually use
 // (default 1, which makes every operation deterministic).
+//
+// Deprecated: use the Workers option of New.
 func (c *Context) SetRealWorkers(w int) { c.rt.RealWorkers = w }
 
 // Elapsed returns the modeled execution time accumulated so far, in seconds.
@@ -221,8 +230,15 @@ func RandomVector[T Number](ctx *Context, n, nnz int, seed int64) *Vector[T] {
 // NNZ returns the stored-element count.
 func (v *Vector[T]) NNZ() int { return v.v.NNZ() }
 
+// Size returns the logical length of the vector (the GraphBLAS "size": the
+// index domain, independent of how many elements are stored).
+func (v *Vector[T]) Size() int { return v.v.N }
+
 // Capacity returns the logical length.
-func (v *Vector[T]) Capacity() int { return v.v.N }
+//
+// Deprecated: the name is a misnomer — this is the logical length, not a
+// storage capacity. Use Size.
+func (v *Vector[T]) Capacity() int { return v.Size() }
 
 // Get returns the value at index i.
 func (v *Vector[T]) Get(i int) (T, bool) { return v.v.Get(i) }

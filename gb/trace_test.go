@@ -1,0 +1,191 @@
+package gb
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden trace files")
+
+// runSpMSpVTraced runs one distributed SpMSpV on a 2x2 locale grid with the
+// given engine and returns the collected trace.
+func runSpMSpVTraced(t *testing.T, e Engine) *Trace {
+	t.Helper()
+	tr := trace.New()
+	ctx, err := New(Locales(4), Threads(4), e, Tracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ErdosRenyi[int64](ctx, 400, 6, 42)
+	x, err := VectorFromSlices(ctx, 400, []int{3, 77, 200, 311}, []int64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SpMSpV(a, x); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestSpMSpVSpanTreeGolden pins the exact span tree — nesting, tags, message
+// and byte counts, phase names — of a 2x2-grid SpMSpV for both the paper's
+// merge-sort engine and the sort-free bucket engine. Everything in the tree
+// is deterministic; any drift in the instrumentation or the modeled
+// communication shows up as a diff against gb/testdata. Regenerate with
+// go test ./gb -run SpanTreeGolden -update.
+func TestSpMSpVSpanTreeGolden(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		e    Engine
+	}{
+		{"mergesort", MergeSort},
+		{"bucket", Bucket},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := trace.Tree(runSpMSpVTraced(t, tc.e))
+			path := filepath.Join("testdata", "spmspv_"+tc.name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != string(want) {
+				t.Errorf("span tree drifted from %s (run with -update to regenerate):\ngot:\n%s\nwant:\n%s", path, got, want)
+			}
+		})
+	}
+}
+
+// TestChaosRetriesAppearInSpans runs SSSP under a heavy-drop fault plan and
+// asserts the collective retries show up on the trace spans.
+func TestChaosRetriesAppearInSpans(t *testing.T) {
+	tr := trace.New()
+	ctx, err := New(Locales(4), Threads(8),
+		FaultPlan{Seed: 11, DropProb: 0.3, CrashLocale: -1}, Tracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ErdosRenyi[float64](ctx, 80, 4, 7)
+	if _, _, err := SSSP(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Retries() == 0 {
+		t.Fatal("fault plan injected no retries; pick a heavier plan")
+	}
+	var total int64
+	var walk func(spans []*trace.Span)
+	walk = func(spans []*trace.Span) {
+		for _, sp := range spans {
+			if sp.Name == "SSSPDist" {
+				total += sp.Retries
+			}
+			walk(sp.Children)
+		}
+	}
+	walk(tr.Roots())
+	if total != ctx.Retries() {
+		t.Errorf("SSSPDist spans carry %d retries, context counted %d", total, ctx.Retries())
+	}
+	// The per-locale breakdown must account for every retry.
+	var perLoc int64
+	for _, sp := range tr.Roots() {
+		if sp.Name == "SSSPDist" {
+			for _, lc := range sp.PerLocale {
+				perLoc += lc.Retries
+			}
+		}
+	}
+	if perLoc != total {
+		t.Errorf("per-locale retries sum to %d, span total is %d", perLoc, total)
+	}
+}
+
+// TestTracingDoesNotChangeModeledTime asserts the tracing seam only observes
+// the simulator: an identical workload reports bitwise-identical modeled time
+// with and without a tracer (the "<2% overhead" budget is exactly zero).
+func TestTracingDoesNotChangeModeledTime(t *testing.T) {
+	run := func(tr *Trace) float64 {
+		opts := []Option{Locales(4), Threads(8)}
+		if tr != nil {
+			opts = append(opts, Tracer(tr))
+		}
+		ctx, err := New(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := ErdosRenyi[int64](ctx, 300, 5, 21)
+		if _, err := BFS(ctx, a, 0); err != nil {
+			t.Fatal(err)
+		}
+		return ctx.Elapsed()
+	}
+	plain := run(nil)
+	traced := run(trace.New())
+	if plain != traced {
+		t.Errorf("modeled time changed under tracing: %v vs %v", plain, traced)
+	}
+}
+
+// TestNewOptionDefaultsAndErrors covers the functional-options constructor.
+func TestNewOptionDefaultsAndErrors(t *testing.T) {
+	ctx, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Locales() != 1 || ctx.Threads() != 1 {
+		t.Errorf("defaults = %d locales x %d threads, want 1x1", ctx.Locales(), ctx.Threads())
+	}
+	if ctx.Tracer() != nil {
+		t.Error("default context carries a tracer")
+	}
+	for _, bad := range []Option{Locales(0), Threads(-1), Workers(0), Engine(99)} {
+		if _, err := New(bad); err == nil {
+			t.Errorf("New(%#v) accepted an invalid option", bad)
+		}
+	}
+	ctx, err = New(Locales(6), Threads(24), MergeSort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Locales() != 6 || ctx.Threads() != 24 {
+		t.Errorf("got %d locales x %d threads, want 6x24", ctx.Locales(), ctx.Threads())
+	}
+}
+
+// TestWithTracerClonesContext checks the aliasing rules: the receiver of a
+// With* derivation is untouched, and the derivation reports spans.
+func TestWithTracerClonesContext(t *testing.T) {
+	base, err := New(Locales(2), Threads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced := base.WithTracer(trace.New())
+	if base.Tracer() != nil {
+		t.Fatal("WithTracer mutated the receiver")
+	}
+	a := ErdosRenyi[int64](traced, 100, 4, 5)
+	if _, err := BFS(traced, a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(traced.Tracer().Roots()) == 0 {
+		t.Error("derived context reported no spans")
+	}
+	if !strings.Contains(trace.Tree(traced.Tracer()), "BFSDist") {
+		t.Error("trace tree misses the BFSDist span")
+	}
+	if base.Elapsed() != 0 {
+		t.Error("work on the derivation advanced the receiver's clock")
+	}
+}

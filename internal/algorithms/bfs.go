@@ -32,6 +32,7 @@ type BFSResult struct {
 // which returns discovering parents), masks out already-visited vertices, and
 // assigns the surviving vertices as the next frontier.
 func BFSShm[T semiring.Number](a *sparse.CSR[T], source int, cfg core.ShmConfig) (*BFSResult, error) {
+	defer cfg.Trace.Begin("BFSShm").End()
 	if a.NRows != a.NCols {
 		return nil, fmt.Errorf("algorithms: BFS: adjacency matrix must be square, got %dx%d", a.NRows, a.NCols)
 	}
@@ -94,6 +95,7 @@ func BFSShm[T semiring.Number](a *sparse.CSR[T], source int, cfg core.ShmConfig)
 // survivors, rolls back to the last checkpoint and replays, reproducing the
 // fault-free result bit for bit.
 func BFSDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], source int) (*BFSResult, error) {
+	defer rt.Span("BFSDist").End()
 	if a.NRows != a.NCols {
 		return nil, fmt.Errorf("algorithms: BFSDist: adjacency matrix must be square, got %dx%d", a.NRows, a.NCols)
 	}
@@ -215,6 +217,7 @@ func RefBFS[T semiring.Number](a *sparse.CSR[T], source int) []int64 {
 // the network during the scatter, so later rounds (large visited sets) send
 // far fewer messages.
 func BFSDistMasked[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], source int) (*BFSResult, error) {
+	defer rt.Span("BFSDistMasked").End()
 	if a.NRows != a.NCols {
 		return nil, fmt.Errorf("algorithms: BFSDistMasked: adjacency matrix must be square, got %dx%d", a.NRows, a.NCols)
 	}

@@ -27,6 +27,7 @@ import (
 // (min, +) semiring followed by an elementwise min with the current
 // distances and an all-reduce of the change flag.
 func SSSPDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], source int) ([]T, int, error) {
+	defer rt.Span("SSSPDist").End()
 	if a.NRows != a.NCols {
 		return nil, 0, fmt.Errorf("algorithms: SSSPDist: matrix must be square")
 	}
@@ -109,6 +110,7 @@ func SSSPDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], source int)
 // distributed SpMV iterations; dangling mass and the L1 convergence test are
 // combined with all-reduces.
 func PageRankDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], d, tol float64, maxIter int) ([]float64, int, error) {
+	defer rt.Span("PageRankDist").End()
 	if a.NRows != a.NCols {
 		return nil, 0, fmt.Errorf("algorithms: PageRankDist: matrix must be square")
 	}
@@ -221,6 +223,7 @@ func PageRankDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], d, tol 
 // CCDist runs label-propagation connected components over a distributed
 // matrix with distributed min-first SpMV rounds.
 func CCDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T]) ([]int64, int, error) {
+	defer rt.Span("CCDist").End()
 	if a.NRows != a.NCols {
 		return nil, 0, fmt.Errorf("algorithms: CCDist: matrix must be square")
 	}

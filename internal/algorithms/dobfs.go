@@ -19,6 +19,15 @@ import (
 // alpha controls the switch: pull is used while nnz(frontier) > n/alpha.
 // alpha <= 0 selects the conventional default of 14.
 func BFSDirectionOptimizing[T semiring.Number](a *sparse.CSR[T], source int, alpha int) (*BFSResult, error) {
+	return BFSDirectionOptimizingCfg(a, source, alpha, core.ShmConfig{})
+}
+
+// BFSDirectionOptimizingCfg is BFSDirectionOptimizing with an explicit
+// shared-memory config: the push steps run through cfg (forcing the bucket
+// engine, as before) so their cost charging and tracing flow to cfg.Sim and
+// cfg.Trace.
+func BFSDirectionOptimizingCfg[T semiring.Number](a *sparse.CSR[T], source int, alpha int, cfg core.ShmConfig) (*BFSResult, error) {
+	defer cfg.Trace.Begin("BFSDirectionOptimizing").End()
 	if a.NRows != a.NCols {
 		return nil, fmt.Errorf("algorithms: DOBFS: adjacency matrix must be square, got %dx%d", a.NRows, a.NCols)
 	}
@@ -74,7 +83,9 @@ func BFSDirectionOptimizing[T semiring.Number](a *sparse.CSR[T], source int, alp
 			// sort-free bucket engine — direction optimization is already a
 			// departure from the paper's Listing, so the push steps take the
 			// fastest pipeline rather than the fidelity default.
-			y, _ := core.SpMSpVMasked(a, frontier, visited, core.ShmConfig{Engine: core.EngineBucket})
+			pushCfg := cfg
+			pushCfg.Engine = core.EngineBucket
+			y, _ := core.SpMSpVMasked(a, frontier, visited, pushCfg)
 			next = sparse.NewVec[T](n)
 			for k, v := range y.Ind {
 				res.Level[v] = level

@@ -8,6 +8,7 @@ import (
 	"repro/internal/locale"
 	"repro/internal/machine"
 	"repro/internal/sparse"
+	"repro/internal/trace"
 )
 
 // This file benchmarks the design alternatives the paper's discussion calls
@@ -72,10 +73,19 @@ func AblSort(scale Scale) (Figure, error) {
 			if err != nil {
 				return fig, err
 			}
+			tr := ensureTracer(rt)
 			_, _ = core.SpMSpVShm(a, x, core.ShmConfig{
-				Threads: th, Sort: kind.k, Sim: rt.S, Loc: 0, Phased: true,
+				Threads: th, Sort: kind.k, Sim: rt.S, Loc: 0, Phased: true, Trace: tr,
 			})
-			fig.Points = append(fig.Points, Point{kind.name, th, rt.S.PhaseNS("Sorting") / 1e9})
+			var sortNS float64
+			if sp := tr.Last("SpMSpVShm"); sp != nil {
+				for _, ph := range sp.Phases {
+					if ph.Name == "Sorting" {
+						sortNS += ph.NS
+					}
+				}
+			}
+			fig.Points = append(fig.Points, Point{kind.name, th, sortNS / 1e9})
 		}
 	}
 	return fig, nil
@@ -134,10 +144,12 @@ func AblBulk(scale Scale) (Figure, error) {
 		XLabel: "nodes",
 		YLabel: "time",
 	}
-	phaseTotals := func(rt *locale.Runtime) map[string]float64 {
+	phaseTotals := func(sp *trace.Span) map[string]float64 {
 		totals := map[string]float64{}
-		for _, ph := range rt.S.Phases() {
-			totals[ph.Name] += ph.NS / 1e9
+		if sp != nil {
+			for _, ph := range sp.Phases {
+				totals[ph.Name] += ph.NS / 1e9
+			}
 		}
 		return totals
 	}
@@ -146,22 +158,24 @@ func AblBulk(scale Scale) (Figure, error) {
 		if err != nil {
 			return fig, err
 		}
+		tr := ensureTracer(rt)
 		a := dist.MatFromCSR(rt, a0)
 		x := dist.SpVecFromVec(rt, x0)
 		_, _ = core.SpMSpVDist(rt, a, x)
-		fine := phaseTotals(rt)
+		fine := phaseTotals(tr.Last("SpMSpVDist"))
 		fig.Points = append(fig.Points, Point{"gather (fine)", p, fine["Gather Input"]})
 		fig.Points = append(fig.Points, Point{"scatter (fine)", p, fine["Scatter Output"]})
 
 		if rt, err = newRT(p, 24); err != nil {
 			return fig, err
 		}
+		tr = ensureTracer(rt)
 		a = dist.MatFromCSR(rt, a0)
 		x = dist.SpVecFromVec(rt, x0)
 		if _, _, err := core.SpMSpVDistBulk(rt, a, x); err != nil {
 			return fig, err
 		}
-		bulk := phaseTotals(rt)
+		bulk := phaseTotals(tr.Last("SpMSpVDistBulk"))
 		fig.Points = append(fig.Points, Point{"gather (bulk)", p, bulk["Gather Input"]})
 		fig.Points = append(fig.Points, Point{"scatter (bulk)", p, bulk["Scatter Output"]})
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/locale"
 	"repro/internal/machine"
 	"repro/internal/sparse"
+	"repro/internal/trace"
 )
 
 // chaos holds the fault plan applied to every runtime the figures build; nil
@@ -26,12 +27,46 @@ func EnableChaos(seed int64) {
 // DisableChaos returns figure runs to fault-free execution.
 func DisableChaos() { chaos = nil }
 
-// applyChaos installs the chaos plan, if any, on a freshly built runtime.
+// tracer, when non-nil, is installed on every runtime the figures build so a
+// driver (gbbench -trace-out) can export one span forest for the whole run.
+// Tracing only observes the simulator — modeled times are identical with and
+// without it.
+var tracer *trace.Tracer
+
+// EnableTrace makes every subsequent figure run report spans into a fresh
+// tracer, which is returned for export.
+func EnableTrace() *trace.Tracer {
+	tracer = trace.New()
+	return tracer
+}
+
+// DisableTrace returns figure runs to untraced execution.
+func DisableTrace() { tracer = nil }
+
+// ActiveTracer returns the tracer installed by EnableTrace, or nil.
+func ActiveTracer() *trace.Tracer { return tracer }
+
+// applyChaos installs the chaos plan and the bench tracer, if any, on a
+// freshly built runtime. (Every figure runtime goes through here, including
+// the NewWithGrid paths that bypass newRT.)
 func applyChaos(rt *locale.Runtime) *locale.Runtime {
 	if chaos != nil {
 		rt.WithFault(*chaos)
 	}
+	if tracer != nil {
+		rt.SetTracer(tracer)
+	}
 	return rt
+}
+
+// ensureTracer returns rt's tracer, installing a private one if the figure
+// run is untraced — the phase-breakdown figures read their numbers from trace
+// spans, so they always need one.
+func ensureTracer(rt *locale.Runtime) *trace.Tracer {
+	if rt.Tr == nil {
+		rt.SetTracer(trace.New())
+	}
+	return rt.Tr
 }
 
 // newRT builds a runtime with p locales (one per node) and the given modeled
@@ -350,11 +385,17 @@ func Fig7(cfgIdx int) Runner {
 			if err != nil {
 				return fig, err
 			}
+			tr := ensureTracer(rt)
 			_, _ = core.SpMSpVShm(a, x, core.ShmConfig{
-				Threads: th, Sim: rt.S, Loc: 0, Phased: true,
+				Threads: th, Sim: rt.S, Loc: 0, Phased: true, Trace: tr,
 			})
-			for _, ph := range rt.S.Phases() {
-				fig.Points = append(fig.Points, Point{ph.Name, th, ph.NS / 1e9})
+			// The component breakdown comes from the op's trace span, not
+			// private timing plumbing: the span carries the phases the multiply
+			// charged between its Begin and End.
+			if sp := tr.Last("SpMSpVShm"); sp != nil {
+				for _, ph := range sp.Phases {
+					fig.Points = append(fig.Points, Point{ph.Name, th, ph.NS / 1e9})
+				}
 			}
 		}
 		return fig, nil
@@ -379,12 +420,15 @@ func figDist(id string, c0 spmspvConfig, cfgIdx int) Runner {
 			if err != nil {
 				return fig, err
 			}
+			tr := ensureTracer(rt)
 			a := dist.MatFromCSR(rt, a0)
 			x := dist.SpVecFromVec(rt, x0)
 			_, _ = core.SpMSpVDist(rt, a, x)
 			totals := map[string]float64{}
-			for _, ph := range rt.S.Phases() {
-				totals[ph.Name] += ph.NS
+			if sp := tr.Last("SpMSpVDist"); sp != nil {
+				for _, ph := range sp.Phases {
+					totals[ph.Name] += ph.NS
+				}
 			}
 			for _, name := range []string{"Gather Input", "Local Multiply", "Scatter Output"} {
 				fig.Points = append(fig.Points, Point{name, p, totals[name] / 1e9})

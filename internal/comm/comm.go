@@ -62,12 +62,12 @@ func retryExtra(rt *locale.Runtime, src, dst int, resendNS float64, op string) (
 		extra += v.ExtraNS
 		if !v.Drop {
 			if attempt > 1 {
-				rt.S.NoteRetries(int64(attempt - 1))
+				rt.S.NoteRetries(dst, int64(attempt-1))
 			}
 			return extra, nil
 		}
 		if attempt >= pol.MaxAttempts {
-			rt.S.NoteRetries(int64(attempt - 1))
+			rt.S.NoteRetries(dst, int64(attempt-1))
 			return extra + pol.TimeoutNS, &fault.RetryError{Op: op, Src: src, Dst: dst, Attempts: attempt}
 		}
 		extra += pol.TimeoutNS + backoff + resendNS
@@ -83,6 +83,7 @@ func retryExtra(rt *locale.Runtime, src, dst int, resendNS float64, op string) (
 // copies). Charges a log2(P)-depth broadcast tree, with per-destination
 // retries under faults.
 func Broadcast[T semiring.Number](rt *locale.Runtime, root int, data []T) ([][]T, error) {
+	defer rt.Span("Broadcast").End()
 	p := rt.G.P
 	out := make([][]T, p)
 	for l := 0; l < p; l++ {
@@ -112,6 +113,7 @@ func Broadcast[T semiring.Number](rt *locale.Runtime, root int, data []T) ([][]T
 // Gather concatenates each locale's slice at the root, in locale order.
 // Charges one bulk transfer per non-root locale into the root, with retries.
 func Gather[T semiring.Number](rt *locale.Runtime, root int, parts [][]T) ([]T, error) {
+	defer rt.Span("Gather").End()
 	total := 0
 	for _, p := range parts {
 		total += len(p)
@@ -138,6 +140,7 @@ func Gather[T semiring.Number](rt *locale.Runtime, root int, parts [][]T) ([]T, 
 // AllGather concatenates every locale's slice on every locale. Charges a
 // gather followed by a broadcast (the standard tree implementation).
 func AllGather[T semiring.Number](rt *locale.Runtime, parts [][]T) ([][]T, error) {
+	defer rt.Span("AllGather").End()
 	root := 0
 	joined, err := Gather(rt, root, parts)
 	if err != nil {
@@ -149,6 +152,7 @@ func AllGather[T semiring.Number](rt *locale.Runtime, parts [][]T) ([][]T, error
 // Reduce folds one value per locale into a single value at the root with a
 // monoid, charging a log2(P)-depth reduction tree of tiny messages.
 func Reduce[T semiring.Number](rt *locale.Runtime, root int, vals []T, m semiring.Monoid[T]) (T, error) {
+	defer rt.Span("Reduce").End()
 	acc := m.Identity
 	for _, v := range vals {
 		acc = m.Op(acc, v)
@@ -174,6 +178,7 @@ func Reduce[T semiring.Number](rt *locale.Runtime, root int, vals []T, m semirin
 // AllReduce folds one value per locale and makes the result available on
 // every locale (reduce + broadcast tree).
 func AllReduce[T semiring.Number](rt *locale.Runtime, vals []T, m semiring.Monoid[T]) (T, error) {
+	defer rt.Span("AllReduce").End()
 	v, err := Reduce(rt, 0, vals, m)
 	if err != nil {
 		return v, err
@@ -200,6 +205,7 @@ func AllReduce[T semiring.Number](rt *locale.Runtime, vals []T, m semiring.Monoi
 // collectives instead of fine-grained access). Returns one concatenation per
 // locale.
 func RowAllGather[T semiring.Number](rt *locale.Runtime, parts [][]T) ([][]T, error) {
+	defer rt.Span("RowAllGather").End()
 	g := rt.G
 	out := make([][]T, g.P)
 	for r := 0; r < g.Pr; r++ {
@@ -238,6 +244,7 @@ func RowAllGather[T semiring.Number](rt *locale.Runtime, parts [][]T) ([][]T, er
 // member elementwise with a monoid, leaving each member with the reduced
 // slice (the communication pattern of a column-wise SpMV accumulation).
 func ColReduceScatter[T semiring.Number](rt *locale.Runtime, parts [][]T, m semiring.Monoid[T]) ([][]T, error) {
+	defer rt.Span("ColReduceScatter").End()
 	g := rt.G
 	out := make([][]T, g.P)
 	for c := 0; c < g.Pc; c++ {

@@ -30,6 +30,7 @@ func payloadBytes(n int) int64 { return 2 * bytesOf(n) }
 // Returns one merged (ind, val) pair per locale; every locale owns fresh
 // slices, so callers may rewrite them (e.g. to block-local indices) freely.
 func SparseRowAllGather[T semiring.Number](rt *locale.Runtime, inds [][]int, vals [][]T) ([][]int, [][]T, error) {
+	defer rt.Span("SparseRowAllGather").End()
 	g := rt.G
 	outInd := make([][]int, g.P)
 	outVal := make([][]T, g.P)
@@ -88,6 +89,7 @@ func SparseRowAllGather[T semiring.Number](rt *locale.Runtime, inds [][]int, val
 //
 // Returns, per locale, the merged sorted duplicate-free run it owns.
 func ColMergeScatter[T semiring.Number](rt *locale.Runtime, n int, inds [][]int, vals [][]T, op semiring.BinaryOp[T]) ([][]int, [][]T, error) {
+	defer rt.Span("ColMergeScatter").End()
 	g := rt.G
 	bounds := locale.BlockBounds(n, g.P)
 	// segInd[dst] collects the sorted segments destined to dst, in source

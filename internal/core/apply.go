@@ -17,6 +17,7 @@ import (
 // costs a fine-grained get and put issued from the leader locale — the poor
 // distributed performance of Fig 1 (right).
 func Apply1[T semiring.Number](rt *locale.Runtime, x *dist.SpVec[T], op semiring.UnaryOp[T]) {
+	defer rt.Span("Apply1").End()
 	totalItems := int64(0)
 	remoteItems := int64(0)
 	for l, lv := range x.Loc {
@@ -50,6 +51,7 @@ func Apply1[T semiring.Number](rt *locale.Runtime, x *dist.SpVec[T], op semiring
 // of the paper's Listing 3: one task per locale (coforall + on), each
 // iterating its local element array with a local forall. No communication.
 func Apply2[T semiring.Number](rt *locale.Runtime, x *dist.SpVec[T], op semiring.UnaryOp[T]) {
+	defer rt.Span("Apply2").End()
 	rt.Coforall(func(l int) {
 		lv := x.Loc[l]
 		applyLocal(rt, lv.Val, op)
@@ -74,6 +76,7 @@ func applyLocal[T semiring.Number](rt *locale.Runtime, vals []T, op semiring.Una
 
 // ApplyMat1 is Apply1 for a 2-D block-distributed matrix.
 func ApplyMat1[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], op semiring.UnaryOp[T]) {
+	defer rt.Span("ApplyMat1").End()
 	totalItems := int64(0)
 	remoteItems := int64(0)
 	for l, b := range a.Blocks {
@@ -99,6 +102,7 @@ func ApplyMat1[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], op semirin
 
 // ApplyMat2 is Apply2 for a 2-D block-distributed matrix.
 func ApplyMat2[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], op semiring.UnaryOp[T]) {
+	defer rt.Span("ApplyMat2").End()
 	rt.Coforall(func(l int) {
 		b := a.Blocks[l]
 		applyLocal(rt, b.Val, op)

@@ -19,6 +19,7 @@ import (
 // than Assign2 even in shared memory (Fig 2 left). Distributed, every access
 // from the leader locale is additionally a fine-grained remote operation.
 func Assign1[T semiring.Number](rt *locale.Runtime, a, b *dist.SpVec[T]) error {
+	defer rt.Span("Assign1").End()
 	if !a.SameDistribution(b) {
 		return fmt.Errorf("core: Assign1: operands have different domains/distributions")
 	}
@@ -63,6 +64,7 @@ func Assign1[T semiring.Number](rt *locale.Runtime, a, b *dist.SpVec[T]) error {
 // and then copies the local element arrays with a zippered forall. No
 // communication is required because the distributions match.
 func Assign2[T semiring.Number](rt *locale.Runtime, a, b *dist.SpVec[T]) error {
+	defer rt.Span("Assign2").End()
 	if !a.SameDistribution(b) {
 		return fmt.Errorf("core: Assign2: operands have different domains/distributions")
 	}

@@ -84,6 +84,7 @@ func AssignIndexed[T semiring.Number](a *sparse.Vec[T], indices []int, b *sparse
 // batches — the O(nnz/√p)-style batched exchange the paper's complexity
 // discussion anticipates — and each locale rebuilds its local block.
 func AssignIndexedDist[T semiring.Number](rt *locale.Runtime, a *dist.SpVec[T], indices []int, b *dist.SpVec[T]) error {
+	defer rt.Span("AssignIndexedDist").End()
 	if b.N != len(indices) {
 		return fmt.Errorf("core: AssignIndexedDist: b has capacity %d for %d indices", b.N, len(indices))
 	}
@@ -180,6 +181,7 @@ func AssignIndexedDist[T semiring.Number](rt *locale.Runtime, a *dist.SpVec[T], 
 // len(I): output position k holds a[I[k]] when stored. Lookups are routed to
 // owners in batches.
 func ExtractDist[T semiring.Number](rt *locale.Runtime, a *dist.SpVec[T], indices []int) (*dist.SpVec[T], error) {
+	defer rt.Span("ExtractDist").End()
 	g := rt.G
 	rt.S.CoforallSpawn()
 	out := dist.NewSpVec[T](rt, len(indices))

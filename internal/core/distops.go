@@ -20,6 +20,7 @@ import (
 // ReduceDist folds every stored value of a distributed sparse vector with a
 // monoid: a local reduction per locale followed by a log2(P) reduction tree.
 func ReduceDist[T semiring.Number](rt *locale.Runtime, v *dist.SpVec[T], m semiring.Monoid[T]) (T, error) {
+	defer rt.Span("ReduceDist").End()
 	partials := make([]T, rt.G.P)
 	rt.Coforall(func(l int) {
 		partials[l] = m.Reduce(v.Loc[l].Val)
@@ -40,6 +41,7 @@ func ReduceDist[T semiring.Number](rt *locale.Runtime, v *dist.SpVec[T], m semir
 // column-team reduce). x and y are block-distributed dense vectors of length
 // NRows and NCols respectively.
 func SpMVDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *dist.DenseVec[T], sr semiring.Semiring[T]) (*dist.DenseVec[T], error) {
+	defer rt.Span("SpMVDist").End()
 	if x.N != a.NRows {
 		return nil, fmt.Errorf("core: SpMVDist: x has %d entries for %d rows", x.N, a.NRows)
 	}
@@ -111,6 +113,7 @@ func SpMVDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *dist.Den
 // EWiseAddDist adds two identically distributed sparse vectors elementwise
 // over the union of their patterns; a purely local merge per locale.
 func EWiseAddDist[T semiring.Number](rt *locale.Runtime, x, y *dist.SpVec[T], op semiring.BinaryOp[T]) (*dist.SpVec[T], error) {
+	defer rt.Span("EWiseAddDist").End()
 	if !x.SameDistribution(y) {
 		return nil, fmt.Errorf("core: EWiseAddDist: operands have different distributions")
 	}
@@ -141,6 +144,7 @@ func EWiseAddDist[T semiring.Number](rt *locale.Runtime, x, y *dist.SpVec[T], op
 // EWiseMultDistSS intersects two identically distributed sparse vectors
 // elementwise; a purely local merge per locale.
 func EWiseMultDistSS[T semiring.Number](rt *locale.Runtime, x, y *dist.SpVec[T], op semiring.BinaryOp[T]) (*dist.SpVec[T], error) {
+	defer rt.Span("EWiseMultDistSS").End()
 	if !x.SameDistribution(y) {
 		return nil, fmt.Errorf("core: EWiseMultDistSS: operands have different distributions")
 	}
@@ -174,6 +178,7 @@ func EWiseMultDistSS[T semiring.Number](rt *locale.Runtime, x, y *dist.SpVec[T],
 // matrix lives on a Pc×Pr grid, a matching runtime over that grid is
 // returned alongside it (for square grids it has the same shape).
 func TransposeDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T]) (*dist.Mat[T], *locale.Runtime, error) {
+	defer rt.Span("TransposeDist").End()
 	g := rt.G
 	tg, err := locale.NewGridShape(g.Pc, g.Pr)
 	if err != nil {

@@ -21,6 +21,7 @@ import (
 // approach — the atomics are what caps the speedup at ~13× on 24 threads),
 // then bulk-inserted into the output's local domain.
 func EWiseMultSD[T semiring.Number](rt *locale.Runtime, x *dist.SpVec[T], y *dist.DenseVec[T], pred semiring.Pred[T]) (*dist.SpVec[T], error) {
+	defer rt.Span("EWiseMultSD").End()
 	if x.N != y.N {
 		return nil, fmt.Errorf("core: EWiseMultSD: capacity mismatch %d vs %d", x.N, y.N)
 	}
@@ -83,6 +84,7 @@ func EWiseMultSD[T semiring.Number](rt *locale.Runtime, x *dist.SpVec[T], y *dis
 // compacts survivors into a private buffer; a prefix sum over the per-worker
 // counts places each buffer, preserving index order without atomics.
 func EWiseMultSDNoAtomic[T semiring.Number](rt *locale.Runtime, x *dist.SpVec[T], y *dist.DenseVec[T], pred semiring.Pred[T]) (*dist.SpVec[T], error) {
+	defer rt.Span("EWiseMultSDNoAtomic").End()
 	if x.N != y.N {
 		return nil, fmt.Errorf("core: EWiseMultSDNoAtomic: capacity mismatch %d vs %d", x.N, y.N)
 	}

@@ -58,6 +58,7 @@ func TriU[T semiring.Number](a *sparse.CSR[T]) *sparse.CSR[T] {
 // SelectDist filters a distributed sparse vector in place per locale; no
 // communication (the distribution is index-based and unchanged).
 func SelectDist[T semiring.Number](rt *locale.Runtime, x *dist.SpVec[T], pred SelectPred[T]) *dist.SpVec[T] {
+	defer rt.Span("SelectDist").End()
 	out := dist.NewSpVec[T](rt, x.N)
 	rt.Coforall(func(l int) {
 		out.Loc[l] = SelectVec(x.Loc[l], pred)
@@ -97,6 +98,7 @@ func SpMVMasked[T semiring.Number](a *sparse.CSR[T], x []T, sr semiring.Semiring
 // locale reduces its block rows, and grid-row teams combine their partials
 // (one bulk exchange per team member).
 func ReduceRowsDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], m semiring.Monoid[T]) *dist.SpVec[T] {
+	defer rt.Span("ReduceRowsDist").End()
 	g := rt.G
 	rt.S.CoforallSpawn()
 	n := a.NRows

@@ -23,6 +23,7 @@ import (
 // with identical band splits, which MatFromCSR guarantees for matrices of
 // equal dimensions on the same runtime.
 func SpGEMMDist[T semiring.Number](rt *locale.Runtime, a, b *dist.Mat[T], sr semiring.Semiring[T]) (*dist.Mat[T], error) {
+	defer rt.Span("SpGEMMDist").End()
 	g := rt.G
 	if g.Pr != g.Pc {
 		return nil, fmt.Errorf("core: SpGEMMDist: SUMMA needs a square grid, got %dx%d", g.Pr, g.Pc)

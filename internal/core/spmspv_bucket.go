@@ -4,6 +4,7 @@ import (
 	"repro/internal/semiring"
 	"repro/internal/sim"
 	"repro/internal/sparse"
+	"repro/internal/trace"
 )
 
 // SpMSpVBucket is the third shared-memory SpMSpV engine: the sort-free
@@ -30,6 +31,7 @@ func SpMSpVBucket[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T], cfg Shm
 }
 
 func spmspvBucket[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T], cfg ShmConfig) (*sparse.Vec[int64], ShmStats) {
+	defer cfg.Trace.Begin("SpMSpVShm", trace.T("engine", "bucket")).End()
 	if cfg.Threads < 1 {
 		cfg.Threads = 1
 	}
@@ -127,6 +129,7 @@ func spmspvBucket[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T], cfg Shm
 // additive monoid instead of first-wins claiming. Deterministic for
 // commutative, associative monoids regardless of worker count.
 func spmspvBucketSemiring[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T], sr semiring.Semiring[T], cfg ShmConfig) (*sparse.Vec[T], ShmStats) {
+	defer cfg.Trace.Begin("SpMSpVShmSemiring", trace.T("engine", "bucket")).End()
 	if cfg.Threads < 1 {
 		cfg.Threads = 1
 	}

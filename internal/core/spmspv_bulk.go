@@ -6,6 +6,7 @@ import (
 	"repro/internal/locale"
 	"repro/internal/semiring"
 	"repro/internal/sparse"
+	"repro/internal/trace"
 )
 
 // SpMSpVDistBulk is the communication-avoiding variant of the distributed
@@ -30,6 +31,7 @@ import (
 // clock without changing the output, and a crashed locale or exhausted retry
 // budget surfaces as an error.
 func SpMSpVDistBulk[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *dist.SpVec[T]) (*dist.SpVec[int64], DistStats, error) {
+	defer rt.Span("SpMSpVDistBulk", trace.T("engine", Engine(rt.ShmEngine).String())).End()
 	g := rt.G
 	n := a.NCols
 	var st DistStats
@@ -71,6 +73,7 @@ func SpMSpVDistBulk[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *di
 			Engine:  Engine(rt.ShmEngine),
 			Sim:     rt.S,
 			Loc:     l,
+			Trace:   rt.Tr,
 		})
 		r, _ := g.Coords(l)
 		rowBase := int64(a.RowBands[r])

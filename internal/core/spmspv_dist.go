@@ -6,6 +6,7 @@ import (
 	"repro/internal/semiring"
 	"repro/internal/sim"
 	"repro/internal/sparse"
+	"repro/internal/trace"
 )
 
 // DistStats reports the aggregate work of a distributed SpMSpV call.
@@ -33,6 +34,7 @@ type DistStats struct {
 // The result vector holds the discovering global row id of each reached
 // column, as in the shared-memory version.
 func SpMSpVDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *dist.SpVec[T]) (*dist.SpVec[int64], DistStats) {
+	defer rt.Span("SpMSpVDist", trace.T("engine", Engine(rt.ShmEngine).String())).End()
 	g := rt.G
 	n := a.NCols
 	var st DistStats
@@ -92,6 +94,7 @@ func SpMSpVDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *dist.S
 			Engine:  Engine(rt.ShmEngine),
 			Sim:     rt.S,
 			Loc:     l,
+			Trace:   rt.Tr,
 		})
 		// Convert the discovered row ids to global vertex ids.
 		r, _ := g.Coords(l)
@@ -160,6 +163,7 @@ func SpMSpVDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *dist.S
 // structure; the scatter merges values with the additive monoid instead of
 // first-wins claiming, so the result is deterministic.
 func SpMSpVDistSemiring[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *dist.SpVec[T], sr semiring.Semiring[T]) (*dist.SpVec[T], DistStats) {
+	defer rt.Span("SpMSpVDistSemiring", trace.T("engine", Engine(rt.ShmEngine).String())).End()
 	g := rt.G
 	n := a.NCols
 	var st DistStats
@@ -205,6 +209,7 @@ func SpMSpVDistSemiring[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x
 			Engine:  Engine(rt.ShmEngine),
 			Sim:     rt.S,
 			Loc:     l,
+			Trace:   rt.Tr,
 		})
 		lys[l] = ly
 		st.LocalEntries += shmStats.EntriesVisited

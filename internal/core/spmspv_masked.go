@@ -6,6 +6,7 @@ import (
 	"repro/internal/semiring"
 	"repro/internal/sim"
 	"repro/internal/sparse"
+	"repro/internal/trace"
 )
 
 // SpMSpVDistMasked is the distributed SpMSpV with a complemented output mask
@@ -21,6 +22,7 @@ import (
 // scatter — the suppressed elements never cross the network, which is the
 // whole point of a fused mask versus multiplying first and filtering after.
 func SpMSpVDistMasked[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *dist.SpVec[T], mask *dist.DenseVec[int64]) (*dist.SpVec[int64], DistStats) {
+	defer rt.Span("SpMSpVDistMasked", trace.T("engine", Engine(rt.ShmEngine).String())).End()
 	g := rt.G
 	n := a.NCols
 	var st DistStats
@@ -89,6 +91,7 @@ func SpMSpVDistMasked[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *
 			Engine:  Engine(rt.ShmEngine),
 			Sim:     rt.S,
 			Loc:     l,
+			Trace:   rt.Tr,
 		})
 		rowBase := int64(a.RowBands[r])
 		seg := bandMask[c]

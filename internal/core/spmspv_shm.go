@@ -7,6 +7,7 @@ import (
 	"repro/internal/semiring"
 	"repro/internal/sim"
 	"repro/internal/sparse"
+	"repro/internal/trace"
 )
 
 // SortKind selects the index-sorting algorithm inside SpMSpV.
@@ -40,6 +41,20 @@ const (
 	EngineBucket
 )
 
+// String names the engine for trace tags and diagnostics.
+func (e Engine) String() string {
+	switch e {
+	case EngineMergeSort:
+		return "mergesort"
+	case EngineRadixSort:
+		return "radixsort"
+	case EngineBucket:
+		return "bucket"
+	default:
+		return "auto"
+	}
+}
+
 // resolveEngine maps the config to a concrete engine, honoring the legacy
 // Sort field when Engine is left at EngineAuto.
 func (cfg ShmConfig) resolveEngine() Engine {
@@ -69,6 +84,10 @@ type ShmConfig struct {
 	Sim    *sim.Sim
 	Loc    int
 	Phased bool
+	// Trace, if non-nil, receives a span per kernel call (nil-safe; see
+	// internal/trace). Distributed operations propagate the runtime's tracer
+	// here so per-locale kernel calls become child spans.
+	Trace *trace.Tracer
 }
 
 // ShmStats reports the work a SpMSpV call performed.
@@ -99,6 +118,7 @@ func SpMSpVShm[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T], cfg ShmCon
 	if cfg.resolveEngine() == EngineBucket {
 		return spmspvBucket(a, x, cfg)
 	}
+	defer cfg.Trace.Begin("SpMSpVShm", trace.T("engine", cfg.resolveEngine().String())).End()
 	if cfg.Threads < 1 {
 		cfg.Threads = 1
 	}
@@ -228,6 +248,7 @@ func SpMSpVShmSemiring[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T], sr
 	if cfg.resolveEngine() == EngineBucket {
 		return spmspvBucketSemiring(a, x, sr, cfg)
 	}
+	defer cfg.Trace.Begin("SpMSpVShmSemiring", trace.T("engine", cfg.resolveEngine().String())).End()
 	if cfg.Threads < 1 {
 		cfg.Threads = 1
 	}

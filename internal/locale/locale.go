@@ -15,6 +15,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Grid is a two-dimensional arrangement of P = Pr×Pc locales, numbered in
@@ -161,6 +162,27 @@ type Runtime struct {
 	// Retry governs the timeout/backoff of the retryable collectives; zero
 	// fields fall back to fault.DefaultRetryPolicy.
 	Retry fault.RetryPolicy
+	// Tr is the optional tracer every operation reports spans into; nil
+	// disables tracing (the instrumentation is nil-safe). Install with
+	// SetTracer so the tracer is bound to this runtime's simulator.
+	Tr *trace.Tracer
+}
+
+// SetTracer installs t (nil uninstalls) and binds it to the runtime's
+// simulator so spans snapshot the right clocks and counters.
+func (rt *Runtime) SetTracer(t *trace.Tracer) {
+	rt.Tr = t
+	if t != nil {
+		t.Bind(rt.S)
+	}
+}
+
+// Span opens a span on the runtime's tracer; with no tracer installed it
+// returns nil, on which End is a no-op:
+//
+//	defer rt.Span("SpMSpVDist").End()
+func (rt *Runtime) Span(name string, tags ...trace.Tag) *trace.Span {
+	return rt.Tr.Begin(name, tags...)
 }
 
 // WithFault builds an injector from plan, installs it on the runtime and

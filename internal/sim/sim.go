@@ -39,8 +39,8 @@ type Kernel struct {
 
 // Phase is one recorded bulk-synchronous phase.
 type Phase struct {
-	Name string
-	NS   float64 // makespan of the phase, ns
+	Name string  `json:"name"`
+	NS   float64 `json:"ns"` // makespan of the phase, ns
 }
 
 // Counters aggregates communication traffic.
@@ -52,6 +52,16 @@ type Counters struct {
 	Barriers  int64
 	Coforalls int64
 	Retries   int64 // collective transfer retries (fault recovery)
+}
+
+// LocaleCounters is the per-locale slice of the traffic counters: the
+// messages, bytes and retries attributed to one locale (the destination of a
+// charged transfer). internal/trace snapshots these to give every span a
+// per-locale breakdown.
+type LocaleCounters struct {
+	Messages int64 `json:"messages"`
+	Bytes    int64 `json:"bytes"`
+	Retries  int64 `json:"retries,omitempty"`
 }
 
 // Hook is consulted on every charged transfer (Bulk and FineGrained); the
@@ -75,6 +85,7 @@ type Sim struct {
 	pStart  float64 // max clock when the current phase opened
 	pName   string
 	cnt     Counters
+	locCnt  []LocaleCounters
 	hook    Hook
 }
 
@@ -92,10 +103,14 @@ func (s *Sim) getHook() Hook {
 	return s.hook
 }
 
-// NoteRetries records n collective transfer retries in the traffic counters.
-func (s *Sim) NoteRetries(n int64) {
+// NoteRetries records n collective transfer retries in the traffic counters,
+// attributed to locale loc (the destination of the retried transfer).
+func (s *Sim) NoteRetries(loc int, n int64) {
 	s.mu.Lock()
 	s.cnt.Retries += n
+	if loc >= 0 && loc < len(s.locCnt) {
+		s.locCnt[s.idx(loc)].Retries += n
+	}
 	s.mu.Unlock()
 }
 
@@ -128,7 +143,31 @@ func (s *Sim) idx(l int) int {
 
 // New returns a simulator for p locales on machine m.
 func New(m machine.Machine, p int) *Sim {
-	return &Sim{M: m, clocks: make([]float64, p)}
+	return &Sim{M: m, clocks: make([]float64, p), locCnt: make([]LocaleCounters, p)}
+}
+
+// Clone returns an independent copy of the simulator state: clocks, aliases,
+// phases and counters are deep-copied so charges against the clone never show
+// on the original. The transfer hook pointer is shared (a fault injector stays
+// installed on both until one side replaces it with SetHook).
+func (s *Sim) Clone() *Sim {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := &Sim{
+		M:       s.M,
+		clocks:  append([]float64(nil), s.clocks...),
+		phases:  append([]Phase(nil), s.phases...),
+		started: s.started,
+		pStart:  s.pStart,
+		pName:   s.pName,
+		cnt:     s.cnt,
+		locCnt:  append([]LocaleCounters(nil), s.locCnt...),
+		hook:    s.hook,
+	}
+	if s.alias != nil {
+		c.alias = append([]int(nil), s.alias...)
+	}
+	return c
 }
 
 // P returns the number of locales.
@@ -145,6 +184,9 @@ func (s *Sim) Reset() {
 	s.phases = nil
 	s.started = false
 	s.cnt = Counters{}
+	for i := range s.locCnt {
+		s.locCnt[i] = LocaleCounters{}
+	}
 }
 
 // ComputeTime returns the modeled wall time of executing k with p threads on
@@ -246,6 +288,11 @@ func (s *Sim) FineGrained(loc int, o RemoteOpts) float64 {
 	s.cnt.Messages += o.Msgs
 	s.cnt.Bytes += int64(float64(o.Msgs) * o.BytesPerMsg)
 	s.cnt.FineOps += o.Msgs
+	if loc >= 0 && loc < len(s.locCnt) {
+		lc := &s.locCnt[s.idx(loc)]
+		lc.Messages += o.Msgs
+		lc.Bytes += int64(float64(o.Msgs) * o.BytesPerMsg)
+	}
 	s.mu.Unlock()
 	return t
 }
@@ -270,6 +317,11 @@ func (s *Sim) Bulk(loc int, bytes int64, intraNode bool) float64 {
 	s.cnt.Messages++
 	s.cnt.Bytes += bytes
 	s.cnt.BulkOps++
+	if loc >= 0 && loc < len(s.locCnt) {
+		lc := &s.locCnt[s.idx(loc)]
+		lc.Messages++
+		lc.Bytes += bytes
+	}
 	s.mu.Unlock()
 	return t
 }
@@ -355,6 +407,36 @@ func (s *Sim) Phases() []Phase {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return append([]Phase(nil), s.phases...)
+}
+
+// PhaseCount returns the number of phases recorded so far. Unlike Phases it
+// does not close an open phase, so tracers can snapshot it mid-operation.
+func (s *Sim) PhaseCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.phases)
+}
+
+// PhasesSince returns a copy of the phases recorded at index i and later.
+// Unlike Phases it does not close an open phase; an in-flight phase is simply
+// not included.
+func (s *Sim) PhasesSince(i int) []Phase {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s.phases) {
+		return nil
+	}
+	return append([]Phase(nil), s.phases[i:]...)
+}
+
+// LocaleTraffic returns a copy of the per-locale traffic counters.
+func (s *Sim) LocaleTraffic() []LocaleCounters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]LocaleCounters(nil), s.locCnt...)
 }
 
 // PhaseNS returns the total recorded time of all phases with the given name.

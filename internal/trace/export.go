@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// WriteJSON writes the tracer's completed span forest as indented JSON:
+// {"spans": [...]} with every span carrying its children inline. This is the
+// format behind gbbench -trace-out.
+func WriteJSON(w io.Writer, t *Tracer) error {
+	out := struct {
+		Spans []*Span `json:"spans"`
+	}{Spans: t.Roots()}
+	if out.Spans == nil {
+		out.Spans = []*Span{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// opAgg accumulates the Prometheus-style aggregate for one span name.
+type opAgg struct {
+	count    int64
+	durNS    float64
+	messages int64
+	bytes    int64
+	retries  int64
+}
+
+// WritePrometheus writes aggregated per-operation metrics in the Prometheus
+// text exposition format: for every distinct span name (at any depth) a
+// gb_op_total / gb_op_seconds_total (modeled) / gb_op_messages_total /
+// gb_op_bytes_total / gb_op_retries_total sample labeled op="<name>".
+// Output is sorted by op name so it is deterministic.
+func WritePrometheus(w io.Writer, t *Tracer) error {
+	aggs := map[string]*opAgg{}
+	var walk func(sp *Span)
+	walk = func(sp *Span) {
+		a := aggs[sp.Name]
+		if a == nil {
+			a = &opAgg{}
+			aggs[sp.Name] = a
+		}
+		a.count++
+		a.durNS += sp.DurNS
+		a.messages += sp.Messages
+		a.bytes += sp.Bytes
+		a.retries += sp.Retries
+		for _, c := range sp.Children {
+			walk(c)
+		}
+	}
+	for _, sp := range t.Roots() {
+		walk(sp)
+	}
+	names := make([]string, 0, len(aggs))
+	for n := range aggs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	emit := func(metric, help, typ string, val func(*opAgg) string) error {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", metric, help, metric, typ); err != nil {
+			return err
+		}
+		for _, n := range names {
+			if _, err := fmt.Fprintf(w, "%s{op=%q} %s\n", metric, n, val(aggs[n])); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := emit("gb_op_total", "Completed spans per operation.", "counter",
+		func(a *opAgg) string { return fmt.Sprintf("%d", a.count) }); err != nil {
+		return err
+	}
+	if err := emit("gb_op_seconds_total", "Modeled time per operation, seconds.", "counter",
+		func(a *opAgg) string { return fmt.Sprintf("%g", a.durNS/1e9) }); err != nil {
+		return err
+	}
+	if err := emit("gb_op_messages_total", "Messages charged per operation.", "counter",
+		func(a *opAgg) string { return fmt.Sprintf("%d", a.messages) }); err != nil {
+		return err
+	}
+	if err := emit("gb_op_bytes_total", "Bytes charged per operation.", "counter",
+		func(a *opAgg) string { return fmt.Sprintf("%d", a.bytes) }); err != nil {
+		return err
+	}
+	return emit("gb_op_retries_total", "Transfer retries per operation.", "counter",
+		func(a *opAgg) string { return fmt.Sprintf("%d", a.retries) })
+}
+
+// Handler serves the tracer's current aggregates in the Prometheus text
+// format (for gbbench -trace-http).
+func Handler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = WritePrometheus(w, t)
+	})
+}
+
+// Tree renders the span forest as an indented deterministic text tree:
+// structure, tags, message/byte/retry counts and phase names — but no times,
+// so the output is stable across machine models and suitable for golden
+// files.
+func Tree(t *Tracer) string {
+	var b strings.Builder
+	var walk func(sp *Span, depth int)
+	walk = func(sp *Span, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(sp.Name)
+		for _, tag := range sp.Tags {
+			fmt.Fprintf(&b, " %s=%s", tag.Key, tag.Value)
+		}
+		fmt.Fprintf(&b, " msgs=%d bytes=%d", sp.Messages, sp.Bytes)
+		if sp.Retries > 0 {
+			fmt.Fprintf(&b, " retries=%d", sp.Retries)
+		}
+		if len(sp.Phases) > 0 {
+			names := make([]string, len(sp.Phases))
+			for i, p := range sp.Phases {
+				names[i] = p.Name
+			}
+			fmt.Fprintf(&b, " phases=[%s]", strings.Join(names, ","))
+		}
+		b.WriteByte('\n')
+		for _, c := range sp.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, sp := range t.Roots() {
+		walk(sp, 0)
+	}
+	return b.String()
+}

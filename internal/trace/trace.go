@@ -1,0 +1,187 @@
+// Package trace is the per-operation tracing and metrics seam. Every kernel,
+// collective and algorithm opens a Span around its work; the span snapshots
+// the simulator state (clock, phase list, traffic counters) on Begin and
+// records the deltas on End. Because a span only *observes* sim state and
+// never charges anything, tracing is free in modeled time: the same run with
+// and without a tracer produces bit-identical clocks, phases and counters.
+//
+// The zero value of the seam is "off": every method is safe on a nil *Tracer
+// or nil *Span and does nothing, so instrumented code needs no guards:
+//
+//	defer cfg.Trace.Begin("SpMSpVShm", trace.T("engine", "bucket")).End()
+//
+// Spans nest: Begin pushes onto a stack, End pops and attaches the span to
+// its parent (or to the tracer's root list). The runtime executes coforall
+// bodies sequentially (see internal/locale), so a single stack per tracer is
+// sufficient and per-locale kernel calls inside a distributed operation show
+// up as children of that operation's span.
+package trace
+
+import (
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Tag is one key=value annotation on a span (engine, grid shape, ...).
+type Tag struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// T is shorthand for constructing a Tag.
+func T(k, v string) Tag { return Tag{Key: k, Value: v} }
+
+// Span is one traced operation: its duration in modeled time, the
+// bulk-synchronous phases recorded while it ran, the traffic it generated
+// (inclusive of children), and per-locale message/byte/retry deltas.
+type Span struct {
+	Name string `json:"name"`
+	Tags []Tag  `json:"tags,omitempty"`
+
+	StartNS float64     `json:"start_ns"`
+	DurNS   float64     `json:"dur_ns"`
+	Phases  []sim.Phase `json:"phases,omitempty"`
+
+	Messages int64 `json:"messages"`
+	Bytes    int64 `json:"bytes"`
+	Retries  int64 `json:"retries,omitempty"`
+	FineOps  int64 `json:"fine_ops,omitempty"`
+	BulkOps  int64 `json:"bulk_ops,omitempty"`
+
+	PerLocale []sim.LocaleCounters `json:"per_locale,omitempty"`
+	Children  []*Span              `json:"children,omitempty"`
+
+	tr       *Tracer
+	startCnt sim.Counters
+	startLoc []sim.LocaleCounters
+	phaseIdx int
+}
+
+// Tracer collects a forest of spans bound to one simulator.
+type Tracer struct {
+	mu    sync.Mutex
+	src   *sim.Sim
+	stack []*Span
+	roots []*Span
+}
+
+// New returns an empty tracer. Bind it to a simulator before use; an unbound
+// tracer still records span names, tags and nesting, with zeroed metrics.
+func New() *Tracer { return &Tracer{} }
+
+// Bind attaches the tracer to the simulator whose clocks and counters spans
+// snapshot. Rebinding is allowed (e.g. when a context is cloned); open spans
+// keep the snapshots they took from the previous source.
+func (t *Tracer) Bind(s *sim.Sim) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.src = s
+	t.mu.Unlock()
+}
+
+// Begin opens a span; pair it with End (typically via defer). Safe on nil.
+func (t *Tracer) Begin(name string, tags ...Tag) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{Name: name, Tags: tags, tr: t}
+	t.mu.Lock()
+	if t.src != nil {
+		sp.StartNS = t.src.Elapsed()
+		sp.startCnt = t.src.Traffic()
+		sp.startLoc = t.src.LocaleTraffic()
+		sp.phaseIdx = t.src.PhaseCount()
+	}
+	t.stack = append(t.stack, sp)
+	t.mu.Unlock()
+	return sp
+}
+
+// End closes the span: computes duration, traffic deltas (inclusive of
+// children) and the phases recorded while it was open, then attaches it to
+// its parent span or the tracer's roots. Safe on nil.
+func (sp *Span) End() {
+	if sp == nil || sp.tr == nil {
+		return
+	}
+	t := sp.tr
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.src != nil {
+		sp.DurNS = t.src.Elapsed() - sp.StartNS
+		end := t.src.Traffic()
+		sp.Messages = end.Messages - sp.startCnt.Messages
+		sp.Bytes = end.Bytes - sp.startCnt.Bytes
+		sp.Retries = end.Retries - sp.startCnt.Retries
+		sp.FineOps = end.FineOps - sp.startCnt.FineOps
+		sp.BulkOps = end.BulkOps - sp.startCnt.BulkOps
+		sp.Phases = t.src.PhasesSince(sp.phaseIdx)
+		endLoc := t.src.LocaleTraffic()
+		if len(endLoc) == len(sp.startLoc) {
+			sp.PerLocale = make([]sim.LocaleCounters, len(endLoc))
+			for i := range endLoc {
+				sp.PerLocale[i] = sim.LocaleCounters{
+					Messages: endLoc[i].Messages - sp.startLoc[i].Messages,
+					Bytes:    endLoc[i].Bytes - sp.startLoc[i].Bytes,
+					Retries:  endLoc[i].Retries - sp.startLoc[i].Retries,
+				}
+			}
+		}
+	}
+	// Pop sp from the stack. Spans end LIFO in practice; tolerate an
+	// out-of-order End by searching.
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		if t.stack[i] == sp {
+			t.stack = append(t.stack[:i], t.stack[i+1:]...)
+			break
+		}
+	}
+	if n := len(t.stack); n > 0 {
+		parent := t.stack[n-1]
+		parent.Children = append(parent.Children, sp)
+	} else {
+		t.roots = append(t.roots, sp)
+	}
+	sp.startLoc = nil
+}
+
+// Roots returns the completed top-level spans in completion order.
+func (t *Tracer) Roots() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.roots...)
+}
+
+// Last returns the most recently completed root span with the given name,
+// or nil if none exists.
+func (t *Tracer) Last(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := len(t.roots) - 1; i >= 0; i-- {
+		if t.roots[i].Name == name {
+			return t.roots[i]
+		}
+	}
+	return nil
+}
+
+// Reset discards all completed and in-flight spans (the simulator binding is
+// kept).
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.stack = nil
+	t.roots = nil
+	t.mu.Unlock()
+}

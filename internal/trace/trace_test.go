@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+func TestNilTracerAndSpanAreNoOps(t *testing.T) {
+	var tr *Tracer
+	tr.Bind(nil)
+	sp := tr.Begin("anything", T("k", "v"))
+	if sp != nil {
+		t.Fatal("nil tracer returned a non-nil span")
+	}
+	sp.End() // must not panic
+	if tr.Roots() != nil || tr.Last("anything") != nil {
+		t.Error("nil tracer reported spans")
+	}
+	tr.Reset()
+}
+
+func TestSpanNestingAndDeltas(t *testing.T) {
+	s := sim.New(machine.Edison(), 2)
+	tr := New()
+	tr.Bind(s)
+
+	outer := tr.Begin("outer", T("engine", "bucket"))
+	s.BeginPhase("work")
+	s.Bulk(0, 128, false)
+	inner := tr.Begin("inner")
+	s.Bulk(1, 64, false)
+	inner.End()
+	s.EndPhase()
+	outer.End()
+
+	roots := tr.Roots()
+	if len(roots) != 1 || roots[0].Name != "outer" {
+		t.Fatalf("roots = %+v, want one outer span", roots)
+	}
+	o := roots[0]
+	if len(o.Children) != 1 || o.Children[0].Name != "inner" {
+		t.Fatalf("outer children = %+v, want [inner]", o.Children)
+	}
+	if o.Messages != 2 {
+		t.Errorf("outer messages = %d, want 2 (inclusive of child)", o.Messages)
+	}
+	if o.Children[0].Messages != 1 {
+		t.Errorf("inner messages = %d, want 1", o.Children[0].Messages)
+	}
+	if len(o.Phases) != 1 || o.Phases[0].Name != "work" {
+		t.Errorf("outer phases = %+v, want [work]", o.Phases)
+	}
+	if len(o.PerLocale) != 2 || o.PerLocale[0].Messages != 1 || o.PerLocale[1].Messages != 1 {
+		t.Errorf("per-locale deltas = %+v, want one message each", o.PerLocale)
+	}
+	if o.DurNS <= 0 {
+		t.Error("outer span has no modeled duration")
+	}
+	if tr.Last("outer") != o || tr.Last("missing") != nil {
+		t.Error("Last lookup wrong")
+	}
+}
+
+func TestTracingIsObserveOnly(t *testing.T) {
+	run := func(tr *Tracer) float64 {
+		s := sim.New(machine.Edison(), 4)
+		tr.Bind(s)
+		sp := tr.Begin("op")
+		s.BeginPhase("p")
+		for l := 0; l < 4; l++ {
+			s.Bulk(l, 256, false)
+		}
+		s.EndPhase()
+		s.Barrier()
+		sp.End()
+		return s.Elapsed()
+	}
+	if plain, traced := run(nil), run(New()); plain != traced {
+		t.Errorf("modeled time changed under tracing: %v vs %v", plain, traced)
+	}
+}
+
+func TestExporters(t *testing.T) {
+	s := sim.New(machine.Edison(), 2)
+	tr := New()
+	tr.Bind(s)
+	sp := tr.Begin("MxM", T("engine", "bucket"))
+	s.Bulk(0, 100, false)
+	sp.End()
+	tr.Begin("Apply2").End()
+
+	var js bytes.Buffer
+	if err := WriteJSON(&js, tr); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"spans"`, `"MxM"`, `"Apply2"`, `"engine"`} {
+		if !strings.Contains(js.String(), want) {
+			t.Errorf("JSON export misses %s:\n%s", want, js.String())
+		}
+	}
+
+	var prom bytes.Buffer
+	if err := WritePrometheus(&prom, tr); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`gb_op_total{op="Apply2"} 1`,
+		`gb_op_total{op="MxM"} 1`,
+		`gb_op_messages_total{op="MxM"} 1`,
+		"# TYPE gb_op_seconds_total counter",
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("Prometheus export misses %q:\n%s", want, prom.String())
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	Handler(tr).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "gb_op_total") {
+		t.Errorf("handler response %d: %s", rec.Code, rec.Body.String())
+	}
+
+	tree := Tree(tr)
+	if !strings.Contains(tree, "MxM engine=bucket") || !strings.Contains(tree, "Apply2") {
+		t.Errorf("tree export wrong:\n%s", tree)
+	}
+
+	// Empty tracer still yields valid JSON with an empty span list.
+	js.Reset()
+	if err := WriteJSON(&js, New()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), `"spans": []`) {
+		t.Errorf("empty tracer JSON = %s", js.String())
+	}
+}
