@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-smoke figures figures-paper ablations clean
+.PHONY: all build vet test test-short race bench bench-smoke bench-gate bench-baseline fuzz-smoke figures figures-paper ablations clean
 
 all: build vet test
 
@@ -19,7 +19,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/sparse/ ./internal/core/ ./internal/algorithms/ ./gb/
+	$(GO) test -race ./internal/sparse/ ./internal/core/ ./internal/algorithms/ ./internal/workpool/ ./internal/comm/ ./gb/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -42,8 +42,23 @@ ablations:
 bench-smoke:
 	$(GO) test -run '^$$' -bench SpMSpV -benchtime 1x ./...
 	$(GO) run ./cmd/gbbench -figure fig7,ablengine,ablbulk -scale small -json BENCH_spmspv.json -q \
+		-alloc-out BENCH_alloc.json \
 		-trace-out trace_smoke.json \
 		-trace-expect SpMSpVShm,SpMSpVDist,SpMSpVDistBulk,SparseRowAllGather,ColMergeScatter
+
+# Gate the fresh bench-smoke artifacts against the committed baseline: fail on
+# >20% modeled-time regression or ANY increase in steady-state allocs/op.
+bench-gate: bench-smoke
+	$(GO) run ./cmd/benchgate -baseline bench_baseline.json -bench BENCH_spmspv.json -alloc BENCH_alloc.json
+
+# Refresh the committed baseline after an intentional performance change.
+bench-baseline: bench-smoke
+	$(GO) run ./cmd/benchgate -write-baseline -baseline bench_baseline.json -bench BENCH_spmspv.json -alloc BENCH_alloc.json
+
+# The CI fuzz smoke: 30s each on the bucket SPA and the scratch arena.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzBucketSPA -fuzztime 30s ./internal/sparse
+	$(GO) test -run '^$$' -fuzz FuzzScratchPool -fuzztime 30s ./internal/sparse
 
 clean:
 	$(GO) clean ./...

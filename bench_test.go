@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/semiring"
 	"repro/internal/sparse"
+	"repro/internal/workpool"
 )
 
 // benchFigure runs a figure's harness b.N times and reports selected series
@@ -26,6 +27,7 @@ func benchFigure(b *testing.B, run bench.Runner, picks ...struct {
 	x      int
 }) {
 	b.Helper()
+	b.ReportAllocs()
 	var fig bench.Figure
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -141,6 +143,7 @@ func BenchmarkFig10AssignColocated(b *testing.B) {
 func BenchmarkRealMergeSort1M(b *testing.B) {
 	base := sparse.RandomVec[int64](4_000_000, 1_000_000, 1).Ind
 	buf := make([]int, len(base))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		copy(buf, base)
@@ -151,6 +154,7 @@ func BenchmarkRealMergeSort1M(b *testing.B) {
 func BenchmarkRealRadixSort1M(b *testing.B) {
 	base := sparse.RandomVec[int64](4_000_000, 1_000_000, 1).Ind
 	buf := make([]int, len(base))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		copy(buf, base)
@@ -161,6 +165,7 @@ func BenchmarkRealRadixSort1M(b *testing.B) {
 func BenchmarkRealSpMSpVShm(b *testing.B) {
 	a := sparse.ErdosRenyi[int64](100_000, 16, 1)
 	x := sparse.RandomVec[int64](100_000, 2_000, 2)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, _ = core.SpMSpVShm(a, x, core.ShmConfig{})
@@ -170,9 +175,29 @@ func BenchmarkRealSpMSpVShm(b *testing.B) {
 func BenchmarkRealSpMSpVBucket(b *testing.B) {
 	a := sparse.ErdosRenyi[int64](100_000, 16, 1)
 	x := sparse.RandomVec[int64](100_000, 2_000, 2)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, _ = core.SpMSpVShm(a, x, core.ShmConfig{Engine: core.EngineBucket, Workers: 4})
+	}
+}
+
+// BenchmarkRealSpMSpVBucketPooled is the steady-state configuration: a
+// persistent worker pool plus a scratch arena, the output recycled each
+// iteration. Expect 0 allocs/op; the CI gate enforces it staying there.
+func BenchmarkRealSpMSpVBucketPooled(b *testing.B) {
+	a := sparse.ErdosRenyi[int64](100_000, 16, 1)
+	x := sparse.RandomVec[int64](100_000, 2_000, 2)
+	pool := workpool.New()
+	scratch := sparse.NewScratchPool()
+	cfg := core.ShmConfig{Engine: core.EngineBucket, Workers: 4, Pool: pool, Scratch: scratch}
+	y, _ := core.SpMSpVShm(a, x, cfg) // warm the arena
+	sparse.PutVec(scratch, y)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		y, _ := core.SpMSpVShm(a, x, cfg)
+		sparse.PutVec(scratch, y)
 	}
 }
 
@@ -180,6 +205,7 @@ func BenchmarkRealSpMSpVSemiring(b *testing.B) {
 	a := sparse.ErdosRenyi[int64](100_000, 16, 1)
 	x := sparse.RandomVec[int64](100_000, 2_000, 2)
 	sr := semiring.PlusTimes[int64]()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, _ = core.SpMSpVShmSemiring(a, x, sr, core.ShmConfig{})
@@ -190,6 +216,7 @@ func BenchmarkRealSpGEMM(b *testing.B) {
 	a := sparse.ErdosRenyi[int64](5_000, 8, 3)
 	c := sparse.ErdosRenyi[int64](5_000, 8, 4)
 	sr := semiring.PlusTimes[int64]()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.SpGEMM(a, c, sr); err != nil {
@@ -199,6 +226,7 @@ func BenchmarkRealSpGEMM(b *testing.B) {
 }
 
 func BenchmarkRealErdosRenyiGen(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = sparse.ErdosRenyi[int64](100_000, 16, int64(i))
 	}

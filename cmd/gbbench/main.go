@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -58,8 +60,39 @@ func main() {
 		traceOut  = flag.String("trace-out", "", "write the trace spans of the whole run as JSON to this file")
 		traceWant = flag.String("trace-expect", "", "comma-separated op names that must each report at least one span; any missing op fails the run (CI smoke check)")
 		traceHTTP = flag.String("trace-http", "", "serve Prometheus-style trace metrics on this address (e.g. :8080) while the run executes")
+		allocOut  = flag.String("alloc-out", "", "measure the steady-state allocs/op of the pooled hot kernels and write them as JSON to this file (the BENCH_alloc.json of the CI gate)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile (taken after the run, post-GC) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gbbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "gbbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		path := *memProf
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gbbench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "gbbench: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *chaos {
 		bench.EnableChaos(*chaosSeed)
@@ -181,6 +214,32 @@ func main() {
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "gbbench: wrote %s (%d figures)\n", *jsonPath, len(report.Figures))
+		}
+	}
+	if *allocOut != "" {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "gbbench: measuring steady-state allocs/op of the pooled kernels...\n")
+		}
+		rep, err := bench.MeasureAllocs()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gbbench: -alloc-out: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*allocOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gbbench: creating %s: %v\n", *allocOut, err)
+			os.Exit(1)
+		}
+		if err := bench.WriteAllocJSON(f, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "gbbench: writing %s: %v\n", *allocOut, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "gbbench: closing %s: %v\n", *allocOut, err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "gbbench: wrote %s (%d kernels)\n", *allocOut, len(rep.Kernels))
 		}
 	}
 	if *traceOut != "" {

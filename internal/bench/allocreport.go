@@ -1,0 +1,148 @@
+package bench
+
+// The allocation report backs the CI perf gate's second axis: besides the
+// modeled seconds of BENCH_spmspv.json, CI tracks the steady-state heap
+// allocations per call of the pooled hot kernels. The tentpole contract is
+// that every entry here is exactly zero — a warm worker pool plus scratch
+// arena leaves nothing to allocate — so any nonzero value is a regression
+// (an escaped closure, a dropped checkout, a variadic trace tag) and the
+// gate (cmd/benchgate) fails the build on it.
+
+import (
+	"encoding/json"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/locale"
+	"repro/internal/machine"
+	"repro/internal/semiring"
+	"repro/internal/sparse"
+)
+
+// AllocPoint is the measured steady-state allocation count of one kernel.
+type AllocPoint struct {
+	Kernel      string  `json:"kernel"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// AllocReport is the BENCH_alloc.json document.
+type AllocReport struct {
+	Kernels []AllocPoint `json:"kernels"`
+}
+
+// Get returns the entry for kernel, if present.
+func (r AllocReport) Get(kernel string) (AllocPoint, bool) {
+	for _, k := range r.Kernels {
+		if k.Kernel == kernel {
+			return k, true
+		}
+	}
+	return AllocPoint{}, false
+}
+
+// allocWarmups primes the arena before measuring (first call sizes the pooled
+// buffers; sync.Pool keeps per-P caches a single pass may not fill).
+const allocWarmups = 5
+
+// MeasureAllocs measures the steady-state allocs/op of the pooled hot kernels
+// with testing.AllocsPerRun, mirroring the assertions of
+// internal/core/alloc_test.go so the committed baseline and the test enforce
+// the same contract.
+func MeasureAllocs() (AllocReport, error) {
+	var rep AllocReport
+	add := func(kernel string, f func()) {
+		rep.Kernels = append(rep.Kernels, AllocPoint{
+			Kernel:      kernel,
+			AllocsPerOp: testing.AllocsPerRun(50, f),
+		})
+	}
+
+	// Shared-memory kernels: one locale, sequential real execution.
+	rtShm, err := locale.New(machine.Edison(), 1, 24)
+	if err != nil {
+		return rep, err
+	}
+	a := sparse.ErdosRenyi[int64](5000, 8, 1)
+	x := sparse.RandomVec[int64](5000, 400, 2)
+	cfg := core.ShmConfig{
+		Threads: 24, Workers: 1, Engine: core.EngineBucket,
+		Sim: rtShm.S, Pool: rtShm.WP, Scratch: rtShm.Scratch,
+	}
+	for i := 0; i < allocWarmups; i++ {
+		y, _ := core.SpMSpVShm(a, x, cfg)
+		sparse.PutVec(cfg.Scratch, y)
+	}
+	add("spmspv_shm_bucket", func() {
+		y, _ := core.SpMSpVShm(a, x, cfg)
+		sparse.PutVec(cfg.Scratch, y)
+	})
+
+	sr := semiring.PlusTimes[int64]()
+	for i := 0; i < allocWarmups; i++ {
+		y, _ := core.SpMSpVShmSemiring(a, x, sr, cfg)
+		sparse.PutVec(cfg.Scratch, y)
+	}
+	add("spmspv_shm_bucket_semiring", func() {
+		y, _ := core.SpMSpVShmSemiring(a, x, sr, cfg)
+		sparse.PutVec(cfg.Scratch, y)
+	})
+
+	mask := sparse.RandomBoolDense[int64](5000, 0.3, 3)
+	for i := 0; i < allocWarmups; i++ {
+		y, _ := core.SpMSpVMasked(a, x, mask, cfg)
+		sparse.PutVec(cfg.Scratch, y)
+	}
+	add("spmspv_masked_bucket", func() {
+		y, _ := core.SpMSpVMasked(a, x, mask, cfg)
+		sparse.PutVec(cfg.Scratch, y)
+	})
+
+	// Distributed element-wise kernels: four locales, outputs reused.
+	rtDist, err := locale.New(machine.Edison(), 4, 24)
+	if err != nil {
+		return rep, err
+	}
+	x0 := sparse.RandomVec[int64](8000, 1500, 4)
+	y0 := sparse.RandomBoolDense[int64](8000, 0.5, 5)
+	dx := dist.SpVecFromVec(rtDist, x0)
+	dy := dist.DenseVecFromDense(rtDist, y0)
+	dz := dist.NewSpVec[int64](rtDist, dx.N)
+	pred := func(_, m int64) bool { return m != 0 }
+	for i := 0; i < allocWarmups; i++ {
+		if err := core.EWiseMultSDInto(rtDist, dx, dy, pred, dz); err != nil {
+			return rep, err
+		}
+	}
+	add("ewisemult_sd_into", func() {
+		_ = core.EWiseMultSDInto(rtDist, dx, dy, pred, dz)
+	})
+
+	op := func(v int64) int64 { return v + 1 }
+	for i := 0; i < allocWarmups; i++ {
+		core.Apply2(rtDist, dx, op)
+	}
+	add("apply2", func() {
+		core.Apply2(rtDist, dx, op)
+	})
+
+	return rep, nil
+}
+
+// WriteAllocJSON writes the report as indented JSON.
+func WriteAllocJSON(w io.Writer, rep AllocReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// ReadAllocJSON parses a BENCH_alloc.json document.
+func ReadAllocJSON(r io.Reader) (AllocReport, error) {
+	var rep AllocReport
+	err := json.NewDecoder(r).Decode(&rep)
+	return rep, err
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/locale"
 	"repro/internal/semiring"
 	"repro/internal/sim"
+	"repro/internal/sparse"
 )
 
 // Per merged element at the destination of a sparse collective: advance a
@@ -42,7 +43,7 @@ func SparseRowAllGather[T semiring.Number](rt *locale.Runtime, inds [][]int, val
 			teamInds = append(teamInds, inds[src])
 			teamVals = append(teamVals, vals[src])
 		}
-		mergedInd, mergedVal := kwayMergeRuns(teamInds, teamVals)
+		mergedInd, mergedVal := kwayMergeRuns(rt.Scratch, teamInds, teamVals)
 		for di, dst := range team {
 			for _, src := range team {
 				if src == dst || len(inds[src]) == 0 {
@@ -69,8 +70,13 @@ func SparseRowAllGather[T semiring.Number](rt *locale.Runtime, inds [][]int, val
 			if di == 0 {
 				outInd[dst], outVal[dst] = mergedInd, mergedVal
 			} else {
-				outInd[dst] = append([]int(nil), mergedInd...)
-				outVal[dst] = append([]T(nil), mergedVal...)
+				// Each teammate's copy of the merged run is checked out of the
+				// runtime's arena; callers done with a copy may donate it back
+				// (sparse.PutVec / ScratchPool.PutInts) for the next gather.
+				ci := rt.Scratch.GetInts(len(mergedInd))
+				copy(ci, mergedInd)
+				outInd[dst] = ci
+				outVal[dst] = append(make([]T, 0, len(mergedVal)), mergedVal...)
 			}
 		}
 	}
@@ -130,7 +136,7 @@ func ColMergeScatter[T semiring.Number](rt *locale.Runtime, n int, inds [][]int,
 		for _, s := range segInd[dst] {
 			received += int64(len(s))
 		}
-		outInd[dst], outVal[dst] = kwayMergeDedup(segInd[dst], segVal[dst], op)
+		outInd[dst], outVal[dst] = kwayMergeDedup(rt.Scratch, segInd[dst], segVal[dst], op)
 		rt.S.Compute(dst, 1, sim.Kernel{
 			Name:       "colmerge-scatter-merge",
 			Items:      received,
@@ -142,14 +148,17 @@ func ColMergeScatter[T semiring.Number](rt *locale.Runtime, n int, inds [][]int,
 
 // kwayMergeRuns merges sorted runs into one sorted run, keeping every
 // element; ties resolve to the lowest run index (stable in source order).
-func kwayMergeRuns[T semiring.Number](runs [][]int, vals [][]T) ([]int, []T) {
+// The cursor array is checked out of the scratch arena (nil-safe).
+func kwayMergeRuns[T semiring.Number](scratch *sparse.ScratchPool, runs [][]int, vals [][]T) ([]int, []T) {
 	total := 0
 	for _, r := range runs {
 		total += len(r)
 	}
 	outInd := make([]int, 0, total)
 	outVal := make([]T, 0, total)
-	pos := make([]int, len(runs))
+	pos := scratch.GetInts(len(runs))
+	clear(pos)
+	defer scratch.PutInts(pos)
 	for len(outInd) < total {
 		best := -1
 		for k, r := range runs {
@@ -171,14 +180,16 @@ func kwayMergeRuns[T semiring.Number](runs [][]int, vals [][]T) ([]int, []T) {
 // Duplicates resolve first-wins in run order when op is nil (run order = the
 // source-locale order the callers establish), and accumulate with op
 // otherwise.
-func kwayMergeDedup[T semiring.Number](runs [][]int, vals [][]T, op semiring.BinaryOp[T]) ([]int, []T) {
+func kwayMergeDedup[T semiring.Number](scratch *sparse.ScratchPool, runs [][]int, vals [][]T, op semiring.BinaryOp[T]) ([]int, []T) {
 	total := 0
 	for _, r := range runs {
 		total += len(r)
 	}
 	outInd := make([]int, 0, total)
 	outVal := make([]T, 0, total)
-	pos := make([]int, len(runs))
+	pos := scratch.GetInts(len(runs))
+	clear(pos)
+	defer scratch.PutInts(pos)
 	for {
 		best := -1
 		for k, r := range runs {

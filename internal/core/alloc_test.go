@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/semiring"
+	"repro/internal/sparse"
+)
+
+// These tests pin down the tentpole guarantee of the zero-allocation work:
+// once the runtime's worker pool and scratch arena are warm, the hot kernels
+// allocate nothing per call. testing.AllocsPerRun runs with GOMAXPROCS(1) and
+// reports the exact per-call allocation count, so any regression — a closure
+// escaping onto the heap, a forgotten arena checkout, a variadic trace tag —
+// fails the test with the precise number of bytes-worth of damage.
+
+func incr[T int64 | float64](v T) T { return v + 1 }
+
+// warmups is how many calls prime the arena before measuring. More than one:
+// the first call sizes the pooled buffers, and sync.Pool keeps per-P caches
+// that a single pass may not populate.
+const warmups = 5
+
+func TestSpMSpVShmBucketZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts include race-runtime shadow allocations")
+	}
+	a := sparse.ErdosRenyi[int64](5000, 8, 1)
+	x := sparse.RandomVec[int64](5000, 400, 2)
+	rt := newRT(t, 1, 24)
+	cfg := ShmConfig{
+		Threads: 24,
+		Workers: 1,
+		Engine:  EngineBucket,
+		Sim:     rt.S,
+		Pool:    rt.WP,
+		Scratch: rt.Scratch,
+	}
+	for i := 0; i < warmups; i++ {
+		y, _ := SpMSpVShm(a, x, cfg)
+		sparse.PutVec(cfg.Scratch, y)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		y, _ := SpMSpVShm(a, x, cfg)
+		sparse.PutVec(cfg.Scratch, y)
+	})
+	if avg != 0 {
+		t.Fatalf("SpMSpVShm (bucket engine) allocates %.1f objects per steady-state call, want 0", avg)
+	}
+}
+
+func TestSpMSpVShmBucketSemiringZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts include race-runtime shadow allocations")
+	}
+	a := sparse.ErdosRenyi[int64](5000, 8, 3)
+	x := sparse.RandomVec[int64](5000, 400, 4)
+	sr := semiring.PlusTimes[int64]()
+	rt := newRT(t, 1, 24)
+	cfg := ShmConfig{
+		Threads: 24,
+		Workers: 1,
+		Engine:  EngineBucket,
+		Sim:     rt.S,
+		Pool:    rt.WP,
+		Scratch: rt.Scratch,
+	}
+	for i := 0; i < warmups; i++ {
+		y, _ := SpMSpVShmSemiring(a, x, sr, cfg)
+		sparse.PutVec(cfg.Scratch, y)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		y, _ := SpMSpVShmSemiring(a, x, sr, cfg)
+		sparse.PutVec(cfg.Scratch, y)
+	})
+	if avg != 0 {
+		t.Fatalf("SpMSpVShmSemiring (bucket engine) allocates %.1f objects per steady-state call, want 0", avg)
+	}
+}
+
+func TestEWiseMultSDIntoZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts include race-runtime shadow allocations")
+	}
+	x0 := sparse.RandomVec[int64](8000, 1500, 7)
+	y0 := sparse.RandomBoolDense[int64](8000, 0.5, 8)
+	rt := newRT(t, 4, 24)
+	x := dist.SpVecFromVec(rt, x0)
+	y := dist.DenseVecFromDense(rt, y0)
+	z := dist.NewSpVec[int64](rt, x.N)
+	for i := 0; i < warmups; i++ {
+		if err := EWiseMultSDInto(rt, x, y, keepWhenTrue[int64], z); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		if err := EWiseMultSDInto(rt, x, y, keepWhenTrue[int64], z); err != nil {
+			panic(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("EWiseMultSDInto allocates %.1f objects per steady-state call, want 0", avg)
+	}
+}
+
+func TestApply2ZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts include race-runtime shadow allocations")
+	}
+	x0 := sparse.RandomVec[int64](8000, 1500, 9)
+	rt := newRT(t, 4, 24)
+	x := dist.SpVecFromVec(rt, x0)
+	for i := 0; i < warmups; i++ {
+		Apply2(rt, x, incr[int64])
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		Apply2(rt, x, incr[int64])
+	})
+	if avg != 0 {
+		t.Fatalf("Apply2 allocates %.1f objects per steady-state call, want 0", avg)
+	}
+}
+
+// TestSpMSpVMaskedZeroAllocSteadyState covers the masked wrapper: the
+// intermediate unmasked product must come from — and return to — the arena.
+func TestSpMSpVMaskedZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts include race-runtime shadow allocations")
+	}
+	a := sparse.ErdosRenyi[int64](5000, 8, 11)
+	x := sparse.RandomVec[int64](5000, 400, 12)
+	mask := sparse.RandomBoolDense[int64](5000, 0.3, 13)
+	rt := newRT(t, 1, 24)
+	cfg := ShmConfig{
+		Threads: 24,
+		Workers: 1,
+		Engine:  EngineBucket,
+		Sim:     rt.S,
+		Pool:    rt.WP,
+		Scratch: rt.Scratch,
+	}
+	for i := 0; i < warmups; i++ {
+		y, _ := SpMSpVMasked(a, x, mask, cfg)
+		sparse.PutVec(cfg.Scratch, y)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		y, _ := SpMSpVMasked(a, x, mask, cfg)
+		sparse.PutVec(cfg.Scratch, y)
+	})
+	if avg != 0 {
+		t.Fatalf("SpMSpVMasked allocates %.1f objects per steady-state call, want 0", avg)
+	}
+}

@@ -50,9 +50,12 @@ func Apply1[T semiring.Number](rt *locale.Runtime, x *dist.SpVec[T], op semiring
 // Apply2 applies op to every stored element of x in the explicit SPMD style
 // of the paper's Listing 3: one task per locale (coforall + on), each
 // iterating its local element array with a local forall. No communication.
+// The coforall is open-coded (spawn charge + bodies + barrier) so that
+// steady-state calls allocate nothing.
 func Apply2[T semiring.Number](rt *locale.Runtime, x *dist.SpVec[T], op semiring.UnaryOp[T]) {
 	defer rt.Span("Apply2").End()
-	rt.Coforall(func(l int) {
+	rt.S.CoforallSpawn()
+	for l := 0; l < rt.G.P; l++ {
 		lv := x.Loc[l]
 		applyLocal(rt, lv.Val, op)
 		rt.S.Compute(l, rt.Threads, sim.Kernel{
@@ -61,12 +64,20 @@ func Apply2[T semiring.Number](rt *locale.Runtime, x *dist.SpVec[T], op semiring
 			CPUPerItem:   costApplyCPU,
 			BytesPerItem: costApplyBytes,
 		})
-	})
+	}
+	rt.S.Barrier()
 }
 
 // applyLocal updates vals in place with op, using the runtime's real worker
-// pool.
+// pool. The single-worker path is a plain loop — creating the parallel
+// closure would allocate even though the work is sequential.
 func applyLocal[T semiring.Number](rt *locale.Runtime, vals []T, op semiring.UnaryOp[T]) {
+	if rt.RealWorkers <= 1 {
+		for i := range vals {
+			vals[i] = op(vals[i])
+		}
+		return
+	}
 	rt.ParFor(len(vals), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			vals[i] = op(vals[i])

@@ -86,9 +86,13 @@ func Assign2[T semiring.Number](rt *locale.Runtime, a, b *dist.SpVec[T]) error {
 		} else {
 			la.Val = la.Val[:lb.NNZ()]
 		}
-		rt.ParFor(lb.NNZ(), func(lo, hi int) {
-			copy(la.Val[lo:hi], lb.Val[lo:hi])
-		})
+		if rt.RealWorkers <= 1 {
+			copy(la.Val, lb.Val)
+		} else {
+			rt.ParFor(lb.NNZ(), func(lo, hi int) {
+				copy(la.Val[lo:hi], lb.Val[lo:hi])
+			})
+		}
 		// Model: domain phase, then array phase.
 		rt.S.Compute(l, rt.Threads, sim.Kernel{
 			Name:           "assign2-domain",

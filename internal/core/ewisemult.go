@@ -21,12 +21,29 @@ import (
 // approach — the atomics are what caps the speedup at ~13× on 24 threads),
 // then bulk-inserted into the output's local domain.
 func EWiseMultSD[T semiring.Number](rt *locale.Runtime, x *dist.SpVec[T], y *dist.DenseVec[T], pred semiring.Pred[T]) (*dist.SpVec[T], error) {
-	defer rt.Span("EWiseMultSD").End()
 	if x.N != y.N {
 		return nil, fmt.Errorf("core: EWiseMultSD: capacity mismatch %d vs %d", x.N, y.N)
 	}
 	z := dist.NewSpVec[T](rt, x.N)
-	rt.Coforall(func(l int) {
+	if err := EWiseMultSDInto(rt, x, y, pred, z); err != nil {
+		return nil, err
+	}
+	return z, nil
+}
+
+// EWiseMultSDInto is EWiseMultSD writing into an existing destination, reusing
+// the capacity of z's local blocks: steady-state calls on a stable problem
+// size allocate nothing (the keepInd scratch comes from the runtime's arena).
+// z must have x's capacity; its previous contents are discarded.
+func EWiseMultSDInto[T semiring.Number](rt *locale.Runtime, x *dist.SpVec[T], y *dist.DenseVec[T], pred semiring.Pred[T], z *dist.SpVec[T]) error {
+	defer rt.Span("EWiseMultSD").End()
+	if x.N != y.N || z.N != x.N {
+		return fmt.Errorf("core: EWiseMultSD: capacity mismatch %d vs %d into %d", x.N, y.N, z.N)
+	}
+	// Open-coded coforall (spawn charge + per-locale bodies + barrier): a
+	// rt.Coforall closure would allocate on every call.
+	rt.S.CoforallSpawn()
+	for l := 0; l < rt.G.P; l++ {
 		lx := x.Loc[l]
 		ly := y.Loc[l]
 		base := y.Bounds[l]
@@ -34,17 +51,20 @@ func EWiseMultSD[T semiring.Number](rt *locale.Runtime, x *dist.SpVec[T], y *dis
 
 		// Real work: predicate scan with atomic compaction (Listing 6 lines
 		// 17–21). keepPos[k] records the position in lx of the k-th survivor.
-		keepPos := make([]int32, nnz)
-		var cursor atomic.Int64
-		rt.ParFor(nnz, func(lo, hi int) {
-			for k := lo; k < hi; k++ {
+		keepPos := rt.Scratch.GetInt32s(nnz)
+		kept := 0
+		if rt.RealWorkers <= 1 {
+			// Sequential fast path: the "atomic" cursor degenerates to a plain
+			// counter and no closure is created.
+			for k := 0; k < nnz; k++ {
 				if pred(lx.Val[k], ly[lx.Ind[k]-base]) {
-					slot := cursor.Add(1) - 1
-					keepPos[slot] = int32(k)
+					keepPos[kept] = int32(k)
+					kept++
 				}
 			}
-		})
-		kept := int(cursor.Load())
+		} else {
+			kept = ewiseScanPar(rt, lx, ly, base, pred, keepPos)
+		}
 		keepPos = keepPos[:kept] // keepInd.remove(k.read(), nnz-k.read())
 
 		// Restore index order (concurrent compaction scrambles it); with one
@@ -52,12 +72,21 @@ func EWiseMultSD[T semiring.Number](rt *locale.Runtime, x *dist.SpVec[T], y *dis
 		// of z: lzDom.mySparseBlock += keepInd, plus the values.
 		sparse.RadixSortInts32(keepPos)
 		lz := z.Loc[l]
-		lz.Ind = make([]int, kept)
-		lz.Val = make([]T, kept)
+		if cap(lz.Ind) < kept {
+			lz.Ind = make([]int, kept)
+		} else {
+			lz.Ind = lz.Ind[:kept]
+		}
+		if cap(lz.Val) < kept {
+			lz.Val = make([]T, kept)
+		} else {
+			lz.Val = lz.Val[:kept]
+		}
 		for i, k := range keepPos {
 			lz.Ind[i] = lx.Ind[k]
 			lz.Val[i] = lx.Val[k]
 		}
+		rt.Scratch.PutInt32s(keepPos)
 
 		// Model: the scan kernel (atomic-compaction bound) and the output
 		// domain construction.
@@ -74,8 +103,25 @@ func EWiseMultSD[T semiring.Number](rt *locale.Runtime, x *dist.SpVec[T], y *dis
 			CPUPerItem:   costEWiseOutCPU,
 			BytesPerItem: costEWiseBytes,
 		})
+	}
+	rt.S.Barrier()
+	return nil
+}
+
+// ewiseScanPar runs the atomic-compaction predicate scan on the worker pool.
+// Only reached when RealWorkers > 1, keeping the closure and the atomic
+// cursor off the sequential (allocation-free) path.
+func ewiseScanPar[T semiring.Number](rt *locale.Runtime, lx *sparse.Vec[T], ly []T, base int, pred semiring.Pred[T], keepPos []int32) int {
+	var cursor atomic.Int64
+	rt.ParFor(lx.NNZ(), func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			if pred(lx.Val[k], ly[lx.Ind[k]-base]) {
+				slot := cursor.Add(1) - 1
+				keepPos[slot] = int32(k)
+			}
+		}
 	})
-	return z, nil
+	return int(cursor.Load())
 }
 
 // EWiseMultSDNoAtomic is the optimization the paper sketches ("we can avoid
@@ -104,23 +150,15 @@ func EWiseMultSDNoAtomic[T semiring.Number](rt *locale.Runtime, x *dist.SpVec[T]
 		}
 		private := make([][]int32, workers)
 		if nnz > 0 {
-			done := make(chan struct{}, workers)
-			for w := 0; w < workers; w++ {
-				lo, hi := w*nnz/workers, (w+1)*nnz/workers
-				go func(w, lo, hi int) {
-					var buf []int32
-					for k := lo; k < hi; k++ {
-						if pred(lx.Val[k], ly[lx.Ind[k]-base]) {
-							buf = append(buf, int32(k))
-						}
+			rt.WP.ParForChunk(workers, nnz, func(w, lo, hi int) {
+				var buf []int32
+				for k := lo; k < hi; k++ {
+					if pred(lx.Val[k], ly[lx.Ind[k]-base]) {
+						buf = append(buf, int32(k))
 					}
-					private[w] = buf
-					done <- struct{}{}
-				}(w, lo, hi)
-			}
-			for w := 0; w < workers; w++ {
-				<-done
-			}
+				}
+				private[w] = buf
+			})
 		}
 		// Prefix sum over private counts; buffers are already ordered and
 		// worker w's range precedes worker w+1's, so concatenation is sorted.

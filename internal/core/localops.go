@@ -156,13 +156,15 @@ func SpMSpVMasked[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T], mask *s
 	if mask == nil {
 		return y, st
 	}
-	out := sparse.NewVec[int64](y.N)
+	out := sparse.GetVec[int64](cfg.Scratch, y.N)
 	for k, i := range y.Ind {
 		if mask.Data[i] == 0 {
 			out.Ind = append(out.Ind, i)
 			out.Val = append(out.Val, y.Val[k])
 		}
 	}
+	// y was scratch of this call; recycle it for the next one.
+	sparse.PutVec(cfg.Scratch, y)
 	st.NnzOut = out.NNZ()
 	return out, st
 }

@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether this test binary was built with -race; the
+// zero-allocation assertions skip then, because the race runtime itself
+// allocates (shadow state for pools and atomics) and the counts become
+// meaningless.
+const raceEnabled = true

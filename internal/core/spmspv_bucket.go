@@ -1,10 +1,13 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"repro/internal/semiring"
 	"repro/internal/sim"
 	"repro/internal/sparse"
 	"repro/internal/trace"
+	"repro/internal/workpool"
 )
 
 // SpMSpVBucket is the third shared-memory SpMSpV engine: the sort-free
@@ -25,13 +28,21 @@ import (
 //
 // When cfg.Phased is set the phases are recorded as "Bucket Scatter",
 // "Bucket Merge" and "Output" (the bucket analogue of Fig 7's breakdown).
+//
+// With cfg.Scratch set, steady-state calls are allocation-free: the bucket
+// SPA and the output vector's backing arrays are checked out of the arena,
+// and with Workers == 1 no goroutine, closure or channel is created.
 func SpMSpVBucket[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T], cfg ShmConfig) (*sparse.Vec[int64], ShmStats) {
 	cfg.Engine = EngineBucket
 	return spmspvBucket(a, x, cfg)
 }
 
 func spmspvBucket[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T], cfg ShmConfig) (*sparse.Vec[int64], ShmStats) {
-	defer cfg.Trace.Begin("SpMSpVShm", trace.T("engine", "bucket")).End()
+	var sp *trace.Span
+	if cfg.Trace != nil {
+		sp = cfg.Trace.Begin("SpMSpVShm", trace.T("engine", "bucket"))
+	}
+	defer sp.End()
 	if cfg.Threads < 1 {
 		cfg.Threads = 1
 	}
@@ -41,7 +52,7 @@ func spmspvBucket[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T], cfg Shm
 	var st ShmStats
 	nnzX := x.NNZ()
 	workers := cfg.Workers
-	if workers > nnzX && nnzX > 0 {
+	if workers > nnzX {
 		workers = nnzX
 	}
 	if workers < 1 {
@@ -53,33 +64,25 @@ func spmspvBucket[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T], cfg Shm
 	if cfg.Sim != nil && cfg.Phased {
 		cfg.Sim.BeginPhase("Bucket Scatter")
 	}
-	spa := sparse.NewBucketSPA[int64](a.NCols, workers, buckets)
-	counts := make([]int64, workers)
-	done := make(chan struct{}, workers)
-	for w := 0; w < workers; w++ {
-		lo, hi := w*nnzX/workers, (w+1)*nnzX/workers
-		go func(w, lo, hi int) {
-			var seen int64
-			for k := lo; k < hi; k++ {
-				rid := x.Ind[k]
-				if rid < 0 || rid >= a.NRows {
-					continue
-				}
-				cols, _ := a.Row(rid)
-				seen += int64(len(cols))
-				for _, colid := range cols {
-					spa.Append(w, colid, int64(rid))
-				}
+	spa := sparse.GetBucketSPA[int64](cfg.Scratch, a.NCols, workers, buckets)
+	if workers <= 1 {
+		// Sequential fast path: direct method calls, no closure (a closure
+		// literal would escape and defeat the zero-allocation guarantee).
+		var seen int64
+		for k := 0; k < nnzX; k++ {
+			rid := x.Ind[k]
+			if rid < 0 || rid >= a.NRows {
+				continue
 			}
-			counts[w] = seen
-			done <- struct{}{}
-		}(w, lo, hi)
-	}
-	for w := 0; w < workers; w++ {
-		<-done
-	}
-	for _, c := range counts {
-		st.EntriesVisited += c
+			cols, _ := a.Row(rid)
+			seen += int64(len(cols))
+			for _, colid := range cols {
+				spa.Append(0, colid, int64(rid))
+			}
+		}
+		st.EntriesVisited = seen
+	} else {
+		st.EntriesVisited = bucketScatterPar(a, x, spa, cfg.Pool, workers, nnzX)
 	}
 	st.RowsSelected = nnzX
 	if cfg.Sim != nil {
@@ -101,19 +104,21 @@ func spmspvBucket[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T], cfg Shm
 	if cfg.Sim != nil && cfg.Phased {
 		cfg.Sim.BeginPhase("Bucket Merge")
 	}
-	ind, val, mst := spa.Merge(nil, workers)
+	y := sparse.GetVec[int64](cfg.Scratch, a.NCols)
+	var mst sparse.BucketMergeStats
+	y.Ind, y.Val, mst = spa.MergeInto(nil, cfg.Pool, workers, y.Ind, y.Val)
+	sparse.PutBucketSPA(cfg.Scratch, spa)
 	chargeBucketMerge(cfg, mst)
 
 	// Phase 3: output vector (same yDom build cost as the other engines).
 	if cfg.Sim != nil && cfg.Phased {
 		cfg.Sim.BeginPhase("Output")
 	}
-	y := &sparse.Vec[int64]{N: a.NCols, Ind: ind, Val: val}
-	st.NnzOut = len(ind)
+	st.NnzOut = len(y.Ind)
 	if cfg.Sim != nil {
 		cfg.Sim.Compute(cfg.Loc, cfg.Threads, sim.Kernel{
 			Name:         "spmspv-output",
-			Items:        int64(len(ind)),
+			Items:        int64(len(y.Ind)),
 			CPUPerItem:   costOutputCPU,
 			BytesPerItem: costOutputBytes,
 		})
@@ -124,12 +129,40 @@ func spmspvBucket[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T], cfg Shm
 	return y, st
 }
 
+// bucketScatterPar runs the first-wins bucket scatter on the worker pool.
+// The chunk index doubles as the run owner, reproducing the historical
+// one-goroutine-per-worker partition exactly, so the merge resolves the same
+// winners. Only reached when workers > 1.
+func bucketScatterPar[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T], spa *sparse.BucketSPA[int64], wp *workpool.Pool, workers, nnzX int) int64 {
+	var visited atomic.Int64
+	wp.ParForChunk(workers, nnzX, func(w, lo, hi int) {
+		var seen int64
+		for k := lo; k < hi; k++ {
+			rid := x.Ind[k]
+			if rid < 0 || rid >= a.NRows {
+				continue
+			}
+			cols, _ := a.Row(rid)
+			seen += int64(len(cols))
+			for _, colid := range cols {
+				spa.Append(w, colid, int64(rid))
+			}
+		}
+		visited.Add(seen)
+	})
+	return visited.Load()
+}
+
 // spmspvBucketSemiring is the general-semiring bucket engine: entries carry
 // x[i] ⊗ A[i,j] products and the bucket merge accumulates duplicates with the
 // additive monoid instead of first-wins claiming. Deterministic for
 // commutative, associative monoids regardless of worker count.
 func spmspvBucketSemiring[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T], sr semiring.Semiring[T], cfg ShmConfig) (*sparse.Vec[T], ShmStats) {
-	defer cfg.Trace.Begin("SpMSpVShmSemiring", trace.T("engine", "bucket")).End()
+	var sp *trace.Span
+	if cfg.Trace != nil {
+		sp = cfg.Trace.Begin("SpMSpVShmSemiring", trace.T("engine", "bucket"))
+	}
+	defer sp.End()
 	if cfg.Threads < 1 {
 		cfg.Threads = 1
 	}
@@ -139,7 +172,7 @@ func spmspvBucketSemiring[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T],
 	var st ShmStats
 	nnzX := x.NNZ()
 	workers := cfg.Workers
-	if workers > nnzX && nnzX > 0 {
+	if workers > nnzX {
 		workers = nnzX
 	}
 	if workers < 1 {
@@ -150,34 +183,24 @@ func spmspvBucketSemiring[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T],
 	if cfg.Sim != nil && cfg.Phased {
 		cfg.Sim.BeginPhase("Bucket Scatter")
 	}
-	spa := sparse.NewBucketSPA[T](a.NCols, workers, buckets)
-	counts := make([]int64, workers)
-	done := make(chan struct{}, workers)
-	for w := 0; w < workers; w++ {
-		lo, hi := w*nnzX/workers, (w+1)*nnzX/workers
-		go func(w, lo, hi int) {
-			var seen int64
-			for k := lo; k < hi; k++ {
-				rid := x.Ind[k]
-				if rid < 0 || rid >= a.NRows {
-					continue
-				}
-				cols, vals := a.Row(rid)
-				seen += int64(len(cols))
-				xv := x.Val[k]
-				for c, colid := range cols {
-					spa.Append(w, colid, sr.Mul(xv, vals[c]))
-				}
+	spa := sparse.GetBucketSPA[T](cfg.Scratch, a.NCols, workers, buckets)
+	if workers <= 1 {
+		var seen int64
+		for k := 0; k < nnzX; k++ {
+			rid := x.Ind[k]
+			if rid < 0 || rid >= a.NRows {
+				continue
 			}
-			counts[w] = seen
-			done <- struct{}{}
-		}(w, lo, hi)
-	}
-	for w := 0; w < workers; w++ {
-		<-done
-	}
-	for _, c := range counts {
-		st.EntriesVisited += c
+			cols, vals := a.Row(rid)
+			seen += int64(len(cols))
+			xv := x.Val[k]
+			for c, colid := range cols {
+				spa.Append(0, colid, sr.Mul(xv, vals[c]))
+			}
+		}
+		st.EntriesVisited = seen
+	} else {
+		st.EntriesVisited = bucketScatterParSr(a, x, sr, spa, cfg.Pool, workers, nnzX)
 	}
 	st.RowsSelected = nnzX
 	if cfg.Sim != nil {
@@ -197,18 +220,20 @@ func spmspvBucketSemiring[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T],
 	if cfg.Sim != nil && cfg.Phased {
 		cfg.Sim.BeginPhase("Bucket Merge")
 	}
-	ind, val, mst := spa.Merge(sr.Add.Op, workers)
+	y := sparse.GetVec[T](cfg.Scratch, a.NCols)
+	var mst sparse.BucketMergeStats
+	y.Ind, y.Val, mst = spa.MergeInto(sr.Add.Op, cfg.Pool, workers, y.Ind, y.Val)
+	sparse.PutBucketSPA(cfg.Scratch, spa)
 	chargeBucketMerge(cfg, mst)
 
 	if cfg.Sim != nil && cfg.Phased {
 		cfg.Sim.BeginPhase("Output")
 	}
-	y := &sparse.Vec[T]{N: a.NCols, Ind: ind, Val: val}
-	st.NnzOut = len(ind)
+	st.NnzOut = len(y.Ind)
 	if cfg.Sim != nil {
 		cfg.Sim.Compute(cfg.Loc, cfg.Threads, sim.Kernel{
 			Name:         "spmspv-output",
-			Items:        int64(len(ind)),
+			Items:        int64(len(y.Ind)),
 			CPUPerItem:   costOutputCPU,
 			BytesPerItem: costOutputBytes,
 		})
@@ -217,6 +242,28 @@ func spmspvBucketSemiring[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T],
 		}
 	}
 	return y, st
+}
+
+// bucketScatterParSr is bucketScatterPar for the general-semiring engine.
+func bucketScatterParSr[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T], sr semiring.Semiring[T], spa *sparse.BucketSPA[T], wp *workpool.Pool, workers, nnzX int) int64 {
+	var visited atomic.Int64
+	wp.ParForChunk(workers, nnzX, func(w, lo, hi int) {
+		var seen int64
+		for k := lo; k < hi; k++ {
+			rid := x.Ind[k]
+			if rid < 0 || rid >= a.NRows {
+				continue
+			}
+			cols, vals := a.Row(rid)
+			seen += int64(len(cols))
+			xv := x.Val[k]
+			for c, colid := range cols {
+				spa.Append(w, colid, sr.Mul(xv, vals[c]))
+			}
+		}
+		visited.Add(seen)
+	})
+	return visited.Load()
 }
 
 // chargeBucketMerge charges the per-bucket merge and the ordered range-scan

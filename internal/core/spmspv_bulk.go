@@ -74,6 +74,8 @@ func SpMSpVDistBulk[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *di
 			Sim:     rt.S,
 			Loc:     l,
 			Trace:   rt.Tr,
+			Pool:    rt.WP,
+			Scratch: rt.Scratch,
 		})
 		r, _ := g.Coords(l)
 		rowBase := int64(a.RowBands[r])
@@ -82,6 +84,10 @@ func SpMSpVDistBulk[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *di
 		}
 		lys[l] = ly
 		st.LocalEntries += shmStats.EntriesVisited
+		// The gathered input was checked out of the arena by the collective;
+		// donate its buffers back for the next round's gather.
+		sparse.PutVec(rt.Scratch, lxs[l])
+		lxs[l] = nil
 	}
 
 	// Step 3: scatter through the destination-owned merge collective.
@@ -103,6 +109,11 @@ func SpMSpVDistBulk[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *di
 	mInds, mVals, err := comm.ColMergeScatter[int64](rt, n, outInds, outVals, nil)
 	if err != nil {
 		return nil, st, err
+	}
+	// The merge copied everything out; the local products can be recycled.
+	for l := 0; l < g.P; l++ {
+		sparse.PutVec(rt.Scratch, lys[l])
+		lys[l] = nil
 	}
 	y := &dist.SpVec[int64]{G: g, N: n, Bounds: locale.BlockBounds(n, g.P), Loc: make([]*sparse.Vec[int64], g.P)}
 	for l := 0; l < g.P; l++ {

@@ -95,6 +95,8 @@ func SpMSpVDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *dist.S
 			Sim:     rt.S,
 			Loc:     l,
 			Trace:   rt.Tr,
+			Pool:    rt.WP,
+			Scratch: rt.Scratch,
 		})
 		// Convert the discovered row ids to global vertex ids.
 		r, _ := g.Coords(l)
@@ -133,6 +135,9 @@ func SpMSpVDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *dist.S
 			o := rt.FineLatencyOpts(l, pickRemote(l, g.P), remoteMsgs, bytesPerEntry, g.P)
 			rt.S.FineGrained(l, o)
 		}
+		// The local product was kernel scratch; recycle its backing arrays.
+		sparse.PutVec(rt.Scratch, ly)
+		lys[l] = nil
 	}
 	// denseToSparse: each locale scans its owned range of the bitmap.
 	y := &dist.SpVec[int64]{G: g, N: n, Bounds: bounds, Loc: make([]*sparse.Vec[int64], g.P)}
@@ -210,6 +215,8 @@ func SpMSpVDistSemiring[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x
 			Sim:     rt.S,
 			Loc:     l,
 			Trace:   rt.Tr,
+			Pool:    rt.WP,
+			Scratch: rt.Scratch,
 		})
 		lys[l] = ly
 		st.LocalEntries += shmStats.EntriesVisited
@@ -240,6 +247,8 @@ func SpMSpVDistSemiring[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x
 			o := rt.FineLatencyOpts(l, pickRemote(l, g.P), remoteMsgs, bytesPerEntry, g.P)
 			rt.S.FineGrained(l, o)
 		}
+		sparse.PutVec(rt.Scratch, ly)
+		lys[l] = nil
 	}
 	y := &dist.SpVec[T]{G: g, N: n, Bounds: bounds, Loc: make([]*sparse.Vec[T], g.P)}
 	for l := 0; l < g.P; l++ {

@@ -92,6 +92,8 @@ func SpMSpVDistMasked[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *
 			Sim:     rt.S,
 			Loc:     l,
 			Trace:   rt.Tr,
+			Pool:    rt.WP,
+			Scratch: rt.Scratch,
 		})
 		rowBase := int64(a.RowBands[r])
 		seg := bandMask[c]
@@ -103,6 +105,7 @@ func SpMSpVDistMasked[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *
 			filtered.Ind = append(filtered.Ind, lj)
 			filtered.Val = append(filtered.Val, ly.Val[k]+rowBase)
 		}
+		sparse.PutVec(rt.Scratch, ly)
 		rt.S.Compute(l, rt.Threads, sim.Kernel{
 			Name:         "spmspv-mask-filter",
 			Items:        int64(ly.NNZ()),

@@ -3,11 +3,11 @@ package core
 import (
 	"sync/atomic"
 
-	"repro/internal/locale"
 	"repro/internal/semiring"
 	"repro/internal/sim"
 	"repro/internal/sparse"
 	"repro/internal/trace"
+	"repro/internal/workpool"
 )
 
 // SortKind selects the index-sorting algorithm inside SpMSpV.
@@ -88,6 +88,15 @@ type ShmConfig struct {
 	// internal/trace). Distributed operations propagate the runtime's tracer
 	// here so per-locale kernel calls become child spans.
 	Trace *trace.Tracer
+	// Pool is the persistent worker pool the parallel sections run on; nil
+	// routes to the process-wide shared pool. Distributed operations
+	// propagate the runtime's pool here so local multiplies never spawn.
+	Pool *workpool.Pool
+	// Scratch is the kernel scratch arena (see internal/sparse.ScratchPool):
+	// dense accumulators and the output vector's backing arrays are checked
+	// out of it, making steady-state calls allocation-free. Nil degrades
+	// every checkout to a plain allocation.
+	Scratch *sparse.ScratchPool
 }
 
 // ShmStats reports the work a SpMSpV call performed.
@@ -114,11 +123,18 @@ type ShmStats struct {
 // When cfg.Workers > 1 the claim winners are scheduling-dependent, so values
 // may differ between runs (every value is always a valid discovering row);
 // with Workers == 1 the result is deterministic.
+//
+// The returned vector's backing arrays come from cfg.Scratch (when set);
+// the caller owns it and may recycle it with sparse.PutVec once done.
 func SpMSpVShm[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T], cfg ShmConfig) (*sparse.Vec[int64], ShmStats) {
 	if cfg.resolveEngine() == EngineBucket {
 		return spmspvBucket(a, x, cfg)
 	}
-	defer cfg.Trace.Begin("SpMSpVShm", trace.T("engine", cfg.resolveEngine().String())).End()
+	var sp *trace.Span
+	if cfg.Trace != nil {
+		sp = cfg.Trace.Begin("SpMSpVShm", trace.T("engine", cfg.resolveEngine().String()))
+	}
+	defer sp.End()
 	if cfg.Threads < 1 {
 		cfg.Threads = 1
 	}
@@ -131,12 +147,13 @@ func SpMSpVShm[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T], cfg ShmCon
 	if cfg.Sim != nil && cfg.Phased {
 		cfg.Sim.BeginPhase("SPA")
 	}
-	spa := sparse.NewAtomicSPA[T](a.NCols)
+	spa := sparse.GetAtomicSPA[T](cfg.Scratch, a.NCols)
 	nnzX := x.NNZ()
-	var visited atomic.Int64
-	locale.ParFor(cfg.Workers, nnzX, func(lo, hi int) {
+	if cfg.Workers <= 1 {
+		// Sequential fast path: no closure is created here, so the loop
+		// stays allocation-free (a closure literal would escape).
 		var seen int64
-		for k := lo; k < hi; k++ {
+		for k := 0; k < nnzX; k++ {
 			rid := x.Ind[k]
 			if rid < 0 || rid >= a.NRows {
 				continue
@@ -150,9 +167,10 @@ func SpMSpVShm[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T], cfg ShmCon
 				}
 			}
 		}
-		visited.Add(seen)
-	})
-	st.EntriesVisited = visited.Load()
+		st.EntriesVisited = seen
+	} else {
+		st.EntriesVisited = spaScatterPar(a, x, spa, cfg.Pool, cfg.Workers, nnzX)
+	}
 	st.RowsSelected = nnzX
 	if cfg.Sim != nil {
 		cfg.Sim.Compute(cfg.Loc, cfg.Threads, sim.Kernel{
@@ -180,21 +198,30 @@ func SpMSpVShm[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T], cfg ShmCon
 	if cfg.Sim != nil && cfg.Phased {
 		cfg.Sim.BeginPhase("Output")
 	}
-	y := &sparse.Vec[int64]{
-		N:   a.NCols,
-		Ind: append([]int(nil), nzinds...),
-		Val: make([]int64, len(nzinds)),
+	y := sparse.GetVec[int64](cfg.Scratch, a.NCols)
+	y.Ind = append(y.Ind, nzinds...)
+	if cap(y.Val) < len(nzinds) {
+		y.Val = make([]int64, len(nzinds))
+	} else {
+		y.Val = y.Val[:len(nzinds)]
 	}
-	locale.ParFor(cfg.Workers, len(nzinds), func(lo, hi int) {
-		for k := lo; k < hi; k++ {
-			y.Val[k] = spa.LocalY[y.Ind[k]]
+	if cfg.Workers <= 1 {
+		for k, i := range y.Ind {
+			y.Val[k] = spa.LocalY[i]
 		}
-	})
-	st.NnzOut = len(nzinds)
+	} else {
+		cfg.Pool.ParFor(cfg.Workers, len(y.Ind), func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				y.Val[k] = spa.LocalY[y.Ind[k]]
+			}
+		})
+	}
+	sparse.PutAtomicSPA(cfg.Scratch, spa)
+	st.NnzOut = len(y.Ind)
 	if cfg.Sim != nil {
 		cfg.Sim.Compute(cfg.Loc, cfg.Threads, sim.Kernel{
 			Name:         "spmspv-output",
-			Items:        int64(len(nzinds)),
+			Items:        int64(len(y.Ind)),
 			CPUPerItem:   costOutputCPU,
 			BytesPerItem: costOutputBytes,
 		})
@@ -203,6 +230,30 @@ func SpMSpVShm[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T], cfg ShmCon
 		}
 	}
 	return y, st
+}
+
+// spaScatterPar runs the claim scatter on the worker pool. Only reached when
+// Workers > 1, keeping its closure and counter off the sequential path.
+func spaScatterPar[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T], spa *sparse.AtomicSPA[T], wp *workpool.Pool, workers, nnzX int) int64 {
+	var visited atomic.Int64
+	wp.ParFor(workers, nnzX, func(lo, hi int) {
+		var seen int64
+		for k := lo; k < hi; k++ {
+			rid := x.Ind[k]
+			if rid < 0 || rid >= a.NRows {
+				continue
+			}
+			cols, _ := a.Row(rid)
+			seen += int64(len(cols))
+			for _, colid := range cols {
+				if spa.TryClaim(colid) {
+					spa.LocalY[colid] = int64(rid)
+				}
+			}
+		}
+		visited.Add(seen)
+	})
+	return visited.Load()
 }
 
 // chargeSort sorts nzinds in place with the configured algorithm and charges
@@ -248,7 +299,11 @@ func SpMSpVShmSemiring[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T], sr
 	if cfg.resolveEngine() == EngineBucket {
 		return spmspvBucketSemiring(a, x, sr, cfg)
 	}
-	defer cfg.Trace.Begin("SpMSpVShmSemiring", trace.T("engine", cfg.resolveEngine().String())).End()
+	var sp *trace.Span
+	if cfg.Trace != nil {
+		sp = cfg.Trace.Begin("SpMSpVShmSemiring", trace.T("engine", cfg.resolveEngine().String()))
+	}
+	defer sp.End()
 	if cfg.Threads < 1 {
 		cfg.Threads = 1
 	}
@@ -258,7 +313,7 @@ func SpMSpVShmSemiring[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T], sr
 	var st ShmStats
 	nnzX := x.NNZ()
 	workers := cfg.Workers
-	if workers > nnzX && nnzX > 0 {
+	if workers > nnzX {
 		workers = nnzX
 	}
 	if workers < 1 {
@@ -268,13 +323,29 @@ func SpMSpVShmSemiring[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T], sr
 	if cfg.Sim != nil && cfg.Phased {
 		cfg.Sim.BeginPhase("SPA")
 	}
-	spas := make([]*sparse.SPA[T], workers)
-	counts := make([]int64, workers)
-	done := make(chan struct{}, workers)
-	for w := 0; w < workers; w++ {
-		lo, hi := w*nnzX/workers, (w+1)*nnzX/workers
-		go func(w, lo, hi int) {
-			spa := sparse.NewSPA[T](a.NCols)
+	var root *sparse.SPA[T]
+	mergedItems := int64(0)
+	if workers <= 1 {
+		root = sparse.GetSPA[T](cfg.Scratch, a.NCols)
+		var seen int64
+		for k := 0; k < nnzX; k++ {
+			rid := x.Ind[k]
+			if rid < 0 || rid >= a.NRows {
+				continue
+			}
+			cols, vals := a.Row(rid)
+			seen += int64(len(cols))
+			xv := x.Val[k]
+			for c, colid := range cols {
+				root.Scatter(colid, sr.Mul(xv, vals[c]), sr.Add.Op)
+			}
+		}
+		st.EntriesVisited = seen
+	} else {
+		spas := make([]*sparse.SPA[T], workers)
+		counts := make([]int64, workers)
+		cfg.Pool.ParForChunk(workers, nnzX, func(w, lo, hi int) {
+			spa := sparse.GetSPA[T](cfg.Scratch, a.NCols)
 			var seen int64
 			for k := lo; k < hi; k++ {
 				rid := x.Ind[k]
@@ -290,23 +361,19 @@ func SpMSpVShmSemiring[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T], sr
 			}
 			spas[w] = spa
 			counts[w] = seen
-			done <- struct{}{}
-		}(w, lo, hi)
-	}
-	for w := 0; w < workers; w++ {
-		<-done
-	}
-	// Merge thread-private SPAs into the first (deterministic order).
-	root := spas[0]
-	mergedItems := int64(0)
-	for w := 1; w < workers; w++ {
-		for _, i := range spas[w].NzInds {
-			root.Scatter(i, spas[w].Val[i], sr.Add.Op)
-			mergedItems++
+		})
+		// Merge thread-private SPAs into the first (deterministic order).
+		root = spas[0]
+		for w := 1; w < workers; w++ {
+			for _, i := range spas[w].NzInds {
+				root.Scatter(i, spas[w].Val[i], sr.Add.Op)
+				mergedItems++
+			}
+			sparse.PutSPA(cfg.Scratch, spas[w])
 		}
-	}
-	for _, c := range counts {
-		st.EntriesVisited += c
+		for _, c := range counts {
+			st.EntriesVisited += c
+		}
 	}
 	st.RowsSelected = nnzX
 	if cfg.Sim != nil {
@@ -332,25 +399,27 @@ func SpMSpVShmSemiring[T semiring.Number](a *sparse.CSR[T], x *sparse.Vec[T], sr
 	if cfg.Sim != nil && cfg.Phased {
 		cfg.Sim.BeginPhase("Sorting")
 	}
-	nzinds := append([]int(nil), root.NzInds...)
-	chargeSort(cfg, nzinds)
+	y := sparse.GetVec[T](cfg.Scratch, a.NCols)
+	y.Ind = append(y.Ind, root.NzInds...)
+	chargeSort(cfg, y.Ind)
 
 	if cfg.Sim != nil && cfg.Phased {
 		cfg.Sim.BeginPhase("Output")
 	}
-	y := &sparse.Vec[T]{
-		N:   a.NCols,
-		Ind: nzinds,
-		Val: make([]T, len(nzinds)),
+	if cap(y.Val) < len(y.Ind) {
+		y.Val = make([]T, len(y.Ind))
+	} else {
+		y.Val = y.Val[:len(y.Ind)]
 	}
-	for k, i := range nzinds {
+	for k, i := range y.Ind {
 		y.Val[k] = root.Val[i]
 	}
-	st.NnzOut = len(nzinds)
+	sparse.PutSPA(cfg.Scratch, root)
+	st.NnzOut = len(y.Ind)
 	if cfg.Sim != nil {
 		cfg.Sim.Compute(cfg.Loc, cfg.Threads, sim.Kernel{
 			Name:         "spmspv-output",
-			Items:        int64(len(nzinds)),
+			Items:        int64(len(y.Ind)),
 			CPUPerItem:   costOutputCPU,
 			BytesPerItem: costOutputBytes,
 		})

@@ -15,7 +15,9 @@ import (
 	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/sparse"
 	"repro/internal/trace"
+	"repro/internal/workpool"
 )
 
 // Grid is a two-dimensional arrangement of P = Pr×Pc locales, numbered in
@@ -166,6 +168,14 @@ type Runtime struct {
 	// disables tracing (the instrumentation is nil-safe). Install with
 	// SetTracer so the tracer is bound to this runtime's simulator.
 	Tr *trace.Tracer
+	// WP is the runtime's persistent worker pool: created once per Runtime and
+	// reused by every ParFor, so steady-state parallel kernels spawn no
+	// goroutines. Nil routes to the process-wide shared pool.
+	WP *workpool.Pool
+	// Scratch is the runtime's kernel scratch arena; kernels check dense
+	// accumulators and buffers out of it instead of allocating per call. Nil
+	// degrades every checkout to a plain allocation.
+	Scratch *sparse.ScratchPool
 }
 
 // SetTracer installs t (nil uninstalls) and binds it to the runtime's
@@ -247,7 +257,11 @@ func NewWithGrid(m machine.Machine, g *Grid, threads int) *Runtime {
 	if threads < 1 {
 		threads = 1
 	}
-	return &Runtime{G: g, S: sim.New(m, g.P), Threads: threads, RealWorkers: 1}
+	return &Runtime{
+		G: g, S: sim.New(m, g.P), Threads: threads, RealWorkers: 1,
+		WP:      workpool.New(),
+		Scratch: sparse.NewScratchPool(),
+	}
 }
 
 // Coforall models a `coforall loc in Locales do on loc { body }`: it charges
@@ -264,40 +278,26 @@ func (rt *Runtime) Coforall(body func(loc int)) {
 }
 
 // ParFor executes body over [0, n) split into contiguous chunks across the
-// runtime's RealWorkers goroutines and blocks until all complete. It performs
-// no cost charging — callers charge the model separately — and with
-// RealWorkers == 1 it degenerates to a plain loop.
+// runtime's RealWorkers, dispatched on the runtime's persistent worker pool,
+// and blocks until all complete. It performs no cost charging — callers charge
+// the model separately — and with RealWorkers == 1 it degenerates to a plain
+// in-caller loop. The chunk partition (chunk w owns [w*n/W, (w+1)*n/W)) is
+// identical to the historical spawn-per-call split, so worker-indexed kernels
+// see the same deterministic ownership.
 func (rt *Runtime) ParFor(n int, body func(lo, hi int)) {
-	ParFor(rt.RealWorkers, n, body)
+	rt.WP.ParFor(rt.RealWorkers, n, body)
+}
+
+// ParForChunk is ParFor with the chunk index exposed to the body; kernels use
+// it to address worker-private scratch deterministically.
+func (rt *Runtime) ParForChunk(n int, body func(c, lo, hi int)) {
+	rt.WP.ParForChunk(rt.RealWorkers, n, body)
 }
 
 // ParFor executes body over [0, n) in contiguous chunks on up to workers
-// goroutines.
+// executors drawn from the process-wide shared worker pool.
 func ParFor(workers, n int, body func(lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers == 1 {
-		body(0, n)
-		return
-	}
-	done := make(chan struct{}, workers)
-	for w := 0; w < workers; w++ {
-		lo, hi := w*n/workers, (w+1)*n/workers
-		go func(lo, hi int) {
-			body(lo, hi)
-			done <- struct{}{}
-		}(lo, hi)
-	}
-	for w := 0; w < workers; w++ {
-		<-done
-	}
+	workpool.ParFor(workers, n, body)
 }
 
 // FineLatencyOpts builds the sim.RemoteOpts for fine-grained traffic from

@@ -2,6 +2,7 @@ package sparse
 
 import (
 	"repro/internal/semiring"
+	"repro/internal/workpool"
 )
 
 // BucketSPA is the sort-free bucketed sparse accumulator: the output index
@@ -19,6 +20,11 @@ import (
 // resolves to the globally first append when workers partition the input into
 // contiguous ascending chunks — the result is independent of both the worker
 // count and the bucket count.
+//
+// A BucketSPA is reusable: MergeInto leaves the dense scratch clean and the
+// runs truncated (capacity retained), so scatter → merge → scatter cycles on
+// one instance are allocation-free in steady state. ScratchPool pools
+// instances across kernel calls.
 type BucketSPA[T semiring.Number] struct {
 	N       int // output index domain [0, N)
 	Workers int // run owners (first Append dimension)
@@ -28,6 +34,9 @@ type BucketSPA[T semiring.Number] struct {
 	runs    [][]bucketEntry[T]
 	val     []T
 	isThere []bool
+
+	counts  []int // per-bucket claim counts, reused across merges
+	offsets []int // prefix sums of counts, reused across merges
 }
 
 type bucketEntry[T semiring.Number] struct {
@@ -46,6 +55,15 @@ type BucketMergeStats struct {
 // worker and bucket counts (both clamped to at least 1; buckets is capped at
 // n so no bucket range is empty by construction).
 func NewBucketSPA[T semiring.Number](n, workers, buckets int) *BucketSPA[T] {
+	s := &BucketSPA[T]{}
+	s.Reconfigure(n, workers, buckets)
+	return s
+}
+
+// Reconfigure resizes a clean BucketSPA (empty runs, all-false isThere — the
+// state MergeInto leaves behind) for a new (n, workers, buckets) shape,
+// reusing every backing array whose capacity suffices.
+func (s *BucketSPA[T]) Reconfigure(n, workers, buckets int) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -55,19 +73,39 @@ func NewBucketSPA[T semiring.Number](n, workers, buckets int) *BucketSPA[T] {
 	if buckets > n && n > 0 {
 		buckets = n
 	}
-	bounds := make([]int, buckets+1)
-	for b := 1; b <= buckets; b++ {
-		bounds[b] = b * n / buckets
+	s.N, s.Workers, s.Buckets = n, workers, buckets
+	s.bounds = growInts(s.bounds, buckets+1)
+	for b := 0; b <= buckets; b++ {
+		s.bounds[b] = b * n / buckets
 	}
-	return &BucketSPA[T]{
-		N:       n,
-		Workers: workers,
-		Buckets: buckets,
-		bounds:  bounds,
-		runs:    make([][]bucketEntry[T], workers*buckets),
-		val:     make([]T, n),
-		isThere: make([]bool, n),
+	nr := workers * buckets
+	if cap(s.runs) < nr {
+		runs := make([][]bucketEntry[T], nr)
+		copy(runs, s.runs[:cap(s.runs)])
+		s.runs = runs
+	} else {
+		s.runs = s.runs[:nr]
 	}
+	for i := range s.runs {
+		s.runs[i] = s.runs[i][:0]
+	}
+	if cap(s.val) < n {
+		s.val = make([]T, n)
+		s.isThere = make([]bool, n)
+	} else {
+		s.val = s.val[:n]
+		s.isThere = s.isThere[:n]
+	}
+	s.counts = growInts(s.counts, buckets)
+	s.offsets = growInts(s.offsets, buckets+1)
+}
+
+// growInts reslices xs to length n, reallocating only when capacity is short.
+func growInts(xs []int, n int) []int {
+	if cap(xs) < n {
+		return make([]int, n)
+	}
+	return xs[:n]
 }
 
 // BucketOf returns the bucket owning index i.
@@ -90,76 +128,118 @@ func (s *BucketSPA[T]) Append(w, i int, v T) {
 	s.runs[r] = append(s.runs[r], bucketEntry[T]{i, v})
 }
 
-// Merge resolves every bucket and emits the result. With op == nil the first
-// appended entry of each position wins (worker order, then append order);
-// otherwise duplicates are accumulated with op in that same order. Buckets
-// touch disjoint ranges of the dense scratch arrays, so they are processed in
-// parallel with up to `parallel` goroutines without synchronization. The
-// returned index slice is sorted and duplicate-free; val is aligned with it.
+// Merge resolves every bucket and emits the result into fresh slices; see
+// MergeInto for the reusable-buffer form and the resolution rules.
 func (s *BucketSPA[T]) Merge(op semiring.BinaryOp[T], parallel int) (ind []int, val []T, st BucketMergeStats) {
-	counts := make([]int, s.Buckets)
-	parForIdx(parallel, s.Buckets, func(b int) {
-		cnt := 0
-		for w := 0; w < s.Workers; w++ {
-			for _, e := range s.runs[w*s.Buckets+b] {
-				if !s.isThere[e.ind] {
-					s.isThere[e.ind] = true
-					s.val[e.ind] = e.val
-					cnt++
-				} else if op != nil {
-					s.val[e.ind] = op(s.val[e.ind], e.val)
-				}
-			}
+	return s.MergeInto(op, nil, parallel, nil, nil)
+}
+
+// MergeInto resolves every bucket and emits the result, appending into ind
+// and val (pass buffers with retained capacity for an allocation-free merge,
+// or nil for fresh slices). With op == nil the first appended entry of each
+// position wins (worker order, then append order); otherwise duplicates are
+// accumulated with op in that same order. Buckets touch disjoint ranges of
+// the dense scratch arrays, so they are processed with up to `parallel`
+// concurrent executors on wp (nil wp uses the shared pool) without
+// synchronization. The returned index slice is sorted and duplicate-free;
+// val is aligned with it.
+//
+// MergeInto cleans up after itself: the emission pass clears every claimed
+// isThere flag and the runs are truncated (capacity kept), so the BucketSPA
+// is immediately reusable — the property ScratchPool relies on.
+func (s *BucketSPA[T]) MergeInto(op semiring.BinaryOp[T], wp *workpool.Pool, parallel int, ind []int, val []T) ([]int, []T, BucketMergeStats) {
+	var st BucketMergeStats
+	if parallel <= 1 || s.Buckets == 1 {
+		for b := 0; b < s.Buckets; b++ {
+			s.counts[b] = s.mergeBucket(b, op)
 		}
-		counts[b] = cnt
-	})
+	} else {
+		wp.ParFor(parallel, s.Buckets, func(lo, hi int) {
+			for b := lo; b < hi; b++ {
+				s.counts[b] = s.mergeBucket(b, op)
+			}
+		})
+	}
 	for _, r := range s.runs {
 		st.Entries += int64(len(r))
 	}
-	offsets := make([]int, s.Buckets+1)
+	s.offsets[0] = 0
 	for b := 0; b < s.Buckets; b++ {
-		offsets[b+1] = offsets[b] + counts[b]
+		s.offsets[b+1] = s.offsets[b] + s.counts[b]
 	}
-	total := offsets[s.Buckets]
-	ind = make([]int, total)
-	val = make([]T, total)
-	parForIdx(parallel, s.Buckets, func(b int) {
-		k := offsets[b]
-		for i := s.bounds[b]; i < s.bounds[b+1]; i++ {
-			if s.isThere[i] {
-				ind[k] = i
-				val[k] = s.val[i]
-				k++
-			}
+	total := s.offsets[s.Buckets]
+	base := len(ind)
+	ind = growAppend(ind, total)
+	val = growAppendT(val, total)
+	out, outV := ind[base:], val[base:]
+	if parallel <= 1 || s.Buckets == 1 {
+		for b := 0; b < s.Buckets; b++ {
+			s.emitBucket(b, out, outV)
 		}
-	})
+	} else {
+		wp.ParFor(parallel, s.Buckets, func(lo, hi int) {
+			for b := lo; b < hi; b++ {
+				s.emitBucket(b, out, outV)
+			}
+		})
+	}
+	for i := range s.runs {
+		s.runs[i] = s.runs[i][:0]
+	}
 	st.Claimed = total
 	st.Scanned = int64(s.N)
 	return ind, val, st
 }
 
-// parForIdx runs body(i) for every i in [0, n) using up to workers
-// goroutines (strided assignment; workers <= 1 runs inline).
-func parForIdx(workers, n int, body func(i int)) {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			body(i)
-		}
-		return
-	}
-	done := make(chan struct{}, workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			for i := w; i < n; i += workers {
-				body(i)
+// mergeBucket resolves bucket b's runs into the dense scratch and returns the
+// number of distinct positions claimed.
+func (s *BucketSPA[T]) mergeBucket(b int, op semiring.BinaryOp[T]) int {
+	cnt := 0
+	for w := 0; w < s.Workers; w++ {
+		for _, e := range s.runs[w*s.Buckets+b] {
+			if !s.isThere[e.ind] {
+				s.isThere[e.ind] = true
+				s.val[e.ind] = e.val
+				cnt++
+			} else if op != nil {
+				s.val[e.ind] = op(s.val[e.ind], e.val)
 			}
-			done <- struct{}{}
-		}(w)
+		}
 	}
-	for w := 0; w < workers; w++ {
-		<-done
+	return cnt
+}
+
+// emitBucket scans bucket b's range in ascending order, writing its claimed
+// positions at their offsets in ind/val and clearing the claim flags.
+func (s *BucketSPA[T]) emitBucket(b int, ind []int, val []T) {
+	k := s.offsets[b]
+	for i := s.bounds[b]; i < s.bounds[b+1]; i++ {
+		if s.isThere[i] {
+			s.isThere[i] = false
+			ind[k] = i
+			val[k] = s.val[i]
+			k++
+		}
 	}
+}
+
+// growAppend extends xs by n elements (values unspecified), reallocating only
+// when capacity is short.
+func growAppend(xs []int, n int) []int {
+	if cap(xs)-len(xs) >= n {
+		return xs[:len(xs)+n]
+	}
+	out := make([]int, len(xs)+n)
+	copy(out, xs)
+	return out
+}
+
+// growAppendT is growAppend for the value slice.
+func growAppendT[T semiring.Number](xs []T, n int) []T {
+	if cap(xs)-len(xs) >= n {
+		return xs[:len(xs)+n]
+	}
+	out := make([]T, len(xs)+n)
+	copy(out, xs)
+	return out
 }

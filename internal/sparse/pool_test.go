@@ -1,0 +1,165 @@
+package sparse
+
+import (
+	"testing"
+)
+
+// Pooled checkouts must be indistinguishable from fresh allocations: correct
+// length, clean state where the contract promises it, and safe on a nil pool.
+
+func TestScratchPoolSliceRoundTrip(t *testing.T) {
+	p := NewScratchPool()
+	a := p.GetInts(100)
+	if len(a) != 100 {
+		t.Fatalf("GetInts(100) returned len %d", len(a))
+	}
+	for i := range a {
+		a[i] = i
+	}
+	p.PutInts(a)
+	// A smaller request must reuse the pooled buffer (same backing array).
+	b := p.GetInts(50)
+	if len(b) != 50 {
+		t.Fatalf("GetInts(50) returned len %d", len(b))
+	}
+	if cap(b) < 100 {
+		t.Fatalf("pooled buffer not reused: cap %d", cap(b))
+	}
+	// A larger request must fall through to a fresh allocation.
+	p.PutInts(b)
+	c := p.GetInts(500)
+	if len(c) != 500 {
+		t.Fatalf("GetInts(500) returned len %d", len(c))
+	}
+}
+
+func TestScratchPoolNilSafe(t *testing.T) {
+	var p *ScratchPool
+	if got := p.GetInts(10); len(got) != 10 {
+		t.Fatalf("nil pool GetInts: len %d", len(got))
+	}
+	p.PutInts(make([]int, 5))
+	if got := p.GetInt32s(10); len(got) != 10 {
+		t.Fatalf("nil pool GetInt32s: len %d", len(got))
+	}
+	if got := p.GetInt64s(10); len(got) != 10 {
+		t.Fatalf("nil pool GetInt64s: len %d", len(got))
+	}
+	if s := GetSPA[int64](p, 10); s == nil || len(s.IsThere) != 10 {
+		t.Fatal("nil pool GetSPA broken")
+	}
+	if s := GetAtomicSPA[int64](p, 10); s == nil {
+		t.Fatal("nil pool GetAtomicSPA broken")
+	}
+	if s := GetBucketSPA[int64](p, 10, 2, 2); s == nil {
+		t.Fatal("nil pool GetBucketSPA broken")
+	}
+	if v := GetVec[int64](p, 10); v == nil || v.N != 10 || len(v.Ind) != 0 {
+		t.Fatal("nil pool GetVec broken")
+	}
+	PutSPA(p, NewSPA[int64](4))
+	PutAtomicSPA(p, NewAtomicSPA[int64](4))
+	PutBucketSPA(p, NewBucketSPA[int64](4, 1, 1))
+	PutVec(p, NewVec[int64](4))
+}
+
+// TestScratchPoolSPAComesBackClean dirties a SPA, returns it, and verifies the
+// next checkout observes the Reset invariant (all flags false) at both the
+// same and a larger domain size.
+func TestScratchPoolSPAComesBackClean(t *testing.T) {
+	p := NewScratchPool()
+	s := GetSPA[int64](p, 50)
+	s.Scatter(7, 1, nil)
+	s.Scatter(31, 2, nil)
+	PutSPA(p, s)
+	for _, n := range []int{50, 200} {
+		s2 := GetSPA[int64](p, n)
+		for i, f := range s2.IsThere {
+			if f {
+				t.Fatalf("n=%d: pooled SPA dirty at %d", n, i)
+			}
+		}
+		if len(s2.IsThere) != n {
+			t.Fatalf("n=%d: pooled SPA has domain %d", n, len(s2.IsThere))
+		}
+		PutSPA(p, s2)
+	}
+}
+
+// TestScratchPoolBucketSPAReuseMatchesFresh runs the same scatter+merge on a
+// pooled (previously used) BucketSPA and on a fresh one, at several
+// configurations, and demands identical output — the MergeInto self-cleaning
+// contract PutBucketSPA relies on.
+func TestScratchPoolBucketSPAReuseMatchesFresh(t *testing.T) {
+	p := NewScratchPool()
+	run := func(s *BucketSPA[int64], n, workers int) ([]int, []int64) {
+		for w := 0; w < workers; w++ {
+			for k := w; k < 4*n/5; k += workers {
+				s.Append(w, (k*7)%n, int64(k))
+			}
+		}
+		ind, val, _ := s.Merge(nil, workers)
+		return ind, val
+	}
+	configs := []struct{ n, workers, buckets int }{
+		{64, 1, 1}, {64, 2, 4}, {1000, 4, 8}, {64, 2, 4}, // repeat to hit the pooled object
+	}
+	for ci, c := range configs {
+		pooled := GetBucketSPA[int64](p, c.n, c.workers, c.buckets)
+		gi, gv := run(pooled, c.n, c.workers)
+		PutBucketSPA(p, pooled)
+		fresh := NewBucketSPA[int64](c.n, c.workers, c.buckets)
+		wi, wv := run(fresh, c.n, c.workers)
+		if len(gi) != len(wi) {
+			t.Fatalf("config %d: pooled emitted %d entries, fresh %d", ci, len(gi), len(wi))
+		}
+		for k := range gi {
+			if gi[k] != wi[k] || gv[k] != wv[k] {
+				t.Fatalf("config %d: pooled and fresh diverge at %d: (%d,%d) vs (%d,%d)",
+					ci, k, gi[k], gv[k], wi[k], wv[k])
+			}
+		}
+	}
+}
+
+// FuzzScratchPool drives an arbitrary interleaving of checkouts and returns
+// across the three slice free-lists, checking the length contract and that a
+// buffer is never live in two hands (each checkout is stamped and verified
+// before return).
+func FuzzScratchPool(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5})
+	f.Add([]byte{0, 0, 0, 255, 128, 7, 7, 7})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		p := NewScratchPool()
+		type held struct {
+			ints  []int
+			stamp int
+		}
+		var live []held
+		stamp := 0
+		for _, op := range ops {
+			switch {
+			case op < 128 || len(live) == 0: // checkout
+				n := int(op%64) + 1
+				s := p.GetInts(n)
+				if len(s) != n {
+					t.Fatalf("GetInts(%d) returned len %d", n, len(s))
+				}
+				stamp++
+				for i := range s {
+					s[i] = stamp
+				}
+				live = append(live, held{s, stamp})
+			default: // return the oldest held buffer
+				h := live[0]
+				live = live[1:]
+				for i, v := range h.ints {
+					if v != h.stamp {
+						t.Fatalf("buffer aliased while held: [%d]=%d, want stamp %d", i, v, h.stamp)
+					}
+				}
+				p.PutInts(h.ints)
+			}
+		}
+	})
+}

@@ -2,7 +2,83 @@ package sparse
 
 import (
 	"sort"
+	"sync"
 )
+
+// sortScratch pools the temporary buffers of the sorting routines so that
+// steady-state sorting allocates nothing: merge buffers, radix ping-pong
+// buffers, and the merge-sort worker semaphores. Package-global because the
+// sorts are free functions; contents are value-irrelevant (every byte is
+// overwritten before being read), so pooling cannot change results.
+var sortScratch struct {
+	mu     sync.Mutex
+	ints   [][]int
+	int32s [][]int32
+	sems   []chan struct{}
+}
+
+func getSortInts(n int) []int {
+	sortScratch.mu.Lock()
+	for k := len(sortScratch.ints) - 1; k >= 0; k-- {
+		if cap(sortScratch.ints[k]) >= n {
+			s := sortScratch.ints[k][:n]
+			sortScratch.ints[k] = sortScratch.ints[len(sortScratch.ints)-1]
+			sortScratch.ints = sortScratch.ints[:len(sortScratch.ints)-1]
+			sortScratch.mu.Unlock()
+			return s
+		}
+	}
+	sortScratch.mu.Unlock()
+	return make([]int, n)
+}
+
+func putSortInts(s []int) {
+	sortScratch.mu.Lock()
+	sortScratch.ints = append(sortScratch.ints, s[:0])
+	sortScratch.mu.Unlock()
+}
+
+func getSortInt32s(n int) []int32 {
+	sortScratch.mu.Lock()
+	for k := len(sortScratch.int32s) - 1; k >= 0; k-- {
+		if cap(sortScratch.int32s[k]) >= n {
+			s := sortScratch.int32s[k][:n]
+			sortScratch.int32s[k] = sortScratch.int32s[len(sortScratch.int32s)-1]
+			sortScratch.int32s = sortScratch.int32s[:len(sortScratch.int32s)-1]
+			sortScratch.mu.Unlock()
+			return s
+		}
+	}
+	sortScratch.mu.Unlock()
+	return make([]int32, n)
+}
+
+func putSortInt32s(s []int32) {
+	sortScratch.mu.Lock()
+	sortScratch.int32s = append(sortScratch.int32s, s[:0])
+	sortScratch.mu.Unlock()
+}
+
+func getSortSem(workers int) chan struct{} {
+	sortScratch.mu.Lock()
+	for k := len(sortScratch.sems) - 1; k >= 0; k-- {
+		if cap(sortScratch.sems[k]) >= workers {
+			c := sortScratch.sems[k]
+			sortScratch.sems[k] = sortScratch.sems[len(sortScratch.sems)-1]
+			sortScratch.sems = sortScratch.sems[:len(sortScratch.sems)-1]
+			sortScratch.mu.Unlock()
+			return c
+		}
+	}
+	sortScratch.mu.Unlock()
+	return make(chan struct{}, workers)
+}
+
+func putSortSem(c chan struct{}) {
+	sortScratch.mu.Lock()
+	sortScratch.sems = append(sortScratch.sems, c)
+	sortScratch.mu.Unlock()
+}
 
 // MergeSortInts sorts xs ascending with a parallel merge sort using up to
 // workers goroutines, matching the "parallel merge sort available in Chapel"
@@ -16,9 +92,19 @@ func MergeSortInts(xs []int, workers int) SortStats {
 	if len(xs) < 2 {
 		return SortStats{}
 	}
-	buf := make([]int, len(xs))
-	sem := make(chan struct{}, workers)
-	return parallelMergeSort(xs, buf, sem, 0)
+	if len(xs) <= mergeSortCutoff {
+		// The recursion would immediately hit the leaf sort; skip the scratch
+		// checkout entirely.
+		return parallelMergeSort(xs, nil, nil, 0)
+	}
+	buf := getSortInts(len(xs))
+	sem := getSortSem(workers)
+	st := parallelMergeSort(xs, buf, sem, 0)
+	putSortInts(buf)
+	// A pooled semaphore must come back empty; parallelMergeSort's spawns
+	// release their slot before reporting, so it is.
+	putSortSem(sem)
+	return st
 }
 
 // SortStats records the work a sorting call performed, for cost accounting.
@@ -115,7 +201,7 @@ func RadixSortInts(xs []int) int {
 			maxV = x
 		}
 	}
-	buf := make([]int, n)
+	buf := getSortInts(n)
 	src, dst := xs, buf
 	passes := 0
 	var count [256]int
@@ -143,6 +229,7 @@ func RadixSortInts(xs []int) int {
 	if passes%2 == 1 {
 		copy(xs, src)
 	}
+	putSortInts(buf)
 	return passes
 }
 
@@ -168,7 +255,7 @@ func RadixSortInts32(xs []int32) int {
 			maxV = x
 		}
 	}
-	buf := make([]int32, n)
+	buf := getSortInt32s(n)
 	src, dst := xs, buf
 	passes := 0
 	var count [256]int
@@ -196,5 +283,6 @@ func RadixSortInts32(xs []int32) int {
 	if passes%2 == 1 {
 		copy(xs, src)
 	}
+	putSortInt32s(buf)
 	return passes
 }

@@ -32,6 +32,7 @@ func benchIndexStream() ([]int, []int32) {
 func BenchmarkSpMSpVKernelMergeSort(b *testing.B) {
 	base, _ := benchIndexStream()
 	buf := make([]int, len(base))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		copy(buf, base)
@@ -42,6 +43,7 @@ func BenchmarkSpMSpVKernelMergeSort(b *testing.B) {
 func BenchmarkSpMSpVKernelRadixSort(b *testing.B) {
 	base, _ := benchIndexStream()
 	buf := make([]int, len(base))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		copy(buf, base)
@@ -52,6 +54,7 @@ func BenchmarkSpMSpVKernelRadixSort(b *testing.B) {
 func BenchmarkSpMSpVKernelRadixSort32(b *testing.B) {
 	_, base := benchIndexStream()
 	buf := make([]int32, len(base))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		copy(buf, base)
@@ -65,6 +68,7 @@ func BenchmarkSpMSpVKernelRadixSort32(b *testing.B) {
 // and carries values), yet is the drop-in replacement for the Sort step.
 func BenchmarkSpMSpVKernelBucketEmit(b *testing.B) {
 	base, _ := benchIndexStream()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := NewBucketSPA[int64](benchDomain, 4, 64)

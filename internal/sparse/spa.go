@@ -82,6 +82,21 @@ func (s *SPA[T]) Reset() {
 	s.NzInds = s.NzInds[:0]
 }
 
+// Grow resizes a reset SPA to index domain [0, n), reusing the dense arrays
+// when their capacity suffices. The SPA must be reset (all IsThere false
+// within capacity) — the invariant Reset maintains — so no clearing pass is
+// needed.
+func (s *SPA[T]) Grow(n int) {
+	if cap(s.Val) < n {
+		s.Val = make([]T, n)
+		s.IsThere = make([]bool, n)
+	} else {
+		s.Val = s.Val[:n]
+		s.IsThere = s.IsThere[:n]
+	}
+	s.NzInds = s.NzInds[:0]
+}
+
 // AtomicSPA is the concurrent sparse accumulator the paper's shared-memory
 // SpMSpV uses: IsThere is an atomic Boolean vector so that threads claiming
 // the same column race safely, and the nzinds list is compacted through an
@@ -133,6 +148,25 @@ func (s *AtomicSPA[T]) CompactInds() []int {
 func (s *AtomicSPA[T]) Reset() {
 	for _, i := range s.CompactInds() {
 		s.isThere[i].Store(false)
+	}
+	s.Cursor.Store(0)
+}
+
+// Grow resizes a reset atomic SPA to index domain [0, n), reusing the dense
+// arrays when their capacity suffices. Like SPA.Grow it relies on the Reset
+// invariant (every flag within capacity is false), so shrinking and
+// re-growing never exposes stale claims.
+func (s *AtomicSPA[T]) Grow(n int) {
+	if cap(s.Val) < n {
+		s.Val = make([]T, n)
+		s.LocalY = make([]int64, n)
+		s.isThere = make([]atomic.Bool, n)
+		s.NzInds = make([]int, n)
+	} else {
+		s.Val = s.Val[:n]
+		s.LocalY = s.LocalY[:n]
+		s.isThere = s.isThere[:n]
+		s.NzInds = s.NzInds[:n]
 	}
 	s.Cursor.Store(0)
 }

@@ -1,0 +1,177 @@
+// Package workpool provides the persistent worker pool behind every real
+// (non-modeled) parallel loop in the library. The paper's lesson — hidden
+// per-call overheads are what separate the idiomatic kernels from the
+// hand-optimized ones — shows up in Go as per-call goroutine spawning: the
+// previous ParFor launched and tore down a goroutine per chunk on every
+// kernel invocation. This pool spawns its workers once, keeps them parked on
+// a task channel, and feeds them chunked jobs whose descriptors are recycled
+// through a sync.Pool, so a steady-state parallel loop costs two atomic
+// operations and a channel handoff instead of goroutine creation.
+//
+// Scheduling model: a ParFor call splits [0, n) into exactly
+// min(workers, n) contiguous chunks (never an empty chunk, never a chunk for
+// an empty range), publishes the job to idle workers with non-blocking ticket
+// sends, and then participates itself, claiming chunks through an atomic
+// cursor until none remain. Because the submitter always participates and
+// never blocks on a send, a loop completes even when every pool worker is
+// busy — including when a loop body itself calls back into the pool — so
+// nested use cannot deadlock.
+package workpool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// maxWorkers bounds the goroutines one pool will ever park; requests beyond
+// it still complete (the submitter and however many workers exist chew
+// through the chunks), they just get less parallelism.
+const maxWorkers = 256
+
+// Pool is a persistent set of worker goroutines fed by a chunked work queue.
+// The zero value is not usable; create pools with New. All methods are safe
+// for concurrent use — many kernels may submit loops to one pool at once —
+// and safe on a nil *Pool, which falls back to the process-wide Shared pool.
+type Pool struct {
+	mu      sync.Mutex
+	tasks   chan *job
+	spawned int
+}
+
+// job is one ParFor invocation: body over [0, n) in `chunks` contiguous
+// chunks claimed through the atomic cursor. Descriptors are recycled through
+// jobPool; a descriptor is only recycled once every issued ticket has been
+// consumed (tickets == 0), so a worker can never observe a descriptor being
+// reconfigured.
+type job struct {
+	body    func(c, lo, hi int)
+	n       int
+	chunks  int
+	next    atomic.Int64
+	tickets atomic.Int64
+	wg      sync.WaitGroup
+}
+
+var jobPool = sync.Pool{New: func() any { return new(job) }}
+
+// New returns an empty pool; workers are spawned lazily, growing to the
+// largest concurrency any call requests (capped at maxWorkers) and parked
+// between calls.
+func New() *Pool {
+	return &Pool{tasks: make(chan *job, maxWorkers)}
+}
+
+var (
+	sharedOnce sync.Once
+	shared     *Pool
+)
+
+// Shared returns the process-wide fallback pool, used by callers that have no
+// runtime-owned pool in hand (legacy entry points, tests).
+func Shared() *Pool {
+	sharedOnce.Do(func() { shared = New() })
+	return shared
+}
+
+// ensure grows the worker set to at least k parked goroutines.
+func (p *Pool) ensure(k int) {
+	if k > maxWorkers {
+		k = maxWorkers
+	}
+	p.mu.Lock()
+	for p.spawned < k {
+		go worker(p.tasks)
+		p.spawned++
+	}
+	p.mu.Unlock()
+}
+
+func worker(tasks <-chan *job) {
+	for j := range tasks {
+		j.run()
+		// Decrement only after run returns: a ticket still counted means the
+		// worker may still be touching the descriptor, so the submitter will
+		// abandon rather than recycle it.
+		j.tickets.Add(-1)
+	}
+}
+
+// run claims chunks until none remain. Chunk c covers
+// [c*n/chunks, (c+1)*n/chunks) — the same contiguous partition the previous
+// spawn-per-call ParFor used, so worker-indexed kernels (bucket scatter,
+// per-worker private SPAs) keep their deterministic ownership.
+func (j *job) run() {
+	n, chunks, body := j.n, j.chunks, j.body
+	for {
+		c := int(j.next.Add(1)) - 1
+		if c >= chunks {
+			return
+		}
+		body(c, c*n/chunks, (c+1)*n/chunks)
+		j.wg.Done()
+	}
+}
+
+// ParFor executes body over [0, n) in contiguous chunks on up to `workers`
+// concurrent executors and blocks until all chunks complete. n <= 0 returns
+// immediately without touching the queue; workers is clamped to n so no
+// empty chunk is ever created or enqueued. With workers <= 1 the body runs
+// inline on the caller's goroutine.
+func (p *Pool) ParFor(workers, n int, body func(lo, hi int)) {
+	p.ParForChunk(workers, n, func(_, lo, hi int) { body(lo, hi) })
+}
+
+// ParForChunk is ParFor with the chunk index exposed: body(c, lo, hi) runs
+// for each chunk c in [0, min(workers, n)), where chunk c owns the contiguous
+// range [c*n/chunks, (c+1)*n/chunks). Kernels use c as a stable worker id for
+// thread-private scratch (bucket runs, private SPAs); the partition is a pure
+// function of (workers, n), so ownership is deterministic.
+func (p *Pool) ParForChunk(workers, n int, body func(c, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		body(0, 0, n)
+		return
+	}
+	if p == nil {
+		p = Shared()
+	}
+	p.ensure(workers - 1)
+
+	j := jobPool.Get().(*job)
+	j.body, j.n, j.chunks = body, n, workers
+	j.next.Store(0)
+	j.wg.Add(workers)
+
+	// Offer a ticket per helper chunk; the descriptor is fully configured
+	// before the first send, so the channel handoff publishes it. Sends never
+	// block: a full queue just means the submitter keeps more chunks.
+	j.tickets.Store(int64(workers - 1))
+	for t := 0; t < workers-1; t++ {
+		select {
+		case p.tasks <- j:
+		default:
+			j.tickets.Add(-1)
+		}
+	}
+
+	j.run()
+	j.wg.Wait()
+	// Recycle only when no worker can still hold the descriptor. A stale
+	// ticket (worker not yet scheduled) abandons the descriptor to the GC:
+	// the late worker finds the cursor exhausted and moves on harmlessly.
+	if j.tickets.Load() == 0 {
+		j.body = nil
+		jobPool.Put(j)
+	}
+}
+
+// ParFor runs body over [0, n) on the process-wide Shared pool; it is the
+// drop-in replacement for the old spawn-per-call free function.
+func ParFor(workers, n int, body func(lo, hi int)) {
+	Shared().ParFor(workers, n, body)
+}

@@ -1,0 +1,157 @@
+package workpool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestParForCoversRange verifies every index in [0, n) is visited exactly
+// once across a spread of (workers, n) shapes, including n < workers.
+func TestParForCoversRange(t *testing.T) {
+	p := New()
+	for _, workers := range []int{1, 2, 3, 7, 16, 64} {
+		for _, n := range []int{0, 1, 2, 3, 5, 16, 97, 1000} {
+			visits := make([]int32, n)
+			p.ParFor(workers, n, func(lo, hi int) {
+				if lo >= hi {
+					t.Errorf("workers=%d n=%d: empty chunk [%d,%d)", workers, n, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&visits[i], 1)
+				}
+			})
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestParForSmallNNeverSpawnsEmptyChunks is the regression test for the
+// n < workers degeneration: the chunk count must clamp to n, so no body call
+// ever sees an empty range and no work is enqueued for n == 0.
+func TestParForSmallNNeverSpawnsEmptyChunks(t *testing.T) {
+	p := New()
+	for n := 0; n <= 8; n++ {
+		var calls atomic.Int64
+		p.ParForChunk(32, n, func(c, lo, hi int) {
+			calls.Add(1)
+			if hi-lo < 1 {
+				t.Errorf("n=%d: chunk %d is empty [%d,%d)", n, c, lo, hi)
+			}
+			if c < 0 || c >= n {
+				t.Errorf("n=%d: chunk index %d outside [0,%d)", n, c, n)
+			}
+		})
+		if got := calls.Load(); got != int64(n) {
+			t.Fatalf("n=%d with 32 workers: %d chunks, want exactly %d (one per index)", n, got, n)
+		}
+	}
+	// n == 0 must not touch the queue at all.
+	before := len(p.tasks)
+	p.ParFor(8, 0, func(lo, hi int) { t.Error("body called for n == 0") })
+	if len(p.tasks) != before {
+		t.Error("n == 0 enqueued work")
+	}
+}
+
+// TestParForChunkPartitionIsDeterministic pins the contiguous partition
+// formula kernels rely on for worker-private scratch ownership.
+func TestParForChunkPartitionIsDeterministic(t *testing.T) {
+	p := New()
+	const workers, n = 4, 10
+	var mu sync.Mutex
+	got := map[int][2]int{}
+	p.ParForChunk(workers, n, func(c, lo, hi int) {
+		mu.Lock()
+		got[c] = [2]int{lo, hi}
+		mu.Unlock()
+	})
+	for c := 0; c < workers; c++ {
+		want := [2]int{c * n / workers, (c + 1) * n / workers}
+		if got[c] != want {
+			t.Errorf("chunk %d = %v, want %v", c, got[c], want)
+		}
+	}
+}
+
+// TestNestedParFor verifies a loop body may itself submit loops to the same
+// pool without deadlock (the submitter always participates).
+func TestNestedParFor(t *testing.T) {
+	p := New()
+	var total atomic.Int64
+	p.ParFor(4, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p.ParFor(4, 16, func(lo2, hi2 int) {
+				total.Add(int64(hi2 - lo2))
+			})
+		}
+	})
+	if got := total.Load(); got != 8*16 {
+		t.Fatalf("nested total = %d, want %d", got, 8*16)
+	}
+}
+
+// TestConcurrentSubmitters hammers one pool from many goroutines, the shape
+// of concurrent kernel calls sharing one Runtime.
+func TestConcurrentSubmitters(t *testing.T) {
+	p := New()
+	const submitters = 8
+	var wg sync.WaitGroup
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				var sum atomic.Int64
+				p.ParFor(4, 1000, func(lo, hi int) {
+					local := int64(0)
+					for i := lo; i < hi; i++ {
+						local += int64(i)
+					}
+					sum.Add(local)
+				})
+				if got := sum.Load(); got != 999*1000/2 {
+					t.Errorf("sum = %d, want %d", got, 999*1000/2)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestWorkersArePersistent verifies the pool does not spawn per call: after a
+// warm-up loop, repeated calls must not grow the worker set.
+func TestWorkersArePersistent(t *testing.T) {
+	p := New()
+	p.ParFor(8, 64, func(lo, hi int) {})
+	p.mu.Lock()
+	after := p.spawned
+	p.mu.Unlock()
+	for i := 0; i < 100; i++ {
+		p.ParFor(8, 64, func(lo, hi int) {})
+	}
+	p.mu.Lock()
+	final := p.spawned
+	p.mu.Unlock()
+	if final != after {
+		t.Fatalf("worker set grew from %d to %d across identical calls", after, final)
+	}
+	if after > 7 {
+		t.Fatalf("spawned %d workers for 8-way loops (submitter participates, want <= 7)", after)
+	}
+}
+
+// TestNilPoolFallsBack verifies a nil *Pool routes to the Shared pool rather
+// than panicking.
+func TestNilPoolFallsBack(t *testing.T) {
+	var p *Pool
+	var sum atomic.Int64
+	p.ParFor(4, 100, func(lo, hi int) { sum.Add(int64(hi - lo)) })
+	if sum.Load() != 100 {
+		t.Fatalf("nil-pool ParFor covered %d of 100", sum.Load())
+	}
+}
