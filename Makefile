@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-smoke bench-gate bench-baseline fuzz-smoke figures figures-paper ablations clean
+.PHONY: all build vet test test-short race bench bench-smoke bench-gate bench-baseline fuzz-smoke chaos-matrix figures figures-paper ablations clean
 
 all: build vet test
 
@@ -55,10 +55,19 @@ bench-gate: bench-smoke
 bench-baseline: bench-smoke
 	$(GO) run ./cmd/benchgate -write-baseline -baseline bench_baseline.json -bench BENCH_spmspv.json -alloc BENCH_alloc.json
 
-# The CI fuzz smoke: 30s each on the bucket SPA and the scratch arena.
+# The CI fuzz smoke: 30s each on the bucket SPA, the scratch arena and the
+# fault injector.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzBucketSPA -fuzztime 30s ./internal/sparse
 	$(GO) test -run '^$$' -fuzz FuzzScratchPool -fuzztime 30s ./internal/sparse
+	$(GO) test -run '^$$' -fuzz FuzzInjector -fuzztime 30s ./internal/fault
+
+# One cell of the CI chaos matrix locally: make chaos-matrix CHAOS_SEED=2 CHAOS_POLICY=failover
+CHAOS_SEED ?= 1
+CHAOS_POLICY ?= failover
+chaos-matrix:
+	CHAOS_SEED=$(CHAOS_SEED) CHAOS_POLICY=$(CHAOS_POLICY) $(GO) test -run TestChaosPolicyMatrix -v ./internal/algorithms
+	$(GO) run ./cmd/gbbench -figure none -chaos-seed $(CHAOS_SEED) -chaos-policy $(CHAOS_POLICY) -mttr-out mttr_$(CHAOS_SEED)_$(CHAOS_POLICY).json
 
 clean:
 	$(GO) clean ./...

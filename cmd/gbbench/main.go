@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/fault"
 	"repro/internal/trace"
 )
 
@@ -49,13 +50,15 @@ type jsonReport struct {
 
 func main() {
 	var (
-		figure    = flag.String("figure", "all", "figure id (fig1l fig1r fig2l fig2r fig3 fig4 fig5a fig5b fig7a-c fig8a-c fig9a-c fig10) or 'all'")
+		figure    = flag.String("figure", "all", "figure id (fig1l fig1r fig2l fig2r fig3 fig4 fig5a fig5b fig7a-c fig8a-c fig9a-c fig10), 'all', or 'none' (skip figures, e.g. with -mttr-out)")
 		scale     = flag.String("scale", "small", "workload scale: 'paper' (exact sizes, needs ~8 GB) or 'small' (1/10)")
 		format    = flag.String("format", "table", "output format: 'table', 'csv', or 'chart' (ASCII log-scale plot)")
 		quiet     = flag.Bool("q", false, "suppress progress messages on stderr")
 		list      = flag.Bool("list", false, "list the available figure ids and exit")
 		chaos     = flag.Bool("chaos", false, "run every figure under a deterministic fault plan (message drops, delays, stalls); results are unchanged, modeled times include the recovery cost")
 		chaosSeed = flag.Int64("chaos-seed", 1, "seed of the -chaos fault plan")
+		chaosPol  = flag.String("chaos-policy", "redistribute", "crash-recovery policy of the -mttr-out runs: 'redistribute', 'failover' or 'besteffort'")
+		mttrOut   = flag.String("mttr-out", "", "crash one locale mid-algorithm (BFS, SSSP, PageRank) under -chaos-seed and -chaos-policy and write the MTTR/recovery-bytes report as JSON to this file")
 		jsonPath  = flag.String("json", "", "also write the figures (modeled points + wall-clock seconds per figure) as JSON to this file")
 		traceOut  = flag.String("trace-out", "", "write the trace spans of the whole run as JSON to this file")
 		traceWant = flag.String("trace-expect", "", "comma-separated op names that must each report at least one span; any missing op fails the run (CI smoke check)")
@@ -132,9 +135,12 @@ func main() {
 		ID  string
 		Run bench.Runner
 	}
-	if strings.EqualFold(*figure, "all") {
+	switch {
+	case strings.EqualFold(*figure, "none"):
+		// No figures — used by CI cells that only want the -mttr-out report.
+	case strings.EqualFold(*figure, "all"):
 		runs = bench.Registry()
-	} else {
+	default:
 		for _, id := range strings.Split(*figure, ",") {
 			id = strings.ToLower(strings.TrimSpace(id))
 			if r := bench.Lookup(id); r != nil {
@@ -214,6 +220,41 @@ func main() {
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "gbbench: wrote %s (%d figures)\n", *jsonPath, len(report.Figures))
+		}
+	}
+	if *mttrOut != "" {
+		pol, err := fault.ParseRecoveryPolicy(*chaosPol)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gbbench: -chaos-policy: %v\n", err)
+			os.Exit(2)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "gbbench: measuring MTTR (seed=%d policy=%s)...\n", *chaosSeed, pol)
+		}
+		rep, err := bench.MeasureRecovery(*chaosSeed, pol)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gbbench: -mttr-out: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*mttrOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gbbench: creating %s: %v\n", *mttrOut, err)
+			os.Exit(1)
+		}
+		if err := bench.WriteRecoveryJSON(f, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "gbbench: writing %s: %v\n", *mttrOut, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "gbbench: closing %s: %v\n", *mttrOut, err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			for _, r := range rep.Runs {
+				fmt.Fprintf(os.Stderr, "gbbench: %s: mttr=%.0fns moved=%dB accuracy=%.3f\n",
+					r.Algorithm, r.MTTRNS, r.Recovery.MovedBytes, r.Accuracy)
+			}
+			fmt.Fprintf(os.Stderr, "gbbench: wrote %s (%d runs)\n", *mttrOut, len(rep.Runs))
 		}
 	}
 	if *allocOut != "" {

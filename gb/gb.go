@@ -75,6 +75,9 @@ const (
 // pipelines. All engines produce bitwise-identical results.
 type Context struct {
 	rt *locale.Runtime
+	// replicate makes matrices created on this context carry a
+	// chained-declustering replica of every block (see WithReplication).
+	replicate bool
 }
 
 // clone returns a context sharing this one's grid and data layout but with
@@ -85,12 +88,14 @@ type Context struct {
 // across the clone is rebound to the clone's simulator: spans report the
 // newest derivation's costs.
 func (c *Context) clone() *Context {
+	nc := *c
 	rt := *c.rt
 	rt.S = c.rt.S.Clone()
 	if rt.Tr != nil {
 		rt.Tr.Bind(rt.S)
 	}
-	return &Context{rt: &rt}
+	nc.rt = &rt
+	return &nc
 }
 
 // WithTracer returns a context that reports a span into t for every
@@ -175,9 +180,13 @@ type DenseVector[T Number] struct {
 	d   *dist.DenseVec[T]
 }
 
-// MatrixFromCSR distributes a local CSR matrix over the context's grid.
+// MatrixFromCSR distributes a local CSR matrix over the context's grid. On a
+// replicating context (WithReplication) each block also gets a replica on its
+// chained locale.
 func MatrixFromCSR[T Number](ctx *Context, a *sparse.CSR[T]) *Matrix[T] {
-	return &Matrix[T]{ctx: ctx, m: dist.MatFromCSR(ctx.rt, a)}
+	m := dist.MatFromCSR(ctx.rt, a)
+	replicateIfConfigured(ctx, m)
+	return &Matrix[T]{ctx: ctx, m: m}
 }
 
 // MatrixFromTriplets builds a distributed matrix from coordinate triplets,

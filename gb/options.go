@@ -35,14 +35,16 @@ func (f optionFunc) apply(o *options) error { return f(o) }
 // options collects the configuration New assembles before building the
 // runtime.
 type options struct {
-	locales int
-	threads int
-	oneNode bool
-	workers int
-	engine  Engine
-	plan    *FaultPlan
-	retry   *RetryPolicy
-	tracer  *Trace
+	locales   int
+	threads   int
+	oneNode   bool
+	workers   int
+	engine    Engine
+	plan      *FaultPlan
+	retry     *RetryPolicy
+	tracer    *Trace
+	replicate bool
+	recovery  *RecoveryPolicy
 }
 
 // Locales sets the locale count (default 1, one locale per node).
@@ -167,6 +169,10 @@ func New(opts ...Option) (*Context, error) {
 	if o.retry != nil {
 		rt.Retry = fault.RetryPolicy(*o.retry)
 	}
+	if o.recovery != nil {
+		rt.Recovery = *o.recovery
+	}
+	ctx.replicate = o.replicate
 	if o.tracer != nil {
 		rt.SetTracer(o.tracer)
 	}

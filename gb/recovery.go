@@ -1,0 +1,145 @@
+package gb
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/fault"
+	"repro/internal/health"
+)
+
+// Recovery surface: how a Context reacts when its fault plan kills a locale.
+// Redistribute (the default) rebuilds the block layout over the survivors and
+// replays from the last checkpoint; Failover promotes the chained-declustering
+// replica on the adopting locale — moving ~1/P of the data instead of all of
+// it — and replays; BestEffort drops the lost block and keeps iterating on
+// the survivors, recording the accuracy given up. All three are deterministic
+// under the chaos seed.
+
+// RecoveryPolicy selects the crash-recovery strategy of a Context.
+type RecoveryPolicy = fault.RecoveryPolicy
+
+// The recovery policies, re-exported for use with WithRecoveryPolicy.
+const (
+	// Redistribute rebuilds the full block distribution over the surviving
+	// locales (moves ~all the data, exact results).
+	Redistribute = fault.PolicyRedistribute
+	// Failover promotes the lost block's replica on its adopting locale and
+	// re-replicates in the background (moves ~2 blocks, exact results).
+	// Requires replication (WithReplication); falls back to Redistribute on
+	// unreplicated matrices.
+	Failover = fault.PolicyFailover
+	// BestEffort abandons the lost block and keeps iterating on the
+	// survivors (moves nothing, approximate results, accuracy accounted).
+	BestEffort = fault.PolicyBestEffort
+)
+
+// Recovery records one completed crash recovery: the policy used, the lost
+// locale and its adopter, the bytes moved, the detection and repair times on
+// the modeled clock, and — for best effort — the retained fraction of the
+// data. See MTTRNS and Accuracy on the record.
+type Recovery = fault.Recovery
+
+// Health-detector surface, re-exported so callers can inspect the failure
+// detector's view of the grid without importing internal packages.
+type (
+	// HealthState is a locale's state in the failure detector:
+	// Alive, Suspect or Dead.
+	HealthState = health.State
+	// HealthEvent is one recorded state transition with its modeled time.
+	HealthEvent = health.Event
+)
+
+// The detector states, re-exported.
+const (
+	Alive   = health.Alive
+	Suspect = health.Suspect
+	Dead    = health.Dead
+)
+
+// HealthReport is a snapshot of the failure detector: the current state of
+// every locale and the full transition timeline so far. Without a fault plan
+// the report is empty.
+type HealthReport struct {
+	// States holds one entry per locale, indexed by logical locale id.
+	States []HealthState
+	// Events lists every state transition in modeled-time order.
+	Events []HealthEvent
+}
+
+// WithReplication returns a New option that keeps a chained-declustering
+// replica of every distributed matrix block on the next locale over, enabling
+// fast Failover recovery:
+//
+//	ctx, err := gb.New(gb.Locales(8), gb.WithReplication(),
+//	    gb.WithRecoveryPolicy(gb.Failover), gb.StandardChaosPlan(1))
+func WithReplication() Option {
+	return optionFunc(func(o *options) error {
+		o.replicate = true
+		return nil
+	})
+}
+
+// WithRecoveryPolicy returns a New option selecting the crash-recovery
+// strategy (default Redistribute).
+func WithRecoveryPolicy(p RecoveryPolicy) Option {
+	return optionFunc(func(o *options) error {
+		switch p {
+		case Redistribute, Failover, BestEffort:
+			o.recovery = &p
+			return nil
+		}
+		return fmt.Errorf("gb: unknown recovery policy %d", int(p))
+	})
+}
+
+// WithReplication returns a context on which subsequently created matrices
+// carry a chained-declustering replica of every block. The receiver is not
+// modified. Matrices created before the call are unaffected; replicate them
+// by recreating them on the returned context.
+func (c *Context) WithReplication() *Context {
+	nc := c.clone()
+	nc.replicate = true
+	return nc
+}
+
+// WithRecoveryPolicy returns a context using policy p for crash recovery. The
+// receiver is not modified.
+func (c *Context) WithRecoveryPolicy(p RecoveryPolicy) *Context {
+	nc := c.clone()
+	nc.rt.Recovery = p
+	return nc
+}
+
+// Replicating reports whether matrices created on this context carry block
+// replicas.
+func (c *Context) Replicating() bool { return c.replicate }
+
+// RecoveryPolicy returns the crash-recovery policy of this context.
+func (c *Context) RecoveryPolicy() RecoveryPolicy { return c.rt.Recovery }
+
+// Health returns a snapshot of the failure detector: per-locale states and
+// the transition timeline, both on the modeled clock. Without a fault plan
+// (no detector running) the report is empty.
+func (c *Context) Health() HealthReport {
+	return HealthReport{
+		States: c.rt.Health.States(),
+		Events: c.rt.Health.Events(),
+	}
+}
+
+// Recoveries returns the completed crash recoveries in order, with their
+// policies, MTTR split and bytes moved.
+func (c *Context) Recoveries() []Recovery {
+	out := make([]Recovery, len(c.rt.Recoveries))
+	copy(out, c.rt.Recoveries)
+	return out
+}
+
+// replicateIfConfigured puts a replica of every block of m on its chained
+// locale when the context asked for replication.
+func replicateIfConfigured[T Number](c *Context, m *dist.Mat[T]) {
+	if c.replicate {
+		dist.ReplicateMat(c.rt, m)
+	}
+}

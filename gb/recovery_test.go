@@ -1,0 +1,111 @@
+package gb
+
+import (
+	"testing"
+)
+
+// chaosCrashPlan is the fault_test smoke plan: background chaos plus one
+// locale crash mid-run.
+func chaosCrashPlan(seed int64) FaultPlan {
+	plan := StandardChaosPlan(seed)
+	plan.CrashLocale, plan.CrashStep = 4, 30
+	return plan
+}
+
+func TestNewWithReplicationFailover(t *testing.T) {
+	clean, err := New(Locales(6), Threads(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := BFS(clean, ErdosRenyi[int64](clean, 150, 5, 9), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, err := New(Locales(6), Threads(8), WithReplication(),
+		WithRecoveryPolicy(Failover), chaosCrashPlan(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ctx.Replicating() {
+		t.Fatal("WithReplication() option did not stick")
+	}
+	if ctx.RecoveryPolicy() != Failover {
+		t.Fatalf("policy = %v, want failover", ctx.RecoveryPolicy())
+	}
+	got, err := BFS(ctx, ErdosRenyi[int64](ctx, 150, 5, 9), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want.Level {
+		if got.Level[v] != want.Level[v] {
+			t.Fatalf("level[%d] = %d, want %d", v, got.Level[v], want.Level[v])
+		}
+	}
+
+	recs := ctx.Recoveries()
+	if len(recs) != 1 {
+		t.Fatalf("got %d recoveries, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Policy != Failover {
+		t.Errorf("recovery ran %v, want failover", r.Policy)
+	}
+	if r.MovedBytes <= 0 || r.MTTRNS() <= 0 {
+		t.Errorf("moved=%dB mttr=%.0fns, want positive", r.MovedBytes, r.MTTRNS())
+	}
+
+	h := ctx.Health()
+	if len(h.States) != 6 {
+		t.Fatalf("health reports %d locales, want 6", len(h.States))
+	}
+	if h.States[r.Lost] != Dead {
+		t.Errorf("lost locale %d state = %v, want dead", r.Lost, h.States[r.Lost])
+	}
+	if len(h.Events) == 0 {
+		t.Error("a crash must leave health transitions")
+	}
+}
+
+func TestContextWithRecoveryDerivation(t *testing.T) {
+	base, err := New(Locales(4), Threads(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	derived := base.WithReplication().WithRecoveryPolicy(BestEffort)
+	if base.Replicating() || base.RecoveryPolicy() != Redistribute {
+		t.Error("derivation mutated the receiver")
+	}
+	if !derived.Replicating() || derived.RecoveryPolicy() != BestEffort {
+		t.Error("derived context lost its configuration")
+	}
+	// A replicating context must still compute correctly with no faults.
+	a := ErdosRenyi[int64](derived, 80, 4, 5)
+	res, err := BFS(derived, a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Level[0] != 0 {
+		t.Errorf("source level = %d, want 0", res.Level[0])
+	}
+}
+
+func TestWithRecoveryPolicyRejectsUnknown(t *testing.T) {
+	if _, err := New(WithRecoveryPolicy(RecoveryPolicy(42))); err == nil {
+		t.Fatal("unknown policy must fail New")
+	}
+}
+
+func TestHealthEmptyWithoutFaultPlan(t *testing.T) {
+	ctx, err := New(Locales(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ctx.Health()
+	if len(h.States) != 0 || len(h.Events) != 0 {
+		t.Errorf("faultless context health = %+v, want empty", h)
+	}
+	if len(ctx.Recoveries()) != 0 {
+		t.Error("faultless context reports recoveries")
+	}
+}

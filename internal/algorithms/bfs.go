@@ -141,18 +141,21 @@ func BFSDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], source int) 
 		if rt.Fault != nil {
 			if d := rt.DownLocale(); d >= 0 && !recovered {
 				recovered = true
-				na, err := core.RecoverRedistribute(rt, a, d)
+				na, rollback, err := core.Recover(rt, a, d)
 				if err != nil {
 					return nil, err
 				}
 				a = na
-				frontier = dist.SpVecFromVec(rt, ckptFrontier)
-				notVisited = dist.DenseVecFromDense(rt, ckptNotVisited)
-				copy(res.Level, ckptLevel)
-				copy(res.Parent, ckptParent)
-				res.Rounds = ckptRounds
-				level = int64(res.Rounds) // the for-post ++ resumes the next round
-				continue
+				if rollback {
+					frontier = dist.SpVecFromVec(rt, ckptFrontier)
+					notVisited = dist.DenseVecFromDense(rt, ckptNotVisited)
+					copy(res.Level, ckptLevel)
+					copy(res.Parent, ckptParent)
+					res.Rounds = ckptRounds
+					level = int64(res.Rounds) // the for-post ++ resumes the next round
+					continue
+				}
+				// Best effort: keep the current frontier and iterate on.
 			}
 			if res.Rounds > ckptRounds && res.Rounds%CheckpointInterval == 0 {
 				snapshot()
@@ -260,18 +263,21 @@ func BFSDistMasked[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], source
 		if rt.Fault != nil {
 			if d := rt.DownLocale(); d >= 0 && !recovered {
 				recovered = true
-				na, err := core.RecoverRedistribute(rt, a, d)
+				na, rollback, err := core.Recover(rt, a, d)
 				if err != nil {
 					return nil, err
 				}
 				a = na
-				frontier = dist.SpVecFromVec(rt, ckptFrontier)
-				visited = dist.DenseVecFromDense(rt, ckptVisited)
-				copy(res.Level, ckptLevel)
-				copy(res.Parent, ckptParent)
-				res.Rounds = ckptRounds
-				level = int64(res.Rounds)
-				continue
+				if rollback {
+					frontier = dist.SpVecFromVec(rt, ckptFrontier)
+					visited = dist.DenseVecFromDense(rt, ckptVisited)
+					copy(res.Level, ckptLevel)
+					copy(res.Parent, ckptParent)
+					res.Rounds = ckptRounds
+					level = int64(res.Rounds)
+					continue
+				}
+				// Best effort: keep the current frontier and iterate on.
 			}
 			if res.Rounds > ckptRounds && res.Rounds%CheckpointInterval == 0 {
 				snapshot()

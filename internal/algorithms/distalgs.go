@@ -16,9 +16,11 @@ import (
 // a fault plan is installed they snapshot their iteration state every
 // CheckpointInterval rounds, and on a permanent locale loss (surfaced by the
 // collectives as fault.ErrLocaleLost) they degrade the runtime onto the
-// survivors (core.RecoverRedistribute), roll back to the last checkpoint and
-// replay. Because the logical grid shape — and with it every data layout and
-// reduction order — is preserved across the loss, the replayed computation
+// survivors under the runtime's fault.RecoveryPolicy (core.Recover):
+// redistribute and failover roll back to the last checkpoint and replay,
+// best effort drops the lost block and keeps iterating. Because the logical
+// grid shape — and with it every data layout and reduction order — is
+// preserved across the loss, a replayed computation under the exact policies
 // reproduces the fault-free results bit for bit; only the modeled clock shows
 // the failure.
 
@@ -46,22 +48,34 @@ func SSSPDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], source int)
 	recovered := false
 	rounds := 0
 
-	// restore recovers from a locale loss and rolls the iteration state back
-	// to the last checkpoint; any other error (or a second loss) propagates.
-	restore := func(err error) error {
+	// restore recovers from a locale loss under the runtime's recovery
+	// policy; the exact policies roll the iteration state back to the last
+	// checkpoint (rollback true), best effort keeps going on the survivors.
+	// Any other error (or a second loss) propagates.
+	restore := func(err error) (bool, error) {
 		lost := lostLocale(err)
 		if lost < 0 || recovered {
-			return err
+			return false, err
 		}
 		recovered = true
-		na, rerr := core.RecoverRedistribute(rt, a, lost)
+		na, rollback, rerr := core.Recover(rt, a, lost)
 		if rerr != nil {
-			return rerr
+			return false, rerr
 		}
 		a = na
-		dcur = dist.DenseVecFromDense(rt, &sparse.Dense[T]{Data: ckptD})
-		rounds = ckptRounds
-		return nil
+		if rollback {
+			dcur = dist.DenseVecFromDense(rt, &sparse.Dense[T]{Data: ckptD})
+			rounds = ckptRounds
+		}
+		return rollback, nil
+	}
+	// resume repositions iter after a recovery: replay from the checkpoint
+	// after a rollback, redo the interrupted round otherwise.
+	resume := func(iter int, rollback bool) int {
+		if rollback {
+			return ckptIter - 1
+		}
+		return iter - 1
 	}
 
 	for iter := 0; iter < n-1; iter++ {
@@ -72,10 +86,11 @@ func SSSPDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], source int)
 		}
 		relaxed, err := core.SpMVDist(rt, a, dcur, sr)
 		if err != nil {
-			if err = restore(err); err != nil {
-				return nil, 0, err
+			rollback, rerr := restore(err)
+			if rerr != nil {
+				return nil, 0, rerr
 			}
-			iter = ckptIter - 1
+			iter = resume(iter, rollback)
 			continue
 		}
 		// Elementwise min per locale, tracking change flags.
@@ -93,10 +108,11 @@ func SSSPDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], source int)
 		rounds++
 		changed, err := comm.AllReduce(rt, changedFlags, semiring.MaxMonoid[int64]())
 		if err != nil {
-			if err = restore(err); err != nil {
-				return nil, 0, err
+			rollback, rerr := restore(err)
+			if rerr != nil {
+				return nil, 0, rerr
 			}
-			iter = ckptIter - 1
+			iter = resume(iter, rollback)
 			continue
 		}
 		if changed == 0 {
@@ -136,6 +152,11 @@ func PageRankDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], d, tol 
 		return nil, 0, err
 	}
 	pm := dist.MatFromCSR(rt, pcsr)
+	if a.Replicated() {
+		// The iteration runs on the structural copy, so the input's
+		// replication choice must carry over for failover to apply.
+		dist.ReplicateMat(rt, pm)
+	}
 	sr := semiring.PlusTimes[float64]()
 
 	r := make([]float64, n)
@@ -147,20 +168,28 @@ func PageRankDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], d, tol 
 	recovered := false
 	iters := 0
 
-	restore := func(err error) error {
+	restore := func(err error) (bool, error) {
 		lost := lostLocale(err)
 		if lost < 0 || recovered {
-			return err
+			return false, err
 		}
 		recovered = true
-		npm, rerr := core.RecoverRedistribute(rt, pm, lost)
+		npm, rollback, rerr := core.Recover(rt, pm, lost)
 		if rerr != nil {
-			return rerr
+			return false, rerr
 		}
 		pm = npm
-		r = append(r[:0], ckptR...)
-		iters = ckptIters
-		return nil
+		if rollback {
+			r = append(r[:0], ckptR...)
+			iters = ckptIters
+		}
+		return rollback, nil
+	}
+	resume := func(iter int, rollback bool) int {
+		if rollback {
+			return ckptIter - 1
+		}
+		return iter - 1
 	}
 
 	for iter := 0; iter < maxIter; iter++ {
@@ -181,19 +210,21 @@ func PageRankDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], d, tol 
 		}
 		dangling, err := comm.AllReduce(rt, danglingParts, semiring.PlusMonoid[float64]())
 		if err != nil {
-			if err = restore(err); err != nil {
-				return nil, 0, err
+			rollback, rerr := restore(err)
+			if rerr != nil {
+				return nil, 0, rerr
 			}
-			iter = ckptIter - 1
+			iter = resume(iter, rollback)
 			continue
 		}
 		xd := dist.DenseVecFromDense(rt, &sparse.Dense[float64]{Data: x})
 		spread, err := core.SpMVDist(rt, pm, xd, sr)
 		if err != nil {
-			if err = restore(err); err != nil {
-				return nil, 0, err
+			rollback, rerr := restore(err)
+			if rerr != nil {
+				return nil, 0, rerr
 			}
-			iter = ckptIter - 1
+			iter = resume(iter, rollback)
 			continue
 		}
 		sd := spread.ToDense().Data
@@ -207,10 +238,11 @@ func PageRankDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], d, tol 
 		r = next
 		delta, err := comm.AllReduce(rt, deltaParts, semiring.PlusMonoid[float64]())
 		if err != nil {
-			if err = restore(err); err != nil {
-				return nil, 0, err
+			rollback, rerr := restore(err)
+			if rerr != nil {
+				return nil, 0, rerr
 			}
-			iter = ckptIter - 1
+			iter = resume(iter, rollback)
 			continue
 		}
 		if delta < tol {
@@ -244,6 +276,9 @@ func CCDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T]) ([]int64, int
 		return nil, 0, err
 	}
 	pm := dist.MatFromCSR(rt, pcsr)
+	if a.Replicated() {
+		dist.ReplicateMat(rt, pm)
+	}
 	sr := semiring.MinFirst[int64]()
 	inf := sr.AddIdentity()
 
@@ -262,13 +297,15 @@ func CCDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T]) ([]int64, int
 			return err
 		}
 		recovered = true
-		npm, rerr := core.RecoverRedistribute(rt, pm, lost)
+		npm, rollback, rerr := core.Recover(rt, pm, lost)
 		if rerr != nil {
 			return rerr
 		}
 		pm = npm
-		labels = append(labels[:0], ckptL...)
-		rounds = ckptRounds
+		if rollback {
+			labels = append(labels[:0], ckptL...)
+			rounds = ckptRounds
+		}
 		return nil
 	}
 

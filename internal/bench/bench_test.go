@@ -16,7 +16,6 @@ func skipShort(t *testing.T) {
 	}
 }
 
-
 // runFig runs a figure and fails the test on error.
 func runFig(t *testing.T, r Runner) Figure {
 	t.Helper()

@@ -1,0 +1,134 @@
+package bench
+
+// Recovery benchmarking: the MTTR report behind `gbbench -mttr-out`. Each run
+// crashes one locale mid-algorithm under a deterministic chaos plan and
+// records what the chosen recovery policy cost — detection time, repair time
+// and bytes moved — so CI can chart failover against full redistribution
+// across seeds.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/algorithms"
+	"repro/internal/dist"
+	"repro/internal/fault"
+	"repro/internal/locale"
+	"repro/internal/sparse"
+)
+
+// RecoveryRun is one algorithm executed through a crash and its recovery.
+type RecoveryRun struct {
+	Algorithm      string         `json:"algorithm"`
+	Recovery       fault.Recovery `json:"recovery"`
+	MTTRNS         float64        `json:"mttr_ns"`
+	Accuracy       float64        `json:"accuracy"`
+	ElapsedSeconds float64        `json:"elapsed_seconds"`
+}
+
+// RecoveryReport is the -mttr-out JSON document: every benchmarked algorithm
+// under one (seed, policy) cell of the chaos matrix.
+type RecoveryReport struct {
+	Seed   int64         `json:"seed"`
+	Policy string        `json:"policy"`
+	Runs   []RecoveryRun `json:"runs"`
+}
+
+// recoveryCrashPlan is the standard chaos plan plus one mid-run locale crash —
+// the same shape the chaos acceptance tests use.
+func recoveryCrashPlan(seed int64) fault.Plan {
+	p := fault.StandardChaos(seed)
+	p.CrashLocale, p.CrashStep = 4, 25
+	return p
+}
+
+// MeasureRecovery runs BFS, SSSP and PageRank on 6 locales through a
+// deterministic locale crash under the given policy and reports the recovery
+// accounting of each. Failover runs on replicated matrices; the other
+// policies run unreplicated (their natural configuration).
+func MeasureRecovery(seed int64, pol fault.RecoveryPolicy) (RecoveryReport, error) {
+	rep := RecoveryReport{Seed: seed, Policy: pol.String()}
+	const p, threads = 6, 24
+
+	newCrashRT := func() (*locale.Runtime, error) {
+		rt, err := newRT(p, threads)
+		if err != nil {
+			return nil, err
+		}
+		rt.WithFault(recoveryCrashPlan(seed))
+		rt.Recovery = pol
+		return rt, nil
+	}
+	distribute := func(rt *locale.Runtime, a *sparse.CSR[int64]) *dist.Mat[int64] {
+		m := dist.MatFromCSR(rt, a)
+		if pol == fault.PolicyFailover {
+			dist.ReplicateMat(rt, m)
+		}
+		return m
+	}
+	distributeF := func(rt *locale.Runtime, a *sparse.CSR[float64]) *dist.Mat[float64] {
+		m := dist.MatFromCSR(rt, a)
+		if pol == fault.PolicyFailover {
+			dist.ReplicateMat(rt, m)
+		}
+		return m
+	}
+	record := func(name string, rt *locale.Runtime) error {
+		if len(rt.Recoveries) != 1 {
+			return fmt.Errorf("bench: %s under seed %d ran %d recoveries, want exactly 1",
+				name, seed, len(rt.Recoveries))
+		}
+		r := rt.Recoveries[0]
+		rep.Runs = append(rep.Runs, RecoveryRun{
+			Algorithm:      name,
+			Recovery:       r,
+			MTTRNS:         r.MTTRNS(),
+			Accuracy:       r.Accuracy(),
+			ElapsedSeconds: rt.S.ElapsedSeconds(),
+		})
+		return nil
+	}
+
+	rt, err := newCrashRT()
+	if err != nil {
+		return rep, err
+	}
+	if _, err := algorithms.BFSDist(rt, distribute(rt, sparse.ErdosRenyi[int64](150, 5, 71)), 3); err != nil {
+		return rep, fmt.Errorf("bench: recovery BFS: %w", err)
+	}
+	if err := record("bfs", rt); err != nil {
+		return rep, err
+	}
+
+	rt, err = newCrashRT()
+	if err != nil {
+		return rep, err
+	}
+	if _, _, err := algorithms.SSSPDist(rt, distributeF(rt, sparse.ErdosRenyi[float64](140, 5, 75)), 2); err != nil {
+		return rep, fmt.Errorf("bench: recovery SSSP: %w", err)
+	}
+	if err := record("sssp", rt); err != nil {
+		return rep, err
+	}
+
+	rt, err = newCrashRT()
+	if err != nil {
+		return rep, err
+	}
+	if _, _, err := algorithms.PageRankDist(rt, distributeF(rt, sparse.ErdosRenyi[float64](120, 4, 77)), 0.85, 1e-8, 60); err != nil {
+		return rep, fmt.Errorf("bench: recovery PageRank: %w", err)
+	}
+	if err := record("pagerank", rt); err != nil {
+		return rep, err
+	}
+
+	return rep, nil
+}
+
+// WriteRecoveryJSON writes the report as indented JSON.
+func WriteRecoveryJSON(w io.Writer, rep RecoveryReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+func TestMeasureRecoveryFailoverCheaperThanRedistribute(t *testing.T) {
+	fo, err := MeasureRecovery(1, fault.PolicyFailover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := MeasureRecovery(1, fault.PolicyRedistribute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fo.Runs) != 3 || len(rd.Runs) != 3 {
+		t.Fatalf("got %d/%d runs, want 3 each", len(fo.Runs), len(rd.Runs))
+	}
+	for i := range fo.Runs {
+		f, r := fo.Runs[i], rd.Runs[i]
+		if f.Algorithm != r.Algorithm {
+			t.Fatalf("run %d: algorithms diverge: %s vs %s", i, f.Algorithm, r.Algorithm)
+		}
+		if f.Recovery.MovedBytes >= r.Recovery.MovedBytes {
+			t.Errorf("%s: failover moved %dB, redistribute %dB — failover must move less",
+				f.Algorithm, f.Recovery.MovedBytes, r.Recovery.MovedBytes)
+		}
+		if f.MTTRNS <= 0 || f.Accuracy != 1 {
+			t.Errorf("%s: failover mttr=%v accuracy=%v, want positive and exact", f.Algorithm, f.MTTRNS, f.Accuracy)
+		}
+	}
+}
+
+func TestMeasureRecoveryDeterministicPerSeed(t *testing.T) {
+	a, err := MeasureRecovery(3, fault.PolicyFailover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MeasureRecovery(3, fault.PolicyFailover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ba, bb bytes.Buffer
+	if err := WriteRecoveryJSON(&ba, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteRecoveryJSON(&bb, b); err != nil {
+		t.Fatal(err)
+	}
+	if ba.String() != bb.String() {
+		t.Fatalf("same seed, different MTTR report:\n%s\nvs\n%s", ba.String(), bb.String())
+	}
+}
+
+func TestRecoveryJSONPolicyIsNamed(t *testing.T) {
+	rep, err := MeasureRecovery(2, fault.PolicyBestEffort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteRecoveryJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"policy": "besteffort"`) {
+		t.Errorf("policy must serialize by name, got:\n%s", buf.String())
+	}
+	var back RecoveryReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Runs[0].Recovery.Policy != fault.PolicyBestEffort {
+		t.Errorf("round-trip policy = %v, want besteffort", back.Runs[0].Recovery.Policy)
+	}
+	if back.Runs[0].Accuracy >= 1 {
+		t.Errorf("best-effort accuracy = %v, want < 1", back.Runs[0].Accuracy)
+	}
+}

@@ -21,6 +21,8 @@
 package comm
 
 import (
+	"errors"
+	"fmt"
 	"math"
 
 	"repro/internal/fault"
@@ -44,8 +46,16 @@ func treeDepth(p int) float64 {
 // the runtime's retry policy and returns the extra modeled time beyond the
 // first clean send: injected delays, plus (timeout + backoff + resend) for
 // every dropped attempt. Retries are recorded in the simulator's counters.
-// A crashed endpoint returns ErrLocaleLost after one detection timeout;
-// exhausting the attempt budget returns ErrRetriesExhausted.
+// A crashed endpoint returns an error wrapping fault.ErrLocaleLost (with the
+// lost locale id reachable via errors.As) after one detection timeout;
+// exhausting the attempt budget returns one wrapping ErrRetriesExhausted.
+// Both are annotated with the collective and the endpoint pair.
+//
+// Every attempt doubles as a health probe: a clean or merely-dropped transfer
+// is evidence both endpoints are alive (their modeled heartbeats are current),
+// while a crash verdict reports the lost endpoint down — so the failure
+// detector's timeline is built from the traffic the algorithms were sending
+// anyway, with no modeled cost of its own.
 func retryExtra(rt *locale.Runtime, src, dst int, resendNS float64, op string) (float64, error) {
 	if rt.Fault == nil {
 		return 0, nil
@@ -57,8 +67,14 @@ func retryExtra(rt *locale.Runtime, src, dst int, resendNS float64, op string) (
 		v, err := rt.FaultAttempt(src, dst)
 		if err != nil {
 			// The failure is detected by the timeout, not reported politely.
-			return extra + pol.TimeoutNS, err
+			var ll *fault.LocaleLostError
+			if errors.As(err, &ll) {
+				rt.Health.Observe(ll.Locale, true, rt.S.Elapsed())
+			}
+			return extra + pol.TimeoutNS, fmt.Errorf("comm: %s %d→%d: %w", op, src, dst, err)
 		}
+		rt.Health.Observe(src, false, rt.S.Elapsed())
+		rt.Health.Observe(dst, false, rt.S.Elapsed())
 		extra += v.ExtraNS
 		if !v.Drop {
 			if attempt > 1 {
@@ -68,7 +84,8 @@ func retryExtra(rt *locale.Runtime, src, dst int, resendNS float64, op string) (
 		}
 		if attempt >= pol.MaxAttempts {
 			rt.S.NoteRetries(dst, int64(attempt-1))
-			return extra + pol.TimeoutNS, &fault.RetryError{Op: op, Src: src, Dst: dst, Attempts: attempt}
+			return extra + pol.TimeoutNS, fmt.Errorf("comm: %s %d→%d: %w",
+				op, src, dst, &fault.RetryError{Op: op, Src: src, Dst: dst, Attempts: attempt})
 		}
 		extra += pol.TimeoutNS + backoff + resendNS
 		backoff *= 2

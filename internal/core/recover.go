@@ -2,9 +2,43 @@ package core
 
 import (
 	"repro/internal/dist"
+	"repro/internal/fault"
 	"repro/internal/locale"
 	"repro/internal/semiring"
+	"repro/internal/sparse"
+	"repro/internal/trace"
 )
+
+// beginRecovery timestamps the start of a recovery: it feeds the detector one
+// final down observation (so a loss surfaced by a failing collective — before
+// any round-boundary liveness poll — still gets its Suspect event), and
+// snapshots the modeled clock and byte counter the Recovery record will delta
+// against. detectNS is the modeled lag between suspicion and recovery start.
+func beginRecovery(rt *locale.Runtime, lost int) (startNS float64, startBytes int64, detectNS float64) {
+	startNS = rt.S.Elapsed()
+	rt.Health.Observe(lost, true, startNS)
+	if at := rt.Health.SuspectedAt(lost); at >= 0 {
+		detectNS = startNS - at
+	}
+	startBytes = rt.S.Traffic().Bytes
+	return
+}
+
+// endRecovery closes the books on one recovery and appends it to the
+// runtime's log.
+func endRecovery(rt *locale.Runtime, pol fault.RecoveryPolicy, lost, host int,
+	startNS float64, startBytes int64, detectNS float64, retained, total int) {
+	rt.NoteRecovery(fault.Recovery{
+		Policy:      pol,
+		Lost:        lost,
+		Host:        host,
+		MovedBytes:  rt.S.Traffic().Bytes - startBytes,
+		DetectNS:    detectNS,
+		RepairNS:    rt.S.Elapsed() - startNS,
+		RetainedNNZ: retained,
+		TotalNNZ:    total,
+	})
+}
 
 // RecoverRedistribute rebuilds the block distribution of a over the surviving
 // locales after the permanent loss of locale lost. The logical Pr×Pc
@@ -12,19 +46,107 @@ import (
 // surviving locale (locale.Runtime.Degrade), whose clock from now on pays for
 // both shares — so every data layout and reduction order is unchanged and a
 // rolled-back replay reproduces fault-free results bit for bit. All blocks
-// are rebuilt from the gathered global matrix (standing in for checkpointed
-// replicas), and the host is charged the bulk reload of the adopted block.
+// are rebuilt from the gathered global matrix: every surviving block makes a
+// round trip through the coordinating host (gather + scatter, ~2·16·nnz bytes
+// in total), which is the O(nnz) cost PolicyFailover exists to avoid.
 func RecoverRedistribute[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], lost int) (*dist.Mat[T], error) {
+	defer rt.Span("Recover", trace.T("policy", fault.PolicyRedistribute.String())).End()
+	startNS, startBytes, detectNS := beginRecovery(rt, lost)
 	csr, err := a.ToCSR()
 	if err != nil {
 		return nil, err
 	}
+	wasReplicated := a.Replicated()
 	host, err := rt.Degrade(lost, rt.RetryPolicy().TimeoutNS)
 	if err != nil {
 		return nil, err
 	}
 	m := dist.MatFromCSR(rt, csr)
-	rt.S.Bulk(host, int64(m.Blocks[lost].NNZ())*16, false)
+	for l := 0; l < rt.G.P; l++ {
+		nnz := int64(m.Blocks[l].NNZ())
+		if nnz == 0 {
+			continue
+		}
+		if l != host {
+			rt.S.Bulk(host, nnz*dist.ReplicaElemBytes, false) // gather to coordinator
+		}
+		rt.S.Bulk(l, nnz*dist.ReplicaElemBytes, false) // scatter rebuilt block
+	}
+	if wasReplicated {
+		dist.ReplicateMat(rt, m)
+	}
 	rt.S.Barrier()
+	endRecovery(rt, fault.PolicyRedistribute, lost, host, startNS, startBytes, detectNS, m.NNZ(), m.NNZ())
 	return m, nil
+}
+
+// RecoverFailover recovers from the loss of locale lost by promoting the
+// chained-declustering replica of the lost block — already resident on the
+// adopting host, so promotion moves zero modeled bytes — and then restoring
+// 2-copy redundancy for the two blocks whose replica chain passed through the
+// dead locale: block lost-1 (its replica lived there) and block lost (its new
+// primary needs a fresh replica). Total movement ≈ 2·nnz/P elements,
+// independent of the number of survivors. Falls back to RecoverRedistribute
+// (and records PolicyRedistribute) when a is not replicated.
+func RecoverFailover[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], lost int) (*dist.Mat[T], error) {
+	if !a.Replicated() {
+		return RecoverRedistribute(rt, a, lost)
+	}
+	defer rt.Span("Recover", trace.T("policy", fault.PolicyFailover.String())).End()
+	startNS, startBytes, detectNS := beginRecovery(rt, lost)
+	host, err := rt.Degrade(lost, rt.RetryPolicy().TimeoutNS)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.PromoteReplica(lost); err != nil {
+		return nil, err
+	}
+	prev := (lost - 1 + rt.G.P) % rt.G.P
+	dist.RefreshReplica(rt, a, prev)
+	if prev != lost {
+		dist.RefreshReplica(rt, a, lost)
+	}
+	rt.S.Barrier()
+	endRecovery(rt, fault.PolicyFailover, lost, host, startNS, startBytes, detectNS, a.NNZ(), a.NNZ())
+	return a, nil
+}
+
+// RecoverBestEffort accepts the loss: the dead locale's block is dropped and
+// iteration continues on the surviving data with no rollback and no replay.
+// The Recovery record accounts for the retained fraction of the matrix so
+// callers can bound the accuracy they traded for availability.
+func RecoverBestEffort[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], lost int) (*dist.Mat[T], error) {
+	defer rt.Span("Recover", trace.T("policy", fault.PolicyBestEffort.String())).End()
+	startNS, startBytes, detectNS := beginRecovery(rt, lost)
+	total := a.NNZ()
+	lostNNZ := a.Blocks[lost].NNZ()
+	host, err := rt.Degrade(lost, rt.RetryPolicy().TimeoutNS)
+	if err != nil {
+		return nil, err
+	}
+	a.Blocks[lost] = sparse.NewCSR[T](a.Blocks[lost].NRows, a.Blocks[lost].NCols)
+	if a.Replicated() {
+		a.Replicas[lost] = a.Blocks[lost].Clone() // keep replica consistent with the dropped primary
+	}
+	rt.S.Barrier()
+	endRecovery(rt, fault.PolicyBestEffort, lost, host, startNS, startBytes, detectNS, total-lostNNZ, total)
+	return a, nil
+}
+
+// Recover dispatches on the runtime's configured RecoveryPolicy. rollback
+// reports whether the caller should roll back to its last checkpoint and
+// replay (the exact policies) or keep going on the surviving data
+// (PolicyBestEffort).
+func Recover[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], lost int) (m *dist.Mat[T], rollback bool, err error) {
+	switch rt.Recovery {
+	case fault.PolicyFailover:
+		m, err = RecoverFailover(rt, a, lost)
+		return m, true, err
+	case fault.PolicyBestEffort:
+		m, err = RecoverBestEffort(rt, a, lost)
+		return m, false, err
+	default:
+		m, err = RecoverRedistribute(rt, a, lost)
+		return m, true, err
+	}
 }

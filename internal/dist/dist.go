@@ -31,6 +31,10 @@ type Mat[T semiring.Number] struct {
 	RowBands, ColBands []int
 	// Blocks[l] is the CSR block stored on locale l.
 	Blocks []*sparse.CSR[T]
+	// Replicas[l], when replication is on (ReplicateMat), is the chained-
+	// declustering copy of block l held by locale ReplicaOwner(l) = (l+1)%P.
+	// Nil means the matrix is unreplicated (the default).
+	Replicas []*sparse.CSR[T]
 }
 
 // MatFromCSR distributes a global CSR matrix over the runtime's grid.

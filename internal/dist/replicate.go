@@ -1,0 +1,78 @@
+// Block replication: k=1 chained declustering over the locale grid.
+//
+// The replica of block l is held by locale (l+1) mod P — deliberately the
+// same locale that Runtime.Degrade picks to adopt a dead locale's work. When
+// locale l is lost, its adopter therefore already holds a byte-identical copy
+// of the lost block: promotion is a pointer swap costing zero modeled bytes,
+// and only re-replication (restoring 2-copy redundancy for the two blocks
+// whose replica chain passed through the dead locale) moves data — about
+// 2·nnz/P elements, independent of the number of surviving locales. Compare
+// core.RecoverRedistribute, which rebuilds every block from the gathered
+// global matrix.
+//
+// Replication is off by default: the alloc-pinned kernels and the benchmark
+// gate never see a replica. Matrices are immutable during iteration, so one
+// ReplicateMat at distribution time keeps replicas consistent for the life of
+// the matrix; mutable vector state is protected by the algorithms' existing
+// checkpoints instead (replication in time rather than space).
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/locale"
+	"repro/internal/semiring"
+	"repro/internal/sparse"
+)
+
+// ReplicaElemBytes is the modeled wire size of one replicated matrix element
+// (value + packed index), matching the redistribution cost model.
+const ReplicaElemBytes = 16
+
+// ReplicaOwner returns the locale holding the chained-declustering replica of
+// block l: the next locale in row-major order, which is also the locale that
+// adopts l's work if l dies.
+func ReplicaOwner(g *locale.Grid, l int) int { return (l + 1) % g.P }
+
+// Replicated reports whether the matrix carries block replicas.
+func (m *Mat[T]) Replicated() bool { return m.Replicas != nil }
+
+// ReplicateMat gives every block of m a replica on ReplicaOwner(block),
+// charging each replica holder the bulk transfer of its copy. Idempotent:
+// an already-replicated matrix is left untouched.
+func ReplicateMat[T semiring.Number](rt *locale.Runtime, m *Mat[T]) {
+	if m.Replicated() {
+		return
+	}
+	defer rt.Span("ReplicateMat").End()
+	m.Replicas = make([]*sparse.CSR[T], m.G.P)
+	for l := 0; l < m.G.P; l++ {
+		RefreshReplica(rt, m, l)
+	}
+	rt.S.Barrier()
+}
+
+// RefreshReplica re-copies block l to its replica holder, charging the holder
+// the bulk transfer. Used by ReplicateMat for the initial copies and by the
+// failover path to restore redundancy after a loss.
+func RefreshReplica[T semiring.Number](rt *locale.Runtime, m *Mat[T], l int) {
+	ro := ReplicaOwner(m.G, l)
+	m.Replicas[l] = m.Blocks[l].Clone()
+	rt.S.Bulk(ro, int64(m.Blocks[l].NNZ())*ReplicaElemBytes, rt.G.SameNode(l, ro))
+}
+
+// PromoteReplica installs the replica of block lost as the primary block.
+// The replica holder is exactly the locale that adopts the lost locale's
+// work, so promotion is local to the adopting host and moves zero modeled
+// bytes. The promoted copy is cloned so a later RefreshReplica cannot alias
+// primary and replica.
+func (m *Mat[T]) PromoteReplica(lost int) error {
+	if !m.Replicated() {
+		return fmt.Errorf("dist: promote replica of block %d: matrix is not replicated", lost)
+	}
+	if lost < 0 || lost >= m.G.P {
+		return fmt.Errorf("dist: promote replica: block %d outside grid of %d", lost, m.G.P)
+	}
+	m.Blocks[lost] = m.Replicas[lost].Clone()
+	return nil
+}

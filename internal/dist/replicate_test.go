@@ -1,0 +1,77 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+func TestReplicateMatChainedDeclustering(t *testing.T) {
+	a := sparse.ErdosRenyi[int64](97, 6, 3)
+	rt := newRT(t, 6)
+	m := MatFromCSR(rt, a)
+	if m.Replicated() {
+		t.Fatal("fresh matrix must be unreplicated")
+	}
+	ReplicateMat(rt, m)
+	if !m.Replicated() {
+		t.Fatal("ReplicateMat must mark the matrix replicated")
+	}
+	for l := 0; l < rt.G.P; l++ {
+		if ro := ReplicaOwner(rt.G, l); ro != (l+1)%rt.G.P {
+			t.Fatalf("ReplicaOwner(%d) = %d, want %d", l, ro, (l+1)%rt.G.P)
+		}
+		if !m.Replicas[l].Equal(m.Blocks[l]) {
+			t.Fatalf("replica of block %d differs from primary", l)
+		}
+		if m.Replicas[l] == m.Blocks[l] {
+			t.Fatalf("replica of block %d aliases the primary", l)
+		}
+	}
+}
+
+func TestReplicateMatChargesAndIsIdempotent(t *testing.T) {
+	a := sparse.ErdosRenyi[float64](80, 5, 11)
+	rt := newRT(t, 4)
+	m := MatFromCSR(rt, a)
+	before := rt.S.Traffic().Bytes
+	ReplicateMat(rt, m)
+	moved := rt.S.Traffic().Bytes - before
+	if want := int64(m.NNZ()) * ReplicaElemBytes; moved != want {
+		t.Fatalf("replication moved %d bytes, want %d", moved, want)
+	}
+	// A second call must neither re-copy nor re-charge.
+	again := rt.S.Traffic().Bytes
+	ReplicateMat(rt, m)
+	if rt.S.Traffic().Bytes != again {
+		t.Fatal("re-replicating an already-replicated matrix must be free")
+	}
+}
+
+func TestPromoteReplicaRestoresBlockLocally(t *testing.T) {
+	a := sparse.ErdosRenyi[int64](60, 4, 7)
+	rt := newRT(t, 4)
+	m := MatFromCSR(rt, a)
+	if err := m.PromoteReplica(2); err == nil {
+		t.Fatal("promoting on an unreplicated matrix must fail")
+	}
+	ReplicateMat(rt, m)
+	want := m.Blocks[2].Clone()
+	m.Blocks[2] = sparse.NewCSR[int64](want.NRows, want.NCols) // simulate the loss
+	before := rt.S.Traffic().Bytes
+	if err := m.PromoteReplica(2); err != nil {
+		t.Fatal(err)
+	}
+	if rt.S.Traffic().Bytes != before {
+		t.Fatal("promotion must move zero modeled bytes")
+	}
+	if !m.Blocks[2].Equal(want) {
+		t.Fatal("promoted block differs from the lost primary")
+	}
+	if m.Blocks[2] == m.Replicas[2] {
+		t.Fatal("promotion must not alias primary and replica")
+	}
+	if err := m.PromoteReplica(99); err == nil {
+		t.Fatal("out-of-range block must fail")
+	}
+}

@@ -1,0 +1,90 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// FuzzInjector pins the injector's two load-bearing properties under
+// arbitrary plans and drive sequences:
+//
+//  1. Determinism: the same plan replayed over the same call sequence yields
+//     an identical stream of verdicts, errors, perturbations and Down states
+//     — the foundation of every bitwise-reproducibility guarantee upstream.
+//  2. No resurrection: once the planned crash has fired and the runtime
+//     rebased around it (Rebase after Degrade), the crash is consumed — no
+//     locale ever goes down again and the crash counter stays put.
+func FuzzInjector(f *testing.F) {
+	f.Add(int64(1), 0.1, 0.1, 0.05, uint8(3), uint16(20), uint16(64))
+	f.Add(int64(99), 0.05, 0.10, 0.02, uint8(4), uint16(25), uint16(200))
+	f.Add(int64(-7), 1.0, 0.0, 0.0, uint8(0), uint16(0), uint16(10))
+	f.Add(int64(0), 0.0, 0.0, 0.0, uint8(9), uint16(5), uint16(40))
+	f.Fuzz(func(t *testing.T, seed int64, dropP, delayP, stallP float64, crashLoc uint8, crashStep uint16, steps uint16) {
+		norm := func(p float64) float64 {
+			if math.IsNaN(p) || p < 0 {
+				return 0
+			}
+			if p > 1 {
+				return 1
+			}
+			return p
+		}
+		const p = 6
+		plan := Plan{
+			Seed:        seed,
+			DropProb:    norm(dropP),
+			DelayProb:   norm(delayP),
+			DelayNS:     1_000,
+			StallProb:   norm(stallP),
+			StallNS:     5_000,
+			CrashLocale: int(crashLoc%(p+2)) - 1, // includes -1 (none) and p (outside grid)
+			CrashStep:   int64(crashStep % 200),
+		}
+		n := int(steps%512) + 32
+
+		// Property 1: identical replay.
+		run := func() string {
+			in := NewInjector(plan, p)
+			out := ""
+			for i := 0; i < n; i++ {
+				src, dst := (i*3)%p, (i*5)%p
+				if i%3 == 2 {
+					out += fmt.Sprintf("P%.0f;", in.PerturbTransfer(dst, 64))
+					continue
+				}
+				v, err := in.Attempt(src, dst)
+				out += fmt.Sprintf("A%v,%.0f,%v,%d;", v.Drop, v.ExtraNS, err, in.AnyDown())
+			}
+			st := in.Stats()
+			return out + fmt.Sprintf("S%d,%d,%d,%d,%d", st.Steps, st.Drops, st.Delays, st.Stalls, st.Crashes)
+		}
+		if a, b := run(), run(); a != b {
+			t.Fatalf("same plan, same drive, different stream:\n%s\nvs\n%s", a, b)
+		}
+
+		// Property 2: Rebase consumes the crash for good.
+		in := NewInjector(plan, p)
+		for i := 0; i < n && in.AnyDown() < 0; i++ {
+			in.Attempt(i%p, (i+1)%p)
+		}
+		if d := in.AnyDown(); d >= 0 {
+			if d != plan.CrashLocale {
+				t.Fatalf("locale %d down, but the plan crashes %d", d, plan.CrashLocale)
+			}
+			crashes := in.Stats().Crashes
+			in.Rebase(p)
+			for i := 0; i < n+64; i++ {
+				if _, err := in.Attempt(i%p, (i+2)%p); err != nil {
+					t.Fatalf("attempt after Rebase errored: %v", err)
+				}
+				if in.AnyDown() != -1 || in.Down(d) {
+					t.Fatal("Rebase must never let the dead locale crash again")
+				}
+			}
+			if got := in.Stats().Crashes; got != crashes {
+				t.Fatalf("crash counter moved %d -> %d after Rebase", crashes, got)
+			}
+		}
+	})
+}

@@ -1,0 +1,123 @@
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// RecoveryPolicy selects how the iterative algorithms respond to a permanent
+// locale loss. The zero value is PolicyRedistribute, which preserves the
+// behavior the checkpoint/restart paths have always had.
+type RecoveryPolicy int
+
+const (
+	// PolicyRedistribute rebuilds the full block distribution over the
+	// survivors from the gathered global state: O(nnz/P) data movement per
+	// surviving locale plus a rollback to the last checkpoint. Always
+	// available; the most expensive recovery.
+	PolicyRedistribute RecoveryPolicy = iota
+	// PolicyFailover promotes the chained-declustering replica of the lost
+	// block (held by the next locale, which is exactly the locale that adopts
+	// the dead one's work) and re-replicates in the background: ~2·nnz/P
+	// elements move in total, independent of how much data the survivors
+	// hold. Requires replication (dist.ReplicateMat); falls back to
+	// PolicyRedistribute on unreplicated state.
+	PolicyFailover
+	// PolicyBestEffort drops the lost block entirely and keeps iterating on
+	// the surviving data — no rollback, no replay. Results are approximate;
+	// the Recovery record accounts for the retained fraction of the matrix so
+	// callers (e.g. PageRank) can bound the error they accepted.
+	PolicyBestEffort
+)
+
+// String returns the policy's canonical lower-case name.
+func (p RecoveryPolicy) String() string {
+	switch p {
+	case PolicyRedistribute:
+		return "redistribute"
+	case PolicyFailover:
+		return "failover"
+	case PolicyBestEffort:
+		return "besteffort"
+	}
+	return fmt.Sprintf("recoverypolicy(%d)", int(p))
+}
+
+// MarshalJSON writes the policy as its canonical name, so MTTR reports are
+// self-describing.
+func (p RecoveryPolicy) MarshalJSON() ([]byte, error) {
+	return json.Marshal(p.String())
+}
+
+// UnmarshalJSON accepts both the canonical name and the legacy integer form.
+func (p *RecoveryPolicy) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		var n int
+		if err2 := json.Unmarshal(data, &n); err2 != nil {
+			return err
+		}
+		*p = RecoveryPolicy(n)
+		return nil
+	}
+	v, err := ParseRecoveryPolicy(s)
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}
+
+// ParseRecoveryPolicy maps a policy name (as printed by String) back to the
+// policy; used by the gbbench -chaos-policy flag and the CI chaos matrix.
+func ParseRecoveryPolicy(s string) (RecoveryPolicy, error) {
+	switch s {
+	case "redistribute", "":
+		return PolicyRedistribute, nil
+	case "failover":
+		return PolicyFailover, nil
+	case "besteffort", "best-effort":
+		return PolicyBestEffort, nil
+	}
+	return 0, fmt.Errorf("fault: unknown recovery policy %q (want redistribute, failover or besteffort)", s)
+}
+
+// Recovery records one completed locale-loss recovery: which policy actually
+// ran (after any fallback), what moved, and how long detection and repair
+// took on the modeled clock. core's recovery functions append one to the
+// runtime per recovered loss; gbbench aggregates them into the MTTR report.
+type Recovery struct {
+	// Policy is the policy that executed (PolicyFailover requested on an
+	// unreplicated matrix records PolicyRedistribute here).
+	Policy RecoveryPolicy `json:"policy"`
+	// Lost is the crashed logical locale; Host the survivor that adopted it.
+	Lost int `json:"lost"`
+	Host int `json:"host"`
+	// MovedBytes is the recovery traffic drawn from the simulator's byte
+	// counters: the delta across the recovery call.
+	MovedBytes int64 `json:"moved_bytes"`
+	// DetectNS is the modeled time between the failure becoming suspicious
+	// and recovery starting; RepairNS the modeled duration of the recovery
+	// itself. MTTR = DetectNS + RepairNS.
+	DetectNS float64 `json:"detect_ns"`
+	RepairNS float64 `json:"repair_ns"`
+	// RetainedNNZ / TotalNNZ account for data surviving the recovery. Both
+	// exact-recovery policies retain everything; PolicyBestEffort retains
+	// TotalNNZ minus the lost block.
+	RetainedNNZ int `json:"retained_nnz"`
+	TotalNNZ    int `json:"total_nnz"`
+}
+
+// MTTRNS returns the modeled mean-time-to-recovery of this event:
+// detection plus repair, ns.
+func (r Recovery) MTTRNS() float64 { return r.DetectNS + r.RepairNS }
+
+// Accuracy returns the fraction of matrix data still contributing to the
+// computation after recovery — 1 for the exact policies, below 1 for
+// best-effort partial results.
+func (r Recovery) Accuracy() float64 {
+	if r.TotalNNZ == 0 {
+		return 1
+	}
+	return float64(r.RetainedNNZ) / float64(r.TotalNNZ)
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/fault"
+	"repro/internal/health"
 	"repro/internal/machine"
 	"repro/internal/sim"
 	"repro/internal/sparse"
@@ -76,7 +77,10 @@ func (g *Grid) HostOf(l int) int {
 	return g.Host[l]
 }
 
-// Adopt reassigns logical locale dead to be hosted by locale host.
+// Adopt reassigns logical locale dead to be hosted by locale host. Logical
+// locales the dead one was itself hosting (from an earlier Adopt) follow it
+// to the new host, so chains of losses keep every logical id on a live
+// physical locale.
 func (g *Grid) Adopt(dead, host int) {
 	if g.Host == nil {
 		g.Host = make([]int, g.P)
@@ -84,7 +88,13 @@ func (g *Grid) Adopt(dead, host int) {
 			g.Host[i] = i
 		}
 	}
-	g.Host[dead] = g.Host[host]
+	target := g.Host[host]
+	old := g.Host[dead]
+	for i := range g.Host {
+		if g.Host[i] == old {
+			g.Host[i] = target
+		}
+	}
 }
 
 // NodeOf returns the physical node hosting locale l.
@@ -164,6 +174,16 @@ type Runtime struct {
 	// Retry governs the timeout/backoff of the retryable collectives; zero
 	// fields fall back to fault.DefaultRetryPolicy.
 	Retry fault.RetryPolicy
+	// Health is the failure detector tracking each locale's Alive/Suspect/Dead
+	// state on the modeled clock. Installed by WithFault alongside the
+	// injector; nil (the fault-free configuration) observes nothing.
+	Health *health.Detector
+	// Recovery selects how algorithms respond to a permanent locale loss; the
+	// zero value keeps the historical full redistribution.
+	Recovery fault.RecoveryPolicy
+	// Recoveries logs every completed locale-loss recovery on this runtime,
+	// in the order they happened; gbbench aggregates it into the MTTR report.
+	Recoveries []fault.Recovery
 	// Tr is the optional tracer every operation reports spans into; nil
 	// disables tracing (the instrumentation is nil-safe). Install with
 	// SetTracer so the tracer is bound to this runtime's simulator.
@@ -185,6 +205,7 @@ func (rt *Runtime) SetTracer(t *trace.Tracer) {
 	if t != nil {
 		t.Bind(rt.S)
 	}
+	rt.Health.SetTracer(t)
 }
 
 // Span opens a span on the runtime's tracer; with no tracer installed it
@@ -196,11 +217,14 @@ func (rt *Runtime) Span(name string, tags ...trace.Tag) *trace.Span {
 }
 
 // WithFault builds an injector from plan, installs it on the runtime and
-// registers it as the simulator's transfer hook. Returns rt for chaining.
+// registers it as the simulator's transfer hook, and stands up the health
+// detector that will narrate the failure timeline. Returns rt for chaining.
 func (rt *Runtime) WithFault(plan fault.Plan) *Runtime {
 	in := fault.NewInjector(plan, rt.G.P)
 	rt.Fault = in
 	rt.S.SetHook(in)
+	rt.Health = health.New(health.Config{}, rt.G.P)
+	rt.Health.SetTracer(rt.Tr)
 	return rt
 }
 
@@ -211,11 +235,25 @@ func (rt *Runtime) FaultAttempt(src, dst int) (fault.Verdict, error) {
 }
 
 // DownLocale returns the lowest-numbered permanently lost locale, or -1 when
-// every locale is alive.
-func (rt *Runtime) DownLocale() int { return rt.Fault.AnyDown() }
+// every locale is alive. Each call doubles as a health poll: every locale's
+// injector state is fed to the detector at the current modeled time, so the
+// algorithms' round-boundary liveness checks build the detection timeline as
+// a side effect.
+func (rt *Runtime) DownLocale() int {
+	if rt.Health != nil {
+		now := rt.S.Elapsed()
+		for l := 0; l < rt.G.P; l++ {
+			rt.Health.Observe(l, rt.Fault.Down(l), now)
+		}
+	}
+	return rt.Fault.AnyDown()
+}
 
 // RetryPolicy returns the runtime's retry policy with defaults filled in.
 func (rt *Runtime) RetryPolicy() fault.RetryPolicy { return rt.Retry.WithDefaults() }
+
+// NoteRecovery appends one completed recovery to the runtime's log.
+func (rt *Runtime) NoteRecovery(r fault.Recovery) { rt.Recoveries = append(rt.Recoveries, r) }
 
 // Degrade reconfigures the runtime in place after the permanent loss of
 // locale dead: the next locale in the grid adopts the dead locale's work (its
@@ -233,6 +271,7 @@ func (rt *Runtime) Degrade(dead int, penaltyNS float64) (int, error) {
 	if dead < 0 || dead >= p {
 		return -1, fmt.Errorf("locale: degrade: locale %d outside grid of %d", dead, p)
 	}
+	rt.Health.Confirm(dead, rt.S.Elapsed())
 	host := (dead + 1) % p
 	rt.G.Adopt(dead, host)
 	rt.S.Alias(dead, host)

@@ -129,8 +129,17 @@ func (s *Sim) Alias(dead, host int) {
 			s.alias[i] = i
 		}
 	}
-	s.alias[dead] = s.alias[host]
-	s.clocks[dead] = s.clocks[s.alias[host]]
+	// Re-point every locale currently charged to dead's clock (dead itself
+	// plus any earlier adoptee it was hosting), so chained losses keep all
+	// charges on a live clock.
+	target := s.alias[host]
+	old := s.alias[dead]
+	for i := range s.alias {
+		if s.alias[i] == old {
+			s.alias[i] = target
+			s.clocks[i] = s.clocks[target]
+		}
+	}
 }
 
 // idx resolves a locale id through the alias table; callers must hold mu.
@@ -448,6 +457,14 @@ func (s *Sim) PhaseNS(name string) float64 {
 		}
 	}
 	return total
+}
+
+// Clock returns locale l's modeled clock, ns, resolved through the alias
+// table (a dead locale reads its adopter's clock).
+func (s *Sim) Clock(l int) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.clocks[s.idx(l)]
 }
 
 // Elapsed returns the current makespan (maximum locale clock), ns.
