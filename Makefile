@@ -19,7 +19,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/sparse/ ./internal/core/ ./internal/algorithms/ ./internal/workpool/ ./internal/comm/ ./gb/
+	$(GO) test -race ./internal/sparse/ ./internal/core/ ./internal/algorithms/ ./internal/workpool/ ./internal/comm/ ./internal/dist/ ./gb/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -55,19 +55,20 @@ bench-gate: bench-smoke
 bench-baseline: bench-smoke
 	$(GO) run ./cmd/benchgate -write-baseline -baseline bench_baseline.json -bench BENCH_spmspv.json -alloc BENCH_alloc.json
 
-# The CI fuzz smoke: 30s each on the bucket SPA, the scratch arena and the
-# fault injector.
+# The CI fuzz smoke: 30s each on the bucket SPA, the scratch arena, the
+# fault injector and the epoch delta merge.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzBucketSPA -fuzztime 30s ./internal/sparse
 	$(GO) test -run '^$$' -fuzz FuzzScratchPool -fuzztime 30s ./internal/sparse
 	$(GO) test -run '^$$' -fuzz FuzzInjector -fuzztime 30s ./internal/fault
+	$(GO) test -run '^$$' -fuzz FuzzDeltaMerge -fuzztime 30s ./internal/dist
 
 # One cell of the CI chaos matrix locally: make chaos-matrix CHAOS_SEED=2 CHAOS_POLICY=failover
 CHAOS_SEED ?= 1
 CHAOS_POLICY ?= failover
 chaos-matrix:
 	CHAOS_SEED=$(CHAOS_SEED) CHAOS_POLICY=$(CHAOS_POLICY) $(GO) test -run TestChaosPolicyMatrix -v ./internal/algorithms
-	$(GO) run ./cmd/gbbench -figure none -chaos-seed $(CHAOS_SEED) -chaos-policy $(CHAOS_POLICY) -mttr-out mttr_$(CHAOS_SEED)_$(CHAOS_POLICY).json
+	$(GO) run ./cmd/gbbench -figure none -chaos-seed $(CHAOS_SEED) -chaos-policy $(CHAOS_POLICY) -mttr-out mttr_$(CHAOS_SEED)_$(CHAOS_POLICY).json -stream-out stream_$(CHAOS_SEED)_$(CHAOS_POLICY).json
 
 clean:
 	$(GO) clean ./...

@@ -59,6 +59,8 @@ func main() {
 		chaosSeed = flag.Int64("chaos-seed", 1, "seed of the -chaos fault plan")
 		chaosPol  = flag.String("chaos-policy", "redistribute", "crash-recovery policy of the -mttr-out runs: 'redistribute', 'failover' or 'besteffort'")
 		mttrOut   = flag.String("mttr-out", "", "crash one locale mid-algorithm (BFS, SSSP, PageRank) under -chaos-seed and -chaos-policy and write the MTTR/recovery-bytes report as JSON to this file")
+		mutate    = flag.Float64("mutate-rate", 0.02, "fraction of stored elements mutated per epoch in the -stream-out benchmark (0 < rate <= 1)")
+		streamOut = flag.String("stream-out", "", "run the streaming ingest/query benchmark (epoch merges + incremental CC + streaming PageRank at -mutate-rate, under -chaos-seed and -chaos-policy) and write the report as JSON to this file")
 		jsonPath  = flag.String("json", "", "also write the figures (modeled points + wall-clock seconds per figure) as JSON to this file")
 		traceOut  = flag.String("trace-out", "", "write the trace spans of the whole run as JSON to this file")
 		traceWant = flag.String("trace-expect", "", "comma-separated op names that must each report at least one span; any missing op fails the run (CI smoke check)")
@@ -255,6 +257,39 @@ func main() {
 					r.Algorithm, r.MTTRNS, r.Recovery.MovedBytes, r.Accuracy)
 			}
 			fmt.Fprintf(os.Stderr, "gbbench: wrote %s (%d runs)\n", *mttrOut, len(rep.Runs))
+		}
+	}
+	if *streamOut != "" {
+		pol, err := fault.ParseRecoveryPolicy(*chaosPol)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gbbench: -chaos-policy: %v\n", err)
+			os.Exit(2)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "gbbench: streaming benchmark (seed=%d rate=%g policy=%s)...\n",
+				*chaosSeed, *mutate, pol)
+		}
+		rep, err := bench.MeasureStreaming(*chaosSeed, *mutate, pol)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gbbench: -stream-out: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*streamOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gbbench: creating %s: %v\n", *streamOut, err)
+			os.Exit(1)
+		}
+		if err := bench.WriteStreamJSON(f, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "gbbench: writing %s: %v\n", *streamOut, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "gbbench: closing %s: %v\n", *streamOut, err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "gbbench: wrote %s (%d epochs, warm/cold rounds %d/%d)\n",
+				*streamOut, len(rep.Epochs), rep.WarmRounds, rep.ColdRounds)
 		}
 	}
 	if *allocOut != "" {

@@ -78,6 +78,9 @@ type Context struct {
 	// replicate makes matrices created on this context carry a
 	// chained-declustering replica of every block (see WithReplication).
 	replicate bool
+	// epoch configures the streaming matrices created on this context (see
+	// WithEpochPolicy).
+	epoch EpochPolicy
 }
 
 // clone returns a context sharing this one's grid and data layout but with

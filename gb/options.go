@@ -45,6 +45,7 @@ type options struct {
 	tracer    *Trace
 	replicate bool
 	recovery  *RecoveryPolicy
+	epoch     *EpochPolicy
 }
 
 // Locales sets the locale count (default 1, one locale per node).
@@ -173,6 +174,9 @@ func New(opts ...Option) (*Context, error) {
 		rt.Recovery = *o.recovery
 	}
 	ctx.replicate = o.replicate
+	if o.epoch != nil {
+		ctx.epoch = *o.epoch
+	}
 	if o.tracer != nil {
 		rt.SetTracer(o.tracer)
 	}

@@ -127,6 +127,14 @@ func SSSPDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], source int)
 // combined with all-reduces.
 func PageRankDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], d, tol float64, maxIter int) ([]float64, int, error) {
 	defer rt.Span("PageRankDist").End()
+	return prDistInit(rt, a, d, tol, maxIter, nil)
+}
+
+// prDistInit is PageRankDist with an optional warm-start rank vector: the
+// power iteration converges to the same fixpoint from any probability
+// distribution, so the streaming path seeds it with the previous epoch's
+// ranks and typically saves iterations.
+func prDistInit[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], d, tol float64, maxIter int, init []float64) ([]float64, int, error) {
 	if a.NRows != a.NCols {
 		return nil, 0, fmt.Errorf("algorithms: PageRankDist: matrix must be square")
 	}
@@ -160,8 +168,12 @@ func PageRankDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], d, tol 
 	sr := semiring.PlusTimes[float64]()
 
 	r := make([]float64, n)
-	for i := range r {
-		r[i] = 1 / float64(n)
+	if len(init) == n {
+		copy(r, init)
+	} else {
+		for i := range r {
+			r[i] = 1 / float64(n)
+		}
 	}
 	ckptR := append([]float64(nil), r...)
 	ckptIter, ckptIters := 0, 0
@@ -256,8 +268,19 @@ func PageRankDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], d, tol 
 // matrix with distributed min-first SpMV rounds.
 func CCDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T]) ([]int64, int, error) {
 	defer rt.Span("CCDist").End()
+	labels, comps, _, err := ccDistInit(rt, a, nil)
+	return labels, comps, err
+}
+
+// ccDistInit is CCDist with an optional warm-start label vector, returning
+// the round count alongside the labels. Min-label propagation is a monotone
+// fixpoint: any labeling where labels[i] names a vertex reachable from i
+// converges to the true component minima, so the streaming path seeds it with
+// the previous epoch's labels — valid whenever the epochs in between only
+// added edges (reachability never shrank).
+func ccDistInit[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], init []int64) ([]int64, int, int, error) {
 	if a.NRows != a.NCols {
-		return nil, 0, fmt.Errorf("algorithms: CCDist: matrix must be square")
+		return nil, 0, 0, fmt.Errorf("algorithms: CCDist: matrix must be square")
 	}
 	n := a.NRows
 	// Structural int64 copy.
@@ -273,7 +296,7 @@ func CCDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T]) ([]int64, int
 	}
 	pcsr, err := pat.ToCSR(semiring.Second[int64])
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	pm := dist.MatFromCSR(rt, pcsr)
 	if a.Replicated() {
@@ -283,8 +306,12 @@ func CCDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T]) ([]int64, int
 	inf := sr.AddIdentity()
 
 	labels := make([]int64, n)
-	for i := range labels {
-		labels[i] = int64(i)
+	if len(init) == n {
+		copy(labels, init)
+	} else {
+		for i := range labels {
+			labels[i] = int64(i)
+		}
 	}
 	ckptL := append([]int64(nil), labels...)
 	ckptRounds := 0
@@ -320,7 +347,7 @@ func CCDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T]) ([]int64, int
 		prop, err := core.SpMVDist(rt, pm, ld, sr)
 		if err != nil {
 			if err = restore(err); err != nil {
-				return nil, 0, err
+				return nil, 0, 0, err
 			}
 			continue
 		}
@@ -335,7 +362,7 @@ func CCDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T]) ([]int64, int
 		changed, err := comm.AllReduce(rt, changedParts, semiring.MaxMonoid[int64]())
 		if err != nil {
 			if err = restore(err); err != nil {
-				return nil, 0, err
+				return nil, 0, 0, err
 			}
 			continue
 		}
@@ -343,11 +370,12 @@ func CCDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T]) ([]int64, int
 			break
 		}
 	}
-	components := 0
-	for i, l := range labels {
-		if l == int64(i) {
-			components++
-		}
+	// A warm start can land on labels that are component-consistent but not
+	// the component minima (the minimum vertex never propagates to itself);
+	// components are counted over the distinct labels instead.
+	seen := make(map[int64]struct{}, 16)
+	for _, l := range labels {
+		seen[l] = struct{}{}
 	}
-	return labels, components, nil
+	return labels, len(seen), rounds, nil
 }

@@ -1,0 +1,361 @@
+package algorithms
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/fault"
+	"repro/internal/locale"
+	"repro/internal/machine"
+	"repro/internal/sparse"
+)
+
+// Epoch chaos suite: the streaming-mutation acceptance criteria. Under a
+// seeded fault plan that crashes a locale mid-merge, readers pinned to a
+// committed epoch must see results bitwise-identical to a fault-free run at
+// that epoch, the committed epoch pointer must never expose a partially
+// merged block, and PolicyBestEffort must report the stale epoch it served.
+
+const epochChaosN = 90
+
+// epochBatch returns the deterministic mutation batch applied before epoch
+// commit k under the given seed: a mix of inserts, overwrites and deletes.
+func epochBatch(seed int64, k int) (rows, cols []int, vals []float64, dels []bool) {
+	s := uint64(seed)*0x9E3779B97F4A7C15 + uint64(k)
+	next := func(m int) int {
+		s = s*6364136223846793005 + 1442695040888963407
+		return int((s >> 33) % uint64(m))
+	}
+	for t := 0; t < 35; t++ {
+		rows = append(rows, next(epochChaosN))
+		cols = append(cols, next(epochChaosN))
+		vals = append(vals, float64(next(500))+0.5)
+		dels = append(dels, next(10) < 2)
+	}
+	return
+}
+
+func applyEpochBatch(t *testing.T, em *dist.EpochMat[float64], seed int64, k int) {
+	t.Helper()
+	rows, cols, vals, dels := epochBatch(seed, k)
+	for i := range rows {
+		var err error
+		if dels[i] {
+			err = em.Delete(rows[i], cols[i])
+		} else {
+			err = em.Update(rows[i], cols[i], vals[i])
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// epochReference runs the mutation stream fault-free and returns the gathered
+// CSR at every committed epoch 1..epochs.
+func epochReference(t *testing.T, p int, seed int64, epochs int) []*sparse.CSR[float64] {
+	t.Helper()
+	rt := newRT(t, p)
+	a := sparse.ErdosRenyi[float64](epochChaosN, 4, 31)
+	em := dist.NewEpochMat(dist.MatFromCSR(rt, a))
+	out := make([]*sparse.CSR[float64], epochs)
+	for k := 1; k <= epochs; k++ {
+		applyEpochBatch(t, em, seed, k)
+		ep, err := em.Flush(rt)
+		if err != nil {
+			t.Fatalf("fault-free flush %d: %v", k, err)
+		}
+		if ep != uint64(k) {
+			t.Fatalf("fault-free epoch = %d, want %d", ep, k)
+		}
+		csr, err := em.Committed().ToCSR()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[k-1] = csr
+	}
+	return out
+}
+
+// mergeCrashPlan plants a crash of locale 2 inside the merge toward epoch 3,
+// on top of the standard probabilistic chaos for the seed.
+func mergeCrashPlan(seed int64) fault.Plan {
+	p := fault.StandardChaos(seed)
+	p.MergeCrashLocale = 2
+	p.MergeCrashEpoch = 3
+	return p
+}
+
+func TestEpochChaosMatrix(t *testing.T) {
+	const p, epochs = 6, 4
+	policies := []fault.RecoveryPolicy{
+		fault.PolicyRedistribute, fault.PolicyFailover, fault.PolicyBestEffort,
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		ref := epochReference(t, p, seed, epochs)
+		for _, pol := range policies {
+			rt := newRT(t, p).WithFault(mergeCrashPlan(seed))
+			rt.Recovery = pol
+			a := sparse.ErdosRenyi[float64](epochChaosN, 4, 31)
+			m := dist.MatFromCSR(rt, a)
+			if pol == fault.PolicyFailover {
+				dist.ReplicateMat(rt, m)
+			}
+			em := dist.NewEpochMat(m)
+
+			sawStale := false
+			committed := 0 // committed epochs on the chaotic runtime
+			merged := 0    // batches contained in the committed epoch
+			for k := 1; k <= epochs; k++ {
+				// Pin the pre-flush snapshot: whatever happens during the
+				// flush, this reader's view must stay bitwise-identical to
+				// the fault-free run at the same epoch.
+				pinned, pinnedEpoch := em.Snapshot()
+				pinnedBefore := gatherEpoch(t, pinned)
+
+				applyEpochBatch(t, em, seed, k)
+				ep, stale, err := core.FlushEpoch(rt, em)
+				if err != nil {
+					t.Fatalf("seed %d %v: flush %d: %v", seed, pol, k, err)
+				}
+				if stale {
+					sawStale = true
+					if pol != fault.PolicyBestEffort {
+						t.Fatalf("seed %d %v: exact policy served stale", seed, pol)
+					}
+					if ep != uint64(committed) {
+						t.Fatalf("seed %d besteffort: served epoch %d, want committed %d",
+							seed, ep, committed)
+					}
+				} else {
+					committed++
+					merged = k // a commit merges every batch absorbed so far
+					if ep != em.Epoch() {
+						t.Fatalf("seed %d %v: FlushEpoch returned %d, committed is %d",
+							seed, pol, ep, em.Epoch())
+					}
+				}
+				// The committed epoch pointer must never expose a torn merge:
+				// its content always equals the fault-free run containing
+				// exactly the batches merged so far (a stale serve keeps the
+				// aborted batch pending, leaving the previous epoch visible).
+				if merged > 0 {
+					got := gatherEpoch(t, em.Committed())
+					if !got.Equal(ref[merged-1]) {
+						t.Fatalf("seed %d %v: committed content after flush %d differs from fault-free",
+							seed, pol, k)
+					}
+				}
+				// The pinned pre-flush snapshot is untouched by the flush.
+				if pinnedAfter := gatherEpoch(t, pinned); !pinnedAfter.Equal(pinnedBefore) {
+					t.Fatalf("seed %d %v: snapshot pinned at epoch %d changed under flush %d",
+						seed, pol, pinnedEpoch, k)
+				}
+			}
+
+			// The planned mid-merge crash must actually have fired, and its
+			// recovery must carry the epoch accounting.
+			if crashes := rt.Fault.Stats().Crashes; crashes != 1 {
+				t.Fatalf("seed %d %v: %d crashes fired, want 1", seed, pol, crashes)
+			}
+			if len(rt.Recoveries) != 1 {
+				t.Fatalf("seed %d %v: %d recoveries, want 1", seed, pol, len(rt.Recoveries))
+			}
+			rec := rt.Recoveries[0]
+			if rec.AbortedEpoch != 3 {
+				t.Fatalf("seed %d %v: aborted epoch %d, want 3", seed, pol, rec.AbortedEpoch)
+			}
+			if rec.ServedEpoch != 2 {
+				t.Fatalf("seed %d %v: served epoch %d, want 2", seed, pol, rec.ServedEpoch)
+			}
+			switch pol {
+			case fault.PolicyBestEffort:
+				if !sawStale {
+					t.Fatalf("seed %d besteffort: stale serve never reported", seed)
+				}
+				if rec.Policy != fault.PolicyBestEffort {
+					t.Fatalf("seed %d besteffort: recovery ran %v", seed, rec.Policy)
+				}
+				// Freshness was traded, not data: everything is retained and
+				// the catch-up flush merged every pending batch.
+				if rec.RetainedNNZ != rec.TotalNNZ || rec.Accuracy() != 1 {
+					t.Fatalf("seed %d besteffort: retained %d/%d", seed, rec.RetainedNNZ, rec.TotalNNZ)
+				}
+				if em.Epoch() != epochs-1 {
+					t.Fatalf("seed %d besteffort: final epoch %d, want %d", seed, em.Epoch(), epochs-1)
+				}
+			default:
+				if sawStale {
+					t.Fatalf("seed %d %v: exact policy reported stale", seed, pol)
+				}
+				if rec.Policy != pol {
+					t.Fatalf("seed %d %v: recovery ran %v", seed, pol, rec.Policy)
+				}
+				if em.Epoch() != epochs {
+					t.Fatalf("seed %d %v: final epoch %d, want %d", seed, pol, em.Epoch(), epochs)
+				}
+			}
+			// Final content equals the fault-free run with every batch merged.
+			got := gatherEpoch(t, em.Committed())
+			if !got.Equal(ref[epochs-1]) {
+				t.Fatalf("seed %d %v: final content differs from fault-free", seed, pol)
+			}
+		}
+	}
+}
+
+// gatherEpoch gathers a snapshot into a global CSR.
+func gatherEpoch(t *testing.T, m *dist.Mat[float64]) *sparse.CSR[float64] {
+	t.Helper()
+	csr, err := m.ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return csr
+}
+
+// TestEpochDoubleDegradeDuringMerge covers satellite coverage for prime
+// grids: a merge crash kills locale 1 inside the epoch-2 commit, and while
+// the repaired merge is being replayed a SECOND locale dies — a step-counter
+// crash tuned, via a probe run of the same plan without it, to land inside
+// the replayed merge's transfer window. Both losses must produce recovery
+// records with the epoch accounting, the adoption chain must keep every
+// logical locale on a surviving host, and the final content must match a
+// fault-free run bit for bit.
+func TestEpochDoubleDegradeDuringMerge(t *testing.T) {
+	for _, p := range []int{3, 7, 13} {
+		for _, pol := range []fault.RecoveryPolicy{fault.PolicyRedistribute, fault.PolicyFailover} {
+			const seed, epochs = 5, 3
+			mergeLost, stepLost := 1%p, 2%p
+			ref := epochReference(t, p, seed, epochs)
+
+			build := func(plan fault.Plan) (*locale.Runtime, *dist.EpochMat[float64]) {
+				rt := newRT(t, p).WithFault(plan)
+				rt.Recovery = pol
+				a := sparse.ErdosRenyi[float64](epochChaosN, 4, 31)
+				m := dist.MatFromCSR(rt, a)
+				if pol == fault.PolicyFailover {
+					dist.ReplicateMat(rt, m)
+				}
+				return rt, dist.NewEpochMat(m)
+			}
+			base := fault.Plan{
+				Seed:             seed,
+				CrashLocale:      -1,
+				MergeCrashLocale: mergeLost,
+				MergeCrashEpoch:  2,
+			}
+
+			// Probe: run the merge-crash-only plan to find the step counter at
+			// the end of the epoch-2 flush. Its replayed merge occupies the
+			// tail of that window, so a crash step just before the end lands
+			// while the repaired merge is in flight.
+			probe, emProbe := build(base)
+			for k := 1; k <= 2; k++ {
+				applyEpochBatch(t, emProbe, seed, k)
+				if _, _, err := core.FlushEpoch(probe, emProbe); err != nil {
+					t.Fatalf("p=%d %v: probe flush %d: %v", p, pol, k, err)
+				}
+			}
+			sAfter := probe.Fault.Step()
+			if len(probe.Recoveries) != 1 {
+				t.Fatalf("p=%d %v: probe saw %d recoveries, want 1", p, pol, len(probe.Recoveries))
+			}
+
+			plan := base
+			plan.CrashLocale = stepLost
+			plan.CrashStep = sAfter - 2
+			rt, em := build(plan)
+			for k := 1; k <= epochs; k++ {
+				applyEpochBatch(t, em, seed, k)
+				if _, stale, err := core.FlushEpoch(rt, em); err != nil || stale {
+					t.Fatalf("p=%d %v: flush %d: stale=%v err=%v", p, pol, k, stale, err)
+				}
+			}
+			if crashes := rt.Fault.Stats().Crashes; crashes != 2 {
+				t.Fatalf("p=%d %v: %d crashes fired, want 2", p, pol, crashes)
+			}
+			if len(rt.Recoveries) != 2 {
+				t.Fatalf("p=%d %v: %d recoveries, want 2", p, pol, len(rt.Recoveries))
+			}
+			if rt.Recoveries[0].Lost != mergeLost || rt.Recoveries[1].Lost != stepLost {
+				t.Fatalf("p=%d %v: lost locales %d,%d, want %d,%d", p, pol,
+					rt.Recoveries[0].Lost, rt.Recoveries[1].Lost, mergeLost, stepLost)
+			}
+			for i, rec := range rt.Recoveries {
+				if rec.AbortedEpoch != 2 || rec.ServedEpoch != 1 {
+					t.Fatalf("p=%d %v: recovery %d epochs served/aborted = %d/%d, want 1/2",
+						p, pol, i, rec.ServedEpoch, rec.AbortedEpoch)
+				}
+			}
+			// Adoption chain: locale 1's work moved to locale 2, and when
+			// locale 2 died both must have followed on to its successor.
+			wantHost := (stepLost + 1) % p
+			if h1, h2 := rt.G.HostOf(mergeLost), rt.G.HostOf(stepLost); h1 != wantHost || h2 != wantHost {
+				t.Fatalf("p=%d %v: hosts of lost locales = %d,%d, want both %d", p, pol, h1, h2, wantHost)
+			}
+			if em.Epoch() != epochs {
+				t.Fatalf("p=%d %v: final epoch %d, want %d", p, pol, em.Epoch(), epochs)
+			}
+			got := gatherEpoch(t, em.Committed())
+			if !got.Equal(ref[epochs-1]) {
+				t.Fatalf("p=%d %v: final content differs from fault-free", p, pol)
+			}
+		}
+	}
+}
+
+// TestEpochReplicaRefreshGrids checks per-epoch replica refresh on prime and
+// oversubscribed grids, and that a failover long after replication still
+// promotes the replica at its latest committed epoch.
+func TestEpochReplicaRefreshGrids(t *testing.T) {
+	build := func(p int, oversub bool) (*locale.Runtime, error) {
+		if oversub {
+			g, err := locale.NewGridOnOneNode(p)
+			if err != nil {
+				return nil, err
+			}
+			return locale.NewWithGrid(machine.Edison(), g, 24), nil
+		}
+		return locale.New(machine.Edison(), p, 24)
+	}
+	for _, tc := range []struct {
+		p       int
+		oversub bool
+	}{{3, false}, {7, false}, {13, false}, {7, true}} {
+		rt, err := build(tc.p, tc.oversub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt.WithFault(fault.Plan{Seed: 9, CrashLocale: -1, MergeCrashLocale: 1 % tc.p, MergeCrashEpoch: 4})
+		rt.Recovery = fault.PolicyFailover
+		a := sparse.ErdosRenyi[float64](epochChaosN, 4, 31)
+		m := dist.MatFromCSR(rt, a)
+		dist.ReplicateMat(rt, m)
+		em := dist.NewEpochMat(m)
+
+		for k := 1; k <= 5; k++ {
+			applyEpochBatch(t, em, 9, k)
+			if _, stale, err := core.FlushEpoch(rt, em); err != nil || stale {
+				t.Fatalf("p=%d oversub=%v: flush %d: stale=%v err=%v", tc.p, tc.oversub, k, stale, err)
+			}
+			cur := em.Committed()
+			if !cur.Replicated() {
+				t.Fatalf("p=%d oversub=%v: replication lost at epoch %d", tc.p, tc.oversub, k)
+			}
+			for l := 0; l < rt.G.P; l++ {
+				if !cur.Replicas[l].Equal(cur.Blocks[l]) {
+					t.Fatalf("p=%d oversub=%v epoch %d: replica of block %d stale",
+						tc.p, tc.oversub, k, l)
+				}
+			}
+		}
+		if len(rt.Recoveries) != 1 || rt.Recoveries[0].Policy != fault.PolicyFailover {
+			t.Fatalf("p=%d oversub=%v: recoveries = %+v, want one failover", tc.p, tc.oversub, rt.Recoveries)
+		}
+		if em.Epoch() != 5 {
+			t.Fatalf("p=%d oversub=%v: final epoch %d, want 5", tc.p, tc.oversub, em.Epoch())
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package algorithms
+
+import (
+	"repro/internal/dist"
+	"repro/internal/locale"
+	"repro/internal/semiring"
+)
+
+// The streaming variants run the iterative algorithms over the committed
+// epochs of a dist.EpochMat: each call pins the committed snapshot (one
+// atomic load — never blocked by concurrent ingest, never a torn merge) and
+// warm-starts from the previous epoch's result where the mathematics allows:
+//
+//   - connected components: min-label propagation is a monotone fixpoint, so
+//     the previous labels are a valid starting point whenever the epoch
+//     interval only inserted edges (detected via the cumulative tombstone
+//     counter); a delete forces a cold start.
+//   - PageRank: the power iteration converges to the same fixpoint from any
+//     starting distribution, so the previous ranks always carry over.
+
+// CCState carries incremental connected-components state across epochs.
+type CCState struct {
+	// Epoch is the committed epoch the labels were computed at.
+	Epoch uint64
+	// Labels assigns every vertex the label of its component (all vertices of
+	// one component share a label; a cold start yields the component minima).
+	Labels []int64
+	// Components is the number of connected components.
+	Components int
+	// Rounds is how many propagation rounds the last refresh took.
+	Rounds int
+	// deletes pins the cumulative tombstone count at Epoch, so the next
+	// refresh can tell whether the interval was insert-only.
+	deletes uint64
+}
+
+// IncrementalCC refreshes connected components at em's committed epoch.
+// With a prev state from an earlier epoch it warm-starts from the previous
+// labels when every epoch in between was insert-only (label propagation then
+// only has to flood the new edges — typically far fewer rounds than a cold
+// start) and falls back to a cold start when edges were deleted. A prev
+// already at the committed epoch is returned unchanged.
+func IncrementalCC[T semiring.Number](rt *locale.Runtime, em *dist.EpochMat[T], prev *CCState) (*CCState, error) {
+	defer rt.Span("IncrementalCC").End()
+	mat, epoch := em.Snapshot()
+	dels := em.CommittedDeletes()
+	if prev != nil && prev.Epoch == epoch && prev.deletes == dels && len(prev.Labels) == mat.NRows {
+		return prev, nil
+	}
+	var init []int64
+	if prev != nil && len(prev.Labels) == mat.NRows && prev.deletes == dels {
+		init = prev.Labels
+	}
+	labels, comps, rounds, err := ccDistInit(rt, mat, init)
+	if err != nil {
+		return nil, err
+	}
+	return &CCState{Epoch: epoch, Labels: labels, Components: comps, Rounds: rounds, deletes: dels}, nil
+}
+
+// PageRankState carries streaming PageRank state across epochs.
+type PageRankState struct {
+	// Epoch is the committed epoch the ranks were computed at.
+	Epoch uint64
+	// Ranks is the PageRank vector at Epoch.
+	Ranks []float64
+	// Iters is how many power iterations the last refresh took.
+	Iters int
+}
+
+// StreamingPageRank refreshes PageRank at em's committed epoch, warm-started
+// from the previous epoch's ranks (valid under both inserts and deletes; the
+// closer the graphs, the fewer iterations to re-converge). A prev already at
+// the committed epoch is returned unchanged.
+func StreamingPageRank[T semiring.Number](rt *locale.Runtime, em *dist.EpochMat[T], d, tol float64, maxIter int, prev *PageRankState) (*PageRankState, error) {
+	defer rt.Span("StreamingPageRank").End()
+	mat, epoch := em.Snapshot()
+	if prev != nil && prev.Epoch == epoch && len(prev.Ranks) == mat.NRows {
+		return prev, nil
+	}
+	var init []float64
+	if prev != nil && len(prev.Ranks) == mat.NRows {
+		init = prev.Ranks
+	}
+	ranks, iters, err := prDistInit(rt, mat, d, tol, maxIter, init)
+	if err != nil {
+		return nil, err
+	}
+	return &PageRankState{Epoch: epoch, Ranks: ranks, Iters: iters}, nil
+}

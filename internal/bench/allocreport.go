@@ -127,6 +127,44 @@ func MeasureAllocs() (AllocReport, error) {
 		core.Apply2(rtDist, dx, op)
 	})
 
+	// Streaming ingest: absorbing mutations appends into retained delta
+	// buffers, and a steady-state epoch merge runs entirely on recycled
+	// states, recycled block buffers and pooled scratch.
+	em := dist.NewEpochMat(dist.MatFromCSR(rtDist, sparse.ErdosRenyi[int64](2000, 8, 6)))
+	mutate := func() error {
+		for k := 0; k < 64; k++ {
+			i, j := (k*7)%2000, (k*13+3)%2000
+			if k%8 == 0 {
+				if err := em.Delete(i, j); err != nil {
+					return err
+				}
+			} else if err := em.Update(i, j, int64(k)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := mutate(); err != nil {
+		return rep, err
+	}
+	em.DiscardPending()
+	add("epoch_absorb", func() {
+		_ = mutate()
+		em.DiscardPending()
+	})
+	for i := 0; i < 2*dist.DefaultHistoryDepth+1; i++ {
+		if err := mutate(); err != nil {
+			return rep, err
+		}
+		if _, err := em.Flush(rtDist); err != nil {
+			return rep, err
+		}
+	}
+	add("delta_merge", func() {
+		_ = mutate()
+		_, _ = em.Flush(rtDist)
+	})
+
 	return rep, nil
 }
 

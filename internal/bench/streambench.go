@@ -1,0 +1,159 @@
+package bench
+
+// Streaming benchmarking: the mixed ingest/query report behind
+// `gbbench -stream-out`. A mutation stream is absorbed and committed in
+// epochs over a distributed matrix while incremental connected components
+// and streaming PageRank refresh at every commit; the report records the
+// modeled cost of each epoch's merge and queries and how much work the
+// warm starts saved against cold recomputation. Composes with -chaos (the
+// probabilistic plan perturbs the modeled clock, never the results).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/fault"
+	"repro/internal/sparse"
+)
+
+// StreamEpoch is one committed epoch of the streaming benchmark.
+type StreamEpoch struct {
+	// Epoch is the committed epoch readers saw after the flush (under
+	// BestEffort a crashed merge reports the stale epoch it kept serving).
+	Epoch uint64 `json:"epoch"`
+	// Stale marks a flush that served the previous epoch instead of
+	// committing (BestEffort under a mid-merge loss).
+	Stale bool `json:"stale,omitempty"`
+	// Mutations is how many mutations the flush merged (pending count).
+	Mutations int `json:"mutations"`
+	// NNZ is the stored-element count at the committed epoch.
+	NNZ int `json:"nnz"`
+	// MergeSeconds is the modeled time of routing and merging the deltas.
+	MergeSeconds float64 `json:"merge_seconds"`
+	// CCRounds / CCRoundsCold compare the incremental connected-components
+	// refresh (warm-started from the previous epoch) with a from-scratch run
+	// at the same epoch.
+	CCRounds     int `json:"cc_rounds"`
+	CCRoundsCold int `json:"cc_rounds_cold"`
+	// PRIters / PRItersCold do the same for streaming PageRank.
+	PRIters     int `json:"pr_iters"`
+	PRItersCold int `json:"pr_iters_cold"`
+}
+
+// StreamReport is the -stream-out JSON document.
+type StreamReport struct {
+	Seed       int64   `json:"seed"`
+	Policy     string  `json:"policy"`
+	MutateRate float64 `json:"mutate_rate"`
+	// Epochs records every flush in order.
+	Epochs []StreamEpoch `json:"epochs"`
+	// TotalSeconds is the full modeled time of the run (ingest + queries).
+	TotalSeconds float64 `json:"total_seconds"`
+	// WarmRounds / ColdRounds total the per-epoch CC and PageRank work, so
+	// the report's headline is a single warm-vs-cold ratio.
+	WarmRounds int `json:"warm_rounds"`
+	ColdRounds int `json:"cold_rounds"`
+}
+
+// streamN / streamEpochs size the benchmark workload.
+const (
+	streamN      = 600
+	streamDeg    = 6
+	streamEpochs = 8
+)
+
+// MeasureStreaming drives mutateRate*nnz mutations per epoch through a
+// 6-locale streaming matrix for a fixed number of epochs, refreshing
+// incremental CC and streaming PageRank at every commit. Composes with
+// EnableChaos and the recovery policy the same way the figures do.
+func MeasureStreaming(seed int64, mutateRate float64, pol fault.RecoveryPolicy) (StreamReport, error) {
+	rep := StreamReport{Seed: seed, Policy: pol.String(), MutateRate: mutateRate}
+	if mutateRate <= 0 || mutateRate > 1 {
+		return rep, fmt.Errorf("bench: -mutate-rate %g outside (0, 1]", mutateRate)
+	}
+	rt, err := newRT(6, 24)
+	if err != nil {
+		return rep, err
+	}
+	rt.Recovery = pol
+	a := sparse.ErdosRenyi[float64](streamN, streamDeg, seed)
+	m := dist.MatFromCSR(rt, a)
+	if pol == fault.PolicyFailover {
+		dist.ReplicateMat(rt, m)
+	}
+	em := dist.NewEpochMat(m)
+
+	var cc *algorithms.CCState
+	var pr *algorithms.PageRankState
+	rng := uint64(seed)*0x9E3779B97F4A7C15 + 1
+	next := func(mod int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int((rng >> 33) % uint64(mod))
+	}
+	for e := 0; e < streamEpochs; e++ {
+		muts := int(mutateRate * float64(em.Committed().NNZ()))
+		if muts < 1 {
+			muts = 1
+		}
+		for k := 0; k < muts; k++ {
+			i, j := next(streamN), next(streamN)
+			// Mostly inserts; an occasional delete exercises the tombstone
+			// path (and the incremental CC cold-start fallback).
+			if next(16) == 0 {
+				if err := em.Delete(i, j); err != nil {
+					return rep, err
+				}
+			} else if err := em.Update(i, j, float64(next(100))+1); err != nil {
+				return rep, err
+			}
+		}
+		pending := em.Pending()
+		before := rt.S.ElapsedSeconds()
+		epoch, stale, err := core.FlushEpoch(rt, em)
+		if err != nil {
+			return rep, fmt.Errorf("bench: streaming flush %d: %w", e+1, err)
+		}
+		ep := StreamEpoch{
+			Epoch:        epoch,
+			Stale:        stale,
+			Mutations:    pending,
+			NNZ:          em.Committed().NNZ(),
+			MergeSeconds: rt.S.ElapsedSeconds() - before,
+		}
+
+		if cc, err = algorithms.IncrementalCC(rt, em, cc); err != nil {
+			return rep, fmt.Errorf("bench: incremental CC at epoch %d: %w", epoch, err)
+		}
+		cold, err := algorithms.IncrementalCC(rt, em, nil)
+		if err != nil {
+			return rep, err
+		}
+		ep.CCRounds, ep.CCRoundsCold = cc.Rounds, cold.Rounds
+
+		if pr, err = algorithms.StreamingPageRank(rt, em, 0.85, 1e-8, 200, pr); err != nil {
+			return rep, fmt.Errorf("bench: streaming PageRank at epoch %d: %w", epoch, err)
+		}
+		coldPR, err := algorithms.StreamingPageRank(rt, em, 0.85, 1e-8, 200, nil)
+		if err != nil {
+			return rep, err
+		}
+		ep.PRIters, ep.PRItersCold = pr.Iters, coldPR.Iters
+
+		rep.WarmRounds += ep.CCRounds + ep.PRIters
+		rep.ColdRounds += ep.CCRoundsCold + ep.PRItersCold
+		rep.Epochs = append(rep.Epochs, ep)
+	}
+	rep.TotalSeconds = rt.S.ElapsedSeconds()
+	return rep, nil
+}
+
+// WriteStreamJSON writes the report as indented JSON.
+func WriteStreamJSON(w io.Writer, rep StreamReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/dist"
+	"repro/internal/fault"
+	"repro/internal/locale"
+	"repro/internal/semiring"
+	"repro/internal/trace"
+)
+
+// FlushEpoch drives one epoch commit through the runtime's recovery policy.
+// A clean merge commits and returns the new epoch. When a locale is lost
+// mid-merge the committed pointer is untouched (dist.EpochMat.Flush aborted
+// before publishing), and the policy decides what happens next:
+//
+//   - the exact policies (Redistribute, Failover) repair the committed
+//     snapshot with core.Recover — failover promotes the replica at its
+//     epoch — and replay the merge against the repaired blocks. The replay
+//     is deterministic, so the committed result is bitwise-identical to a
+//     fault-free flush; only the modeled clock shows the failure.
+//   - PolicyBestEffort degrades onto the survivors and keeps serving the
+//     previous committed epoch: stale is returned true, the pending
+//     mutations stay absorbed for a later flush, and the Recovery record
+//     reports the served and aborted epochs with every nonzero retained
+//     (freshness is traded instead of data).
+//
+// A loss that keeps recurring (more locales dying during replays) is
+// re-recovered up to the surviving-locale budget before propagating.
+func FlushEpoch[T semiring.Number](rt *locale.Runtime, em *dist.EpochMat[T]) (epoch uint64, stale bool, err error) {
+	for attempt := 0; ; attempt++ {
+		ep, ferr := em.Flush(rt)
+		if ferr == nil {
+			return ep, false, nil
+		}
+		var ll *fault.LocaleLostError
+		if !errors.As(ferr, &ll) || rt.G.P < 2 || attempt >= rt.G.P-1 {
+			return ep, false, ferr
+		}
+		if rt.Recovery == fault.PolicyBestEffort {
+			if rerr := serveStaleEpoch(rt, em, ll.Locale, ep); rerr != nil {
+				return ep, false, rerr
+			}
+			return ep, true, nil
+		}
+		m, _, rerr := Recover(rt, em.Committed(), ll.Locale)
+		if rerr != nil {
+			return ep, false, rerr
+		}
+		em.ReplaceCommitted(m)
+		if n := len(rt.Recoveries); n > 0 {
+			rt.Recoveries[n-1].ServedEpoch = ep
+			rt.Recoveries[n-1].AbortedEpoch = ep + 1
+		}
+	}
+}
+
+// serveStaleEpoch is the best-effort answer to a merge interrupted by the
+// loss of locale lost: degrade onto the survivors, keep the committed epoch
+// served (readers see consistent, slightly stale data) and the deltas
+// pending, and log a Recovery whose ServedEpoch/AbortedEpoch carry the
+// staleness. Unlike RecoverBestEffort on a static matrix, no block is
+// dropped — the committed snapshot is complete — so RetainedNNZ == TotalNNZ.
+func serveStaleEpoch[T semiring.Number](rt *locale.Runtime, em *dist.EpochMat[T], lost int, served uint64) error {
+	defer rt.Span("Recover", trace.T("policy", fault.PolicyBestEffort.String())).End()
+	startNS, startBytes, detectNS := beginRecovery(rt, lost)
+	host, err := rt.Degrade(lost, rt.RetryPolicy().TimeoutNS)
+	if err != nil {
+		return err
+	}
+	rt.S.Barrier()
+	total := em.Committed().NNZ()
+	rt.NoteRecovery(fault.Recovery{
+		Policy:       fault.PolicyBestEffort,
+		Lost:         lost,
+		Host:         host,
+		MovedBytes:   rt.S.Traffic().Bytes - startBytes,
+		DetectNS:     detectNS,
+		RepairNS:     rt.S.Elapsed() - startNS,
+		RetainedNNZ:  total,
+		TotalNNZ:     total,
+		ServedEpoch:  served,
+		AbortedEpoch: served + 1,
+	})
+	return nil
+}

@@ -1,0 +1,615 @@
+// Streaming mutations: per-block COO deltas merged into the CSR blocks under
+// epoch-based snapshot isolation.
+//
+// An EpochMat wraps a block-distributed Mat with a mutation pipeline modeled
+// on Combinatorial BLAS 2.0's batched-update pattern: writers absorb edge
+// inserts/deletes into a per-block coordinate delta (an append, zero-alloc in
+// steady state), and Flush merges every dirty delta into a fresh copy of its
+// CSR block, then publishes the new epoch with a single atomic pointer store.
+// Readers pin a snapshot by loading that pointer: they never block on ingest,
+// and because a commit is one store of a fully-built state, they can never
+// observe a torn merge — a crash mid-merge simply leaves the previous epoch
+// published and the deltas pending.
+//
+// Copy-on-write: a merged epoch shares the CSR buffers of every clean block
+// with its predecessor; only dirty blocks get new storage. Retired epochs are
+// recycled once they fall out of the bounded history window, so steady-state
+// flushing reuses block storage instead of allocating.
+//
+// Aliasing rules (the streaming analogue of DESIGN.md §10): a snapshot
+// obtained from Snapshot or Committed stays immutable for as long as its
+// epoch is within the HistoryDepth most recent commits. A reader that holds a
+// snapshot across more commits than that must Clone what it needs; the
+// recycler will reuse the evicted epoch's private block buffers.
+package dist
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fault"
+	"repro/internal/locale"
+	"repro/internal/semiring"
+	"repro/internal/sim"
+	"repro/internal/sparse"
+	"repro/internal/trace"
+)
+
+// DeltaElemBytes is the modeled wire size of one routed mutation: two packed
+// indices plus the value, matching the 16-byte replica element with an extra
+// coordinate (mutations carry both row and column explicitly).
+const DeltaElemBytes = 24
+
+// DefaultHistoryDepth is how many committed epochs stay immutable before
+// their private block buffers are recycled.
+const DefaultHistoryDepth = 2
+
+// Merge cost model, per merged element (an element read from the old block,
+// plus every delta entry scanned and written): comparable to the apply-family
+// streaming constants in internal/core.
+const (
+	deltaMergeCPU   = 12.0
+	deltaMergeBytes = 32.0
+)
+
+// blockDelta buffers the pending mutations of one block in arrival order,
+// with block-local coordinates. dels marks tombstones (deletes).
+type blockDelta[T semiring.Number] struct {
+	rows, cols []int
+	vals       []T
+	dels       []bool
+}
+
+func (d *blockDelta[T]) reset() {
+	d.rows = d.rows[:0]
+	d.cols = d.cols[:0]
+	d.vals = d.vals[:0]
+	d.dels = d.dels[:0]
+}
+
+// deltaSorter sorts a permutation of delta entries by encoded (row, col) key,
+// breaking ties by arrival order so a linear scan of the sorted permutation
+// sees duplicates oldest-to-newest (last wins).
+type deltaSorter struct {
+	keys, perm []int
+}
+
+func (s *deltaSorter) Len() int { return len(s.perm) }
+func (s *deltaSorter) Less(a, b int) bool {
+	ka, kb := s.keys[s.perm[a]], s.keys[s.perm[b]]
+	if ka != kb {
+		return ka < kb
+	}
+	return s.perm[a] < s.perm[b]
+}
+func (s *deltaSorter) Swap(a, b int) { s.perm[a], s.perm[b] = s.perm[b], s.perm[a] }
+
+// epochState is one committed snapshot: the epoch counter, the matrix at that
+// epoch, and the cumulative tombstone count (so incremental algorithms can
+// tell whether an epoch interval was insert-only). foreign marks states whose
+// mat was supplied from outside (the initial matrix, a recovery rebuild);
+// their buffers are never recycled.
+type epochState[T semiring.Number] struct {
+	epoch   uint64
+	mat     *Mat[T]
+	deletes uint64
+	foreign bool
+}
+
+// EpochMat is a block-distributed sparse matrix with streaming mutations and
+// epoch-based snapshot isolation. Readers call Snapshot (lock-free, one
+// atomic load); writers call Update/Delete to absorb mutations and Flush to
+// merge and commit the next epoch. A single writer at a time is assumed for
+// Flush; Update/Delete/Snapshot are safe to call concurrently with each
+// other.
+type EpochMat[T semiring.Number] struct {
+	committed atomic.Pointer[epochState[T]]
+
+	mu             sync.Mutex
+	deltas         []blockDelta[T]
+	pending        int
+	pendingDeletes uint64
+
+	histDepth  int
+	history    []*epochState[T]
+	freeCSR    []*sparse.CSR[T]
+	freeMats   []*Mat[T]
+	freeStates []*epochState[T]
+	srt        deltaSorter
+}
+
+// NewEpochMat wraps m (the epoch-0 snapshot) for streaming mutation. The
+// matrix must not be mutated by the caller afterwards; its buffers are shared
+// with every epoch until the blocks they hold are rewritten.
+func NewEpochMat[T semiring.Number](m *Mat[T]) *EpochMat[T] {
+	em := &EpochMat[T]{
+		deltas:    make([]blockDelta[T], m.G.P),
+		histDepth: DefaultHistoryDepth,
+	}
+	st := &epochState[T]{mat: m, foreign: true}
+	em.committed.Store(st)
+	em.history = append(em.history, st)
+	return em
+}
+
+// SetHistoryDepth sets how many committed epochs stay immutable before their
+// private buffers are recycled (minimum 1: the committed epoch itself).
+func (em *EpochMat[T]) SetHistoryDepth(d int) {
+	if d < 1 {
+		d = 1
+	}
+	em.mu.Lock()
+	em.histDepth = d
+	em.mu.Unlock()
+}
+
+// HistoryDepth returns the configured immutable-epoch window.
+func (em *EpochMat[T]) HistoryDepth() int {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	return em.histDepth
+}
+
+// Epoch returns the committed epoch (0 before the first Flush).
+func (em *EpochMat[T]) Epoch() uint64 { return em.committed.Load().epoch }
+
+// Committed returns the matrix at the committed epoch. See the package
+// comment for how long the snapshot stays immutable.
+func (em *EpochMat[T]) Committed() *Mat[T] { return em.committed.Load().mat }
+
+// Snapshot atomically returns the committed matrix and its epoch.
+func (em *EpochMat[T]) Snapshot() (*Mat[T], uint64) {
+	st := em.committed.Load()
+	return st.mat, st.epoch
+}
+
+// CommittedDeletes returns the cumulative number of tombstones merged up to
+// the committed epoch; two equal values bracket an insert-only interval.
+func (em *EpochMat[T]) CommittedDeletes() uint64 { return em.committed.Load().deletes }
+
+// Pending returns the number of absorbed, not-yet-merged mutations.
+func (em *EpochMat[T]) Pending() int {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	return em.pending
+}
+
+// Update absorbs one edge insert/overwrite at global coordinates (i, j).
+// Duplicate coordinates within an epoch resolve last-wins at merge time.
+func (em *EpochMat[T]) Update(i, j int, v T) error { return em.absorb(i, j, v, false) }
+
+// Delete absorbs one edge delete (a tombstone). Deleting an absent entry is
+// a no-op at merge time.
+func (em *EpochMat[T]) Delete(i, j int) error {
+	var zero T
+	return em.absorb(i, j, zero, true)
+}
+
+// UpdateBatch absorbs a batch of inserts given as parallel triplet slices.
+func (em *EpochMat[T]) UpdateBatch(rows, cols []int, vals []T) error {
+	if len(rows) != len(cols) || len(rows) != len(vals) {
+		return fmt.Errorf("dist: epoch: batch length mismatch %d/%d/%d",
+			len(rows), len(cols), len(vals))
+	}
+	for k := range rows {
+		if err := em.Update(rows[k], cols[k], vals[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DiscardPending drops every absorbed, not-yet-merged mutation, retaining
+// the delta buffers for reuse.
+func (em *EpochMat[T]) DiscardPending() {
+	em.mu.Lock()
+	for l := range em.deltas {
+		em.deltas[l].reset()
+	}
+	em.pending = 0
+	em.pendingDeletes = 0
+	em.mu.Unlock()
+}
+
+func (em *EpochMat[T]) absorb(i, j int, v T, del bool) error {
+	m := em.committed.Load().mat
+	if i < 0 || i >= m.NRows {
+		return fmt.Errorf("dist: epoch: row %d out of range [0,%d)", i, m.NRows)
+	}
+	if j < 0 || j >= m.NCols {
+		return fmt.Errorf("dist: epoch: col %d out of range [0,%d)", j, m.NCols)
+	}
+	r := locale.OwnerOf(m.NRows, m.G.Pr, i)
+	c := locale.OwnerOf(m.NCols, m.G.Pc, j)
+	l := m.G.ID(r, c)
+	em.mu.Lock()
+	d := &em.deltas[l]
+	d.rows = append(d.rows, i-m.RowBands[r])
+	d.cols = append(d.cols, j-m.ColBands[c])
+	d.vals = append(d.vals, v)
+	d.dels = append(d.dels, del)
+	em.pending++
+	if del {
+		em.pendingDeletes++
+	}
+	em.mu.Unlock()
+	return nil
+}
+
+// Flush merges every dirty block delta into a copy-on-write successor of the
+// committed matrix and publishes it as the next epoch. The merge runs as a
+// coforall over the dirty blocks — each owner is charged the routed batch and
+// the merge kernel — with the block rows count/fill split across the worker
+// pool. On a locale loss (a planned mid-merge crash, or a step-counter crash
+// landing during the merge's transfers) the merge aborts wholesale: partial
+// blocks are recycled, the deltas stay pending, the committed pointer is
+// untouched and the loss is returned for the caller's recovery policy
+// (core.FlushEpoch). With nothing pending, Flush returns the committed epoch
+// unchanged.
+func (em *EpochMat[T]) Flush(rt *locale.Runtime) (uint64, error) {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	cur := em.committed.Load()
+	if em.pending == 0 {
+		return cur.epoch, nil
+	}
+	target := cur.epoch + 1
+	var sp *trace.Span
+	if rt.Tr != nil {
+		sp = rt.Tr.Begin("EpochMerge", trace.T("epoch", strconv.FormatUint(target, 10)))
+	}
+	defer sp.End()
+
+	next := em.takeState(cur)
+	var mergeErr error
+	rt.S.CoforallSpawn()
+	for l := 0; l < rt.G.P; l++ {
+		d := &em.deltas[l]
+		if len(d.rows) == 0 {
+			continue
+		}
+		if err := rt.Fault.MergeAttempt(int64(target), l); err != nil {
+			mergeErr = err
+			break
+		}
+		// Route the batched mutations to the owning locale, then merge.
+		rt.S.Bulk(l, int64(len(d.rows))*DeltaElemBytes, rt.G.SameNode(0, l))
+		if rt.Fault.Down(l) {
+			mergeErr = fault.Lost(l)
+			break
+		}
+		old := cur.mat.Blocks[l]
+		next.mat.Blocks[l] = em.mergeBlock(rt, old, d)
+		rt.S.Compute(l, rt.Threads, sim.Kernel{
+			Name:         "DeltaMerge",
+			Items:        int64(old.NNZ() + 2*len(d.rows)),
+			CPUPerItem:   deltaMergeCPU,
+			BytesPerItem: deltaMergeBytes,
+		})
+	}
+	if mergeErr == nil && cur.mat.Replicated() {
+		// Per-epoch replica refresh, dirty blocks only: clean blocks share
+		// their predecessor's replica the same way they share the primary.
+		for l := 0; l < rt.G.P; l++ {
+			if len(em.deltas[l].rows) != 0 {
+				RefreshReplica(rt, next.mat, l)
+			}
+		}
+	}
+	if mergeErr == nil {
+		// A participant lost after its own block merged — or during the
+		// replica refresh — still aborts the commit: an epoch only publishes
+		// when every locale reached the barrier with its replica current,
+		// else a later failover could promote a stale replica.
+		if l := rt.Fault.AnyDown(); l >= 0 {
+			mergeErr = fault.Lost(l)
+		}
+	}
+	if mergeErr != nil {
+		em.abortMerge(cur, next)
+		return cur.epoch, mergeErr
+	}
+	rt.S.Barrier()
+
+	// Publish: one atomic store, so readers see epoch N or epoch N+1 wholly.
+	em.committed.Store(next)
+	em.retire(next)
+	for l := 0; l < rt.G.P; l++ {
+		em.deltas[l].reset()
+		rt.Health.NoteEpoch(l, target)
+	}
+	em.pending = 0
+	em.pendingDeletes = 0
+	if rt.Tr != nil {
+		rt.Tr.Event("EpochCommit", trace.T("epoch", strconv.FormatUint(target, 10)))
+	}
+	return target, nil
+}
+
+// ReplaceCommitted swaps the matrix at the committed epoch for a repaired
+// equal-content copy (the recovery path after an aborted merge: redistribute
+// rebuilds the blocks, failover promotes replicas in place). The epoch does
+// not advance; pending deltas are untouched and replay against the repaired
+// snapshot. The replaced state's buffers are not recycled — the repaired
+// matrix may alias them.
+func (em *EpochMat[T]) ReplaceCommitted(m *Mat[T]) {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	cur := em.committed.Load()
+	if cur.mat == m {
+		return
+	}
+	st := &epochState[T]{epoch: cur.epoch, mat: m, deletes: cur.deletes, foreign: true}
+	em.committed.Store(st)
+	em.history[len(em.history)-1] = st
+}
+
+// takeState builds the copy-on-write successor of cur: a state one epoch
+// ahead whose block (and replica) pointer slices start as copies of cur's.
+// Both the state and the Mat come from the recycler when possible.
+func (em *EpochMat[T]) takeState(cur *epochState[T]) *epochState[T] {
+	var st *epochState[T]
+	if n := len(em.freeStates); n > 0 {
+		st, em.freeStates = em.freeStates[n-1], em.freeStates[:n-1]
+	} else {
+		st = &epochState[T]{}
+	}
+	var m *Mat[T]
+	if n := len(em.freeMats); n > 0 {
+		m, em.freeMats = em.freeMats[n-1], em.freeMats[:n-1]
+	} else {
+		m = &Mat[T]{}
+	}
+	src := cur.mat
+	m.G, m.NRows, m.NCols = src.G, src.NRows, src.NCols
+	m.RowBands, m.ColBands = src.RowBands, src.ColBands
+	m.Blocks = append(m.Blocks[:0], src.Blocks...)
+	if src.Replicated() {
+		m.Replicas = append(m.Replicas[:0], src.Replicas...)
+	} else {
+		m.Replicas = nil
+	}
+	st.epoch = cur.epoch + 1
+	st.mat = m
+	st.deletes = cur.deletes + em.pendingDeletes
+	st.foreign = false
+	return st
+}
+
+// abortMerge unwinds a failed merge: every block the aborted state rewrote
+// is recycled, the state and its Mat go back to the recycler, and the deltas
+// stay pending for the post-recovery replay.
+func (em *EpochMat[T]) abortMerge(cur, next *epochState[T]) {
+	for l, b := range next.mat.Blocks {
+		if b != cur.mat.Blocks[l] {
+			em.freeCSR = append(em.freeCSR, b)
+		}
+	}
+	if next.mat.Replicated() {
+		for l, rep := range next.mat.Replicas {
+			if rep != cur.mat.Replicas[l] {
+				em.freeCSR = append(em.freeCSR, rep)
+			}
+		}
+	}
+	em.putState(next)
+}
+
+// retire appends the committed state to the history window and recycles the
+// epochs that fall out of it.
+func (em *EpochMat[T]) retire(st *epochState[T]) {
+	em.history = append(em.history, st)
+	for len(em.history) > em.histDepth {
+		old := em.history[0]
+		copy(em.history, em.history[1:])
+		em.history = em.history[:len(em.history)-1]
+		em.recycle(old)
+	}
+}
+
+// recycle reclaims an evicted epoch's private buffers: a block (or replica)
+// buffer goes to the free list only if no retained epoch still shares it.
+// Foreign states (caller-supplied matrices) are dropped without reclaiming.
+func (em *EpochMat[T]) recycle(old *epochState[T]) {
+	if old.foreign {
+		return
+	}
+	for l, b := range old.mat.Blocks {
+		live := false
+		for _, st := range em.history {
+			if st.mat.Blocks[l] == b {
+				live = true
+				break
+			}
+		}
+		if !live {
+			em.freeCSR = append(em.freeCSR, b)
+		}
+	}
+	if old.mat.Replicated() {
+		for l, rep := range old.mat.Replicas {
+			live := false
+			for _, st := range em.history {
+				if st.mat.Replicated() && st.mat.Replicas[l] == rep {
+					live = true
+					break
+				}
+			}
+			if !live {
+				em.freeCSR = append(em.freeCSR, rep)
+			}
+		}
+	}
+	em.putState(old)
+}
+
+func (em *EpochMat[T]) putState(st *epochState[T]) {
+	m := st.mat
+	m.Blocks = m.Blocks[:0]
+	m.Replicas = m.Replicas[:0]
+	m.G = nil
+	st.mat = nil
+	em.freeMats = append(em.freeMats, m)
+	em.freeStates = append(em.freeStates, st)
+}
+
+// getCSR checks a block buffer out of the recycler (or allocates one) shaped
+// nrows×ncols with empty ColIdx/Val.
+func (em *EpochMat[T]) getCSR(nrows, ncols int) *sparse.CSR[T] {
+	var c *sparse.CSR[T]
+	if n := len(em.freeCSR); n > 0 {
+		c, em.freeCSR = em.freeCSR[n-1], em.freeCSR[:n-1]
+	} else {
+		c = &sparse.CSR[T]{}
+	}
+	c.NRows, c.NCols = nrows, ncols
+	if cap(c.RowPtr) >= nrows+1 {
+		c.RowPtr = c.RowPtr[:nrows+1]
+	} else {
+		c.RowPtr = make([]int, nrows+1)
+	}
+	c.ColIdx = c.ColIdx[:0]
+	c.Val = c.Val[:0]
+	return c
+}
+
+// mergeBlock merges one block's delta into a fresh CSR: sort the delta by
+// (row, col) with arrival order breaking ties, then a two-pointer union of
+// each CSR row with its delta run — an insert not in the base row is added,
+// a matching coordinate is overwritten (or removed, for a tombstone), and
+// base-only entries are copied through. Count and fill passes both split the
+// rows across the worker pool; all transient scratch comes from the runtime's
+// ScratchPool and the output buffer from the block recycler, so steady-state
+// merging allocates nothing.
+func (em *EpochMat[T]) mergeBlock(rt *locale.Runtime, b *sparse.CSR[T], d *blockDelta[T]) *sparse.CSR[T] {
+	nd := len(d.rows)
+	scratch := rt.Scratch
+	keys := scratch.GetInts(nd)
+	perm := scratch.GetInts(nd)
+	for k := 0; k < nd; k++ {
+		keys[k] = d.rows[k]*b.NCols + d.cols[k]
+		perm[k] = k
+	}
+	em.srt.keys, em.srt.perm = keys, perm
+	sort.Sort(&em.srt)
+	em.srt.keys, em.srt.perm = nil, nil
+
+	// Group the sorted permutation by row: rowPtrD[i] is the index in perm of
+	// row i's first delta entry.
+	rowPtrD := scratch.GetInts(b.NRows + 1)
+	for i := range rowPtrD {
+		rowPtrD[i] = 0
+	}
+	for k := 0; k < nd; k++ {
+		rowPtrD[d.rows[k]+1]++
+	}
+	for i := 0; i < b.NRows; i++ {
+		rowPtrD[i+1] += rowPtrD[i]
+	}
+
+	out := em.getCSR(b.NRows, b.NCols)
+	counts := scratch.GetInts(b.NRows)
+	if rt.RealWorkers <= 1 {
+		for i := 0; i < b.NRows; i++ {
+			counts[i] = mergeRowCount(b, i, keys, perm, rowPtrD, d.dels)
+		}
+	} else {
+		rt.ParFor(b.NRows, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				counts[i] = mergeRowCount(b, i, keys, perm, rowPtrD, d.dels)
+			}
+		})
+	}
+	out.RowPtr[0] = 0
+	for i := 0; i < b.NRows; i++ {
+		out.RowPtr[i+1] = out.RowPtr[i] + counts[i]
+	}
+	total := out.RowPtr[b.NRows]
+	if cap(out.ColIdx) >= total {
+		out.ColIdx = out.ColIdx[:total]
+	} else {
+		out.ColIdx = make([]int, total)
+	}
+	if cap(out.Val) >= total {
+		out.Val = out.Val[:total]
+	} else {
+		out.Val = make([]T, total)
+	}
+	if rt.RealWorkers <= 1 {
+		for i := 0; i < b.NRows; i++ {
+			mergeRowFill(b, i, keys, perm, rowPtrD, d, out, out.RowPtr[i])
+		}
+	} else {
+		rt.ParFor(b.NRows, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				mergeRowFill(b, i, keys, perm, rowPtrD, d, out, out.RowPtr[i])
+			}
+		})
+	}
+	scratch.PutInts(counts)
+	scratch.PutInts(rowPtrD)
+	scratch.PutInts(perm)
+	scratch.PutInts(keys)
+	return out
+}
+
+// mergeRowCount returns the merged size of row i: the two-pointer union of
+// the base row with the row's deduplicated (last-wins) delta run, tombstones
+// removing matched entries.
+func mergeRowCount[T semiring.Number](b *sparse.CSR[T], i int, keys, perm, rowPtrD []int, dels []bool) int {
+	cols, _ := b.Row(i)
+	kb, n := 0, 0
+	hi := rowPtrD[i+1]
+	for k := rowPtrD[i]; k < hi; k++ {
+		for k+1 < hi && keys[perm[k+1]] == keys[perm[k]] {
+			k++ // duplicate coordinate: the newest entry wins
+		}
+		p := perm[k]
+		col := keys[p] - i*b.NCols
+		for kb < len(cols) && cols[kb] < col {
+			kb++
+			n++
+		}
+		if kb < len(cols) && cols[kb] == col {
+			kb++
+		}
+		if !dels[p] {
+			n++
+		}
+	}
+	return n + len(cols) - kb
+}
+
+// mergeRowFill writes row i of the merged block at offset off; the structure
+// mirrors mergeRowCount exactly.
+func mergeRowFill[T semiring.Number](b *sparse.CSR[T], i int, keys, perm, rowPtrD []int, d *blockDelta[T], out *sparse.CSR[T], off int) {
+	cols, vals := b.Row(i)
+	kb := 0
+	hi := rowPtrD[i+1]
+	for k := rowPtrD[i]; k < hi; k++ {
+		for k+1 < hi && keys[perm[k+1]] == keys[perm[k]] {
+			k++
+		}
+		p := perm[k]
+		col := keys[p] - i*b.NCols
+		for kb < len(cols) && cols[kb] < col {
+			out.ColIdx[off], out.Val[off] = cols[kb], vals[kb]
+			off++
+			kb++
+		}
+		if kb < len(cols) && cols[kb] == col {
+			kb++
+		}
+		if !d.dels[p] {
+			out.ColIdx[off], out.Val[off] = col, d.vals[p]
+			off++
+		}
+	}
+	for ; kb < len(cols); kb++ {
+		out.ColIdx[off], out.Val[off] = cols[kb], vals[kb]
+		off++
+	}
+}

@@ -1,0 +1,293 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// oracleKey identifies one matrix coordinate in the from-scratch oracle.
+type oracleKey struct{ i, j int }
+
+// oracleCSR rebuilds the expected matrix from a coordinate map.
+func oracleCSR(t *testing.T, n int, m map[oracleKey]float64) *sparse.CSR[float64] {
+	t.Helper()
+	coo := sparse.NewCOO[float64](n, n)
+	for k, v := range m {
+		coo.Append(k.i, k.j, v)
+	}
+	csr, err := coo.ToCSR(func(a, b float64) float64 { return b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return csr
+}
+
+// oracleFromCSR seeds the oracle map with a matrix's entries.
+func oracleFromCSR(a *sparse.CSR[float64]) map[oracleKey]float64 {
+	m := make(map[oracleKey]float64)
+	for i := 0; i < a.NRows; i++ {
+		cols, vals := a.Row(i)
+		for k, j := range cols {
+			m[oracleKey{i, j}] = vals[k]
+		}
+	}
+	return m
+}
+
+func checkCommitted(t *testing.T, em *EpochMat[float64], oracle map[oracleKey]float64, n int) {
+	t.Helper()
+	mat := em.Committed()
+	if err := mat.Validate(); err != nil {
+		t.Fatalf("committed matrix invalid: %v", err)
+	}
+	got, err := mat.ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := oracleCSR(t, n, oracle); !got.Equal(want) {
+		t.Fatalf("committed matrix differs from oracle: got nnz=%d want nnz=%d", got.NNZ(), want.NNZ())
+	}
+}
+
+func TestEpochMatMergeAgainstOracle(t *testing.T) {
+	const n = 61
+	for _, p := range []int{1, 3, 4, 6} {
+		a := sparse.ErdosRenyi[float64](n, 5, 17)
+		rt := newRT(t, p)
+		em := NewEpochMat(MatFromCSR(rt, a))
+		oracle := oracleFromCSR(a)
+
+		if em.Epoch() != 0 {
+			t.Fatalf("p=%d: fresh epoch = %d, want 0", p, em.Epoch())
+		}
+		// Epoch 1: inserts, overwrites, deletes (present and absent),
+		// duplicate coordinates resolving last-wins.
+		type op struct {
+			i, j int
+			v    float64
+			del  bool
+		}
+		ops := []op{
+			{2, 3, 1.5, false}, {2, 3, 2.5, false}, // duplicate: last wins
+			{0, 0, 9, false},
+			{n - 1, n - 1, 4, false},
+			{5, 7, 1, false}, {5, 7, 0, true}, // insert then delete: gone
+			{8, 2, 0, true}, {8, 2, 3, false}, // delete then insert: present
+			{40, 40, 0, true},                 // delete (maybe absent): no-op either way
+		}
+		for _, o := range ops {
+			var err error
+			if o.del {
+				err = em.Delete(o.i, o.j)
+				delete(oracle, oracleKey{o.i, o.j})
+			} else {
+				err = em.Update(o.i, o.j, o.v)
+				oracle[oracleKey{o.i, o.j}] = o.v
+			}
+			if err != nil {
+				t.Fatalf("p=%d: absorb: %v", p, err)
+			}
+		}
+		// Delete every entry of one existing row to exercise row emptying.
+		cols, _ := a.Row(10)
+		for _, j := range cols {
+			if err := em.Delete(10, j); err != nil {
+				t.Fatal(err)
+			}
+			delete(oracle, oracleKey{10, j})
+		}
+		if em.Pending() == 0 {
+			t.Fatalf("p=%d: pending = 0 after absorbs", p)
+		}
+		ep, err := em.Flush(rt)
+		if err != nil {
+			t.Fatalf("p=%d: flush: %v", p, err)
+		}
+		if ep != 1 || em.Epoch() != 1 {
+			t.Fatalf("p=%d: epoch = %d/%d, want 1", p, ep, em.Epoch())
+		}
+		if em.Pending() != 0 {
+			t.Fatalf("p=%d: pending = %d after flush", p, em.Pending())
+		}
+		checkCommitted(t, em, oracle, n)
+	}
+}
+
+func TestEpochMatManyEpochsRecycling(t *testing.T) {
+	const n = 53
+	a := sparse.ErdosRenyi[float64](n, 4, 5)
+	rt := newRT(t, 6)
+	em := NewEpochMat(MatFromCSR(rt, a))
+	oracle := oracleFromCSR(a)
+
+	// A deterministic mutation stream over many epochs: with HistoryDepth 2,
+	// epochs beyond the window recycle their buffers; every committed epoch
+	// must still match the from-scratch oracle.
+	seed := uint64(12345)
+	next := func(m uint64) int {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return int((seed >> 33) % m)
+	}
+	for round := 0; round < 12; round++ {
+		for k := 0; k < 40; k++ {
+			i, j := next(n), next(n)
+			if next(10) < 3 {
+				if err := em.Delete(i, j); err != nil {
+					t.Fatal(err)
+				}
+				delete(oracle, oracleKey{i, j})
+			} else {
+				v := float64(next(1000)) + 0.5
+				if err := em.Update(i, j, v); err != nil {
+					t.Fatal(err)
+				}
+				oracle[oracleKey{i, j}] = v
+			}
+		}
+		ep, err := em.Flush(rt)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if want := uint64(round + 1); ep != want {
+			t.Fatalf("round %d: epoch = %d, want %d", round, ep, want)
+		}
+		checkCommitted(t, em, oracle, n)
+	}
+	if em.CommittedDeletes() == 0 {
+		t.Fatal("cumulative delete counter never advanced")
+	}
+}
+
+func TestEpochMatSnapshotIsolation(t *testing.T) {
+	const n = 31
+	a := sparse.ErdosRenyi[float64](n, 4, 7)
+	rt := newRT(t, 4)
+	em := NewEpochMat(MatFromCSR(rt, a))
+
+	snap, ep := em.Snapshot()
+	if ep != 0 {
+		t.Fatalf("snapshot epoch = %d, want 0", ep)
+	}
+	before, err := snap.ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One commit later (within the default history window of 2) the pinned
+	// snapshot must be untouched, bit for bit.
+	for k := 0; k < 20; k++ {
+		if err := em.Update(k%n, (3*k)%n, float64(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := em.Flush(rt); err != nil {
+		t.Fatal(err)
+	}
+	after, err := snap.ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Equal(before) {
+		t.Fatal("pinned snapshot changed under a later commit")
+	}
+	if cur, ep2 := em.Snapshot(); ep2 != 1 || cur == snap {
+		t.Fatalf("committed snapshot did not advance (epoch %d)", ep2)
+	}
+}
+
+func TestEpochMatValidatesCoordinates(t *testing.T) {
+	a := sparse.ErdosRenyi[float64](20, 3, 1)
+	rt := newRT(t, 4)
+	em := NewEpochMat(MatFromCSR(rt, a))
+	for _, bad := range [][2]int{{-1, 0}, {20, 0}, {0, -1}, {0, 20}} {
+		if err := em.Update(bad[0], bad[1], 1); err == nil {
+			t.Fatalf("Update(%d,%d) accepted out-of-range coordinates", bad[0], bad[1])
+		}
+		if err := em.Delete(bad[0], bad[1]); err == nil {
+			t.Fatalf("Delete(%d,%d) accepted out-of-range coordinates", bad[0], bad[1])
+		}
+	}
+	if err := em.UpdateBatch([]int{1, 2}, []int{3}, []float64{1, 2}); err == nil {
+		t.Fatal("UpdateBatch accepted mismatched slice lengths")
+	}
+	if em.Pending() != 0 {
+		t.Fatalf("rejected mutations were absorbed: pending = %d", em.Pending())
+	}
+}
+
+func TestEpochMatEmptyFlushAndDiscard(t *testing.T) {
+	a := sparse.ErdosRenyi[float64](20, 3, 2)
+	rt := newRT(t, 4)
+	em := NewEpochMat(MatFromCSR(rt, a))
+	ep, err := em.Flush(rt)
+	if err != nil || ep != 0 {
+		t.Fatalf("empty flush = (%d, %v), want (0, nil)", ep, err)
+	}
+	if err := em.Update(1, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	em.DiscardPending()
+	if em.Pending() != 0 {
+		t.Fatal("DiscardPending left mutations pending")
+	}
+	ep, err = em.Flush(rt)
+	if err != nil || ep != 0 {
+		t.Fatalf("flush after discard = (%d, %v), want (0, nil)", ep, err)
+	}
+	if _, ok := em.Committed().Get(1, 1); ok {
+		t.Fatal("discarded mutation reached the committed matrix")
+	}
+}
+
+func TestEpochMatReplicaRefreshPerEpoch(t *testing.T) {
+	const n = 47
+	a := sparse.ErdosRenyi[float64](n, 4, 9)
+	rt := newRT(t, 6)
+	m := MatFromCSR(rt, a)
+	ReplicateMat(rt, m)
+	em := NewEpochMat(m)
+
+	for round := 0; round < 4; round++ {
+		for k := 0; k < 25; k++ {
+			if err := em.Update((k+round)%n, (5*k+round)%n, float64(round*100+k)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := em.Flush(rt); err != nil {
+			t.Fatal(err)
+		}
+		cur := em.Committed()
+		if !cur.Replicated() {
+			t.Fatalf("round %d: replication lost across the epoch commit", round)
+		}
+		for l := 0; l < rt.G.P; l++ {
+			if !cur.Replicas[l].Equal(cur.Blocks[l]) {
+				t.Fatalf("round %d: replica of block %d stale after commit", round, l)
+			}
+			if cur.Replicas[l] == cur.Blocks[l] {
+				t.Fatalf("round %d: replica of block %d aliases the primary", round, l)
+			}
+		}
+	}
+}
+
+func TestEpochMatFlushChargesModel(t *testing.T) {
+	a := sparse.ErdosRenyi[float64](40, 4, 3)
+	rt := newRT(t, 4)
+	em := NewEpochMat(MatFromCSR(rt, a))
+	for k := 0; k < 30; k++ {
+		if err := em.Update(k%40, (7*k)%40, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t0, b0 := rt.S.Elapsed(), rt.S.Traffic().Bytes
+	if _, err := em.Flush(rt); err != nil {
+		t.Fatal(err)
+	}
+	if rt.S.Elapsed() <= t0 {
+		t.Fatal("flush advanced no modeled time")
+	}
+	if moved := rt.S.Traffic().Bytes - b0; moved < int64(30)*DeltaElemBytes {
+		t.Fatalf("flush moved %d bytes, want at least %d", moved, int64(30)*DeltaElemBytes)
+	}
+}

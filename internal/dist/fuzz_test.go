@@ -1,0 +1,105 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/locale"
+	"repro/internal/machine"
+	"repro/internal/sparse"
+)
+
+// FuzzDeltaMerge drives a random insert/delete stream through an EpochMat —
+// flushed in randomly-sized batches across multiple epochs — and checks the
+// committed matrix against a from-scratch rebuild of the same stream: the
+// epoch merge must be equivalent to replaying every mutation last-wins onto
+// the initial matrix. Replication (when the first byte selects it) must stay
+// refreshed at every commit.
+func FuzzDeltaMerge(f *testing.F) {
+	f.Add([]byte{0x01, 0x10, 0x03, 0x05, 0x11})
+	f.Add([]byte{0x42, 0x00, 0xff, 0xff, 0xff, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07})
+	f.Add([]byte{0x85, 0x22, 0x22, 0x80, 0x01, 0x22, 0x22, 0x80, 0x02})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 1 {
+			return
+		}
+		p := int(data[0]&0x07) + 1
+		replicate := data[0]&0x80 != 0
+		const n = 23
+		data = data[1:]
+
+		rt, err := locale.New(machine.Edison(), p, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := sparse.ErdosRenyi[float64](n, 3, 11)
+		m := MatFromCSR(rt, a)
+		if replicate {
+			ReplicateMat(rt, m)
+		}
+		em := NewEpochMat(m)
+		oracle := oracleFromCSR(a)
+
+		flushes := 0
+		for k := 0; k+4 <= len(data); k += 4 {
+			i := int(data[k]) % n
+			j := int(data[k+1]) % n
+			switch data[k+2] % 5 {
+			case 0: // tombstone
+				if err := em.Delete(i, j); err != nil {
+					t.Fatal(err)
+				}
+				delete(oracle, oracleKey{i, j})
+			default:
+				v := float64(data[k+3]) + 0.25
+				if err := em.Update(i, j, v); err != nil {
+					t.Fatal(err)
+				}
+				oracle[oracleKey{i, j}] = v
+			}
+			if data[k+3]%7 == 0 {
+				if _, err := em.Flush(rt); err != nil {
+					t.Fatal(err)
+				}
+				flushes++
+			}
+		}
+		before := em.Epoch()
+		if _, err := em.Flush(rt); err != nil {
+			t.Fatal(err)
+		}
+		if em.Pending() != 0 {
+			t.Fatalf("pending = %d after final flush", em.Pending())
+		}
+		if em.Epoch() < before {
+			t.Fatalf("epoch went backwards: %d -> %d", before, em.Epoch())
+		}
+
+		cur := em.Committed()
+		if err := cur.Validate(); err != nil {
+			t.Fatalf("committed matrix invalid after %d flushes: %v", flushes, err)
+		}
+		got, err := cur.ToCSR()
+		if err != nil {
+			t.Fatal(err)
+		}
+		coo := sparse.NewCOO[float64](n, n)
+		for key, v := range oracle {
+			coo.Append(key.i, key.j, v)
+		}
+		want, err := coo.ToCSR(func(x, y float64) float64 { return y })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("merged matrix differs from from-scratch rebuild: nnz %d vs %d",
+				got.NNZ(), want.NNZ())
+		}
+		if replicate {
+			for l := 0; l < rt.G.P; l++ {
+				if !cur.Replicas[l].Equal(cur.Blocks[l]) {
+					t.Fatalf("replica of block %d stale after final commit", l)
+				}
+			}
+		}
+	})
+}

@@ -90,11 +90,20 @@ type Plan struct {
 	CrashLocale int
 	// CrashStep is the transfer step at which the crash occurs.
 	CrashStep int64
+	// MergeCrashLocale/MergeCrashEpoch plant a crash inside an epoch merge:
+	// the locale dies the moment it starts merging its delta for the given
+	// committed-epoch target. Enabled only when MergeCrashEpoch > 0 (epochs
+	// commit from 1), so the zero value never fires. Independent of the
+	// step-counter crash: a plan may carry both, modeling a second loss
+	// arriving while an earlier one is being repaired.
+	MergeCrashLocale int
+	MergeCrashEpoch  int64
 }
 
 // Enabled reports whether the plan injects any fault at all.
 func (p Plan) Enabled() bool {
-	return p.DropProb > 0 || p.DelayProb > 0 || p.StallProb > 0 || p.CrashLocale >= 0
+	return p.DropProb > 0 || p.DelayProb > 0 || p.StallProb > 0 || p.CrashLocale >= 0 ||
+		p.MergeCrashEpoch > 0
 }
 
 // StandardChaos is the stock fault plan of the -chaos bench mode: 2% drops,
@@ -153,7 +162,7 @@ type Stats struct {
 	Drops   int64 // collective transfer attempts dropped
 	Delays  int64 // injected delays
 	Stalls  int64 // injected stalls
-	Crashes int64 // locale crashes fired (0 or 1 per plan)
+	Crashes int64 // locale crashes fired (step crash + merge crash, 0–2 per plan)
 }
 
 // Verdict is the outcome of one collective transfer attempt.
@@ -170,12 +179,13 @@ type Verdict struct {
 type Injector struct {
 	plan Plan
 
-	mu        sync.Mutex
-	p         int
-	step      int64
-	down      []bool
-	crashDone bool
-	st        Stats
+	mu             sync.Mutex
+	p              int
+	step           int64
+	down           []bool
+	crashDone      bool
+	mergeCrashDone bool
+	st             Stats
 }
 
 // NewInjector returns an injector dealing plan's faults over p locales.
@@ -282,6 +292,33 @@ func (in *Injector) PerturbTransfer(loc int, bytes int64) float64 {
 	return extra
 }
 
+// MergeAttempt draws the fault outcome of locale l starting to merge its
+// epoch delta toward committed epoch target. A down locale fails immediately
+// with ErrLocaleLost; the planned mid-merge crash (MergeCrashLocale at
+// MergeCrashEpoch) fires here exactly once, marking the locale permanently
+// down and surfacing the loss to the merge so it can abort before the epoch
+// pointer is published. Does not advance the step counter: the crash is keyed
+// to the epoch, not to the transfer sequence, so adding or removing merges
+// never perturbs the probabilistic fault stream.
+func (in *Injector) MergeAttempt(target int64, l int) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if l >= 0 && l < len(in.down) && in.down[l] {
+		return &LocaleLostError{Locale: l}
+	}
+	if !in.mergeCrashDone && in.plan.MergeCrashEpoch > 0 && target == in.plan.MergeCrashEpoch &&
+		l == in.plan.MergeCrashLocale && l >= 0 && l < in.p {
+		in.down[l] = true
+		in.mergeCrashDone = true
+		in.st.Crashes++
+		return &LocaleLostError{Locale: l}
+	}
+	return nil
+}
+
 // Down reports whether locale l is permanently lost.
 func (in *Injector) Down(l int) bool {
 	if in == nil {
@@ -308,9 +345,12 @@ func (in *Injector) AnyDown() int {
 }
 
 // Rebase resizes the injector to the surviving locale count after the
-// runtime was rebuilt around a crash: down flags clear and the planned crash
-// is consumed, while the step sequence and the probabilistic faults carry on
-// over the new grid.
+// runtime was rebuilt around a crash: down flags clear, while the step
+// sequence and the probabilistic faults carry on over the new grid. A crash
+// (step-counter or mid-merge) that already fired stays consumed — its done
+// flag was set at fire time, so it can never re-fire after the rebase. A
+// crash still pending remains armed, so a second loss can arrive while a
+// replayed merge or a later collective is in flight (double degrade).
 func (in *Injector) Rebase(p int) {
 	if in == nil {
 		return
@@ -319,7 +359,6 @@ func (in *Injector) Rebase(p int) {
 	defer in.mu.Unlock()
 	in.p = p
 	in.down = make([]bool, p)
-	in.crashDone = true
 }
 
 // Stats returns a copy of the fault counters.

@@ -106,6 +106,15 @@ type Recovery struct {
 	// TotalNNZ minus the lost block.
 	RetainedNNZ int `json:"retained_nnz"`
 	TotalNNZ    int `json:"total_nnz"`
+	// ServedEpoch / AbortedEpoch describe a loss that interrupted an epoch
+	// merge (zero for static-matrix recoveries): AbortedEpoch is the commit
+	// the crash aborted, ServedEpoch the committed epoch readers kept seeing
+	// through the repair. Under the exact policies the aborted merge is
+	// replayed and ServedEpoch is transient; under PolicyBestEffort the stale
+	// ServedEpoch keeps being served, with the pending mutations retained for
+	// the next flush — freshness is traded instead of data.
+	ServedEpoch  uint64 `json:"served_epoch,omitempty"`
+	AbortedEpoch uint64 `json:"aborted_epoch,omitempty"`
 }
 
 // MTTRNS returns the modeled mean-time-to-recovery of this event:

@@ -148,6 +148,13 @@ func (sp *Span) End() {
 	sp.startLoc = nil
 }
 
+// Event records a zero-duration point event (an epoch commit, a health
+// transition): a span that begins and ends at the same modeled instant, so
+// it carries a timestamp and tags but no duration or traffic. Safe on nil.
+func (t *Tracer) Event(name string, tags ...Tag) {
+	t.Begin(name, tags...).End()
+}
+
 // Roots returns the completed top-level spans in completion order.
 func (t *Tracer) Roots() []*Span {
 	if t == nil {

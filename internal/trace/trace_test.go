@@ -139,3 +139,22 @@ func TestExporters(t *testing.T) {
 		t.Errorf("empty tracer JSON = %s", js.String())
 	}
 }
+
+func TestEventIsZeroDurationSpan(t *testing.T) {
+	s := sim.New(machine.Edison(), 2)
+	tr := New()
+	tr.Bind(s)
+	tr.Event("EpochCommit", T("epoch", "7"))
+	sp := tr.Last("EpochCommit")
+	if sp == nil {
+		t.Fatal("event did not record a span")
+	}
+	if sp.DurNS != 0 || sp.Messages != 0 {
+		t.Errorf("event span dur=%v msgs=%d, want a zero-cost marker", sp.DurNS, sp.Messages)
+	}
+	if len(sp.Tags) != 1 || sp.Tags[0].Key != "epoch" || sp.Tags[0].Value != "7" {
+		t.Errorf("event tags = %+v, want epoch=7", sp.Tags)
+	}
+	var nilTr *Tracer
+	nilTr.Event("anything") // must not panic
+}
