@@ -57,6 +57,7 @@ func main() {
 		list      = flag.Bool("list", false, "list the available figure ids and exit")
 		chaos     = flag.Bool("chaos", false, "run every figure under a deterministic fault plan (message drops, delays, stalls); results are unchanged, modeled times include the recovery cost")
 		chaosSeed = flag.Int64("chaos-seed", 1, "seed of the -chaos fault plan")
+		fuse      = flag.String("fuse", "off", "execution mode of the figure runs: 'off' (eager per-op kernels, paper fidelity) or 'on' (fused nonblocking regions); the ablfuse figure always runs both")
 		chaosPol  = flag.String("chaos-policy", "redistribute", "crash-recovery policy of the -mttr-out runs: 'redistribute', 'failover' or 'besteffort'")
 		mttrOut   = flag.String("mttr-out", "", "crash one locale mid-algorithm (BFS, SSSP, PageRank) under -chaos-seed and -chaos-policy and write the MTTR/recovery-bytes report as JSON to this file")
 		mutate    = flag.Float64("mutate-rate", 0.02, "fraction of stored elements mutated per epoch in the -stream-out benchmark (0 < rate <= 1)")
@@ -101,6 +102,16 @@ func main() {
 
 	if *chaos {
 		bench.EnableChaos(*chaosSeed)
+	}
+
+	switch *fuse {
+	case "on":
+		bench.SetFusion(true)
+	case "off":
+		bench.SetFusion(false)
+	default:
+		fmt.Fprintf(os.Stderr, "gbbench: -fuse must be 'on' or 'off', got %q\n", *fuse)
+		os.Exit(2)
 	}
 
 	var tr *trace.Tracer

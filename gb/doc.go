@@ -42,6 +42,40 @@
 // simulator without charging it: modeled times are bitwise identical with
 // and without a tracer.
 //
+// # Nonblocking execution and deferred handles
+//
+// Contexts run in the GraphBLAS nonblocking mode by default (FusionMode
+// Fused): the deferrable operations — Apply, EWiseMult, Assign, SpMSpV,
+// SpMSpVMasked, SpMV — enqueue on the context instead of executing, and the
+// pending batch materializes when a result can be observed: any vector read
+// (NNZ, Get, Entries, dense Set), Reduce, any algorithm call, any
+// non-deferrable operation, a context derivation, Elapsed/Messages, or an
+// explicit Wait (the GrB_wait equivalent, and the only drain that reports
+// the batch's first error). At materialization, recognized chains run as
+// single fused kernels (apply∘ewisemult, spmspv.masked+assign,
+// spmspv+frontier) that skip intermediates and plan their collectives once.
+// Results are bitwise identical to eager execution. gb.New(gb.Eager) or
+// ctx.WithFusion(gb.Eager) restores one-kernel-per-call execution, and a
+// context carrying a fault plan always executes eagerly so injected faults
+// surface at the faulting call.
+//
+// The invalidation rules for deferred handles:
+//
+//   - A vector returned by a deferred operation is a promise: empty until
+//     the queue drains, filled by the first read of anything on the context
+//     (drains are batch-granular, not per-handle).
+//   - An intermediate consumed by a fused region is never materialized; its
+//     handle reads back empty after the batch has drained. A read that
+//     itself triggers the drain keeps its target live — the planner then
+//     refuses the fusion and materializes it — so a read never returns a
+//     stale or partial value, only a post-drain read of a fused-away
+//     intermediate sees empty. Observe only the results you need; drop
+//     intermediate handles for the fused fast path.
+//   - Operands created on another context force that context's pending ops
+//     first, so cross-context reads never see unmaterialized state.
+//   - Algorithm results and reductions are always materialized values;
+//     deferred handles never escape the vector types.
+//
 // # Deriving contexts and aliasing
 //
 // The chainable With* methods (WithFaultPlan, WithRetryPolicy, WithTracer)

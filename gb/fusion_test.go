@@ -1,0 +1,502 @@
+package gb
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// countSpans walks the trace tree counting spans by name.
+func countSpans(tr *Trace, name string) int {
+	n := 0
+	var walk func(spans []*trace.Span)
+	walk = func(spans []*trace.Span) {
+		for _, sp := range spans {
+			if sp.Name == name {
+				n++
+			}
+			walk(sp.Children)
+		}
+	}
+	walk(tr.Roots())
+	return n
+}
+
+// spanTag returns the value of tag key on the first span with the given name.
+func spanTag(tr *Trace, name, key string) string {
+	var found string
+	var walk func(spans []*trace.Span)
+	walk = func(spans []*trace.Span) {
+		for _, sp := range spans {
+			if sp.Name == name && found == "" {
+				for _, tg := range sp.Tags {
+					if tg.Key == key {
+						found = tg.Value
+					}
+				}
+			}
+			walk(sp.Children)
+		}
+	}
+	walk(tr.Roots())
+	return found
+}
+
+// frontierCtx builds an n-vertex test graph plus BFS-style state on a fresh
+// context in the given mode (tr may be nil).
+func frontierCtx(t *testing.T, mode FusionMode, tr *Trace) (*Context, *Matrix[int64], *Vector[int64], *DenseVector[int64]) {
+	t.Helper()
+	opts := []Option{Locales(4), Threads(8), WithFusion(mode)}
+	if tr != nil {
+		opts = append(opts, Tracer(tr))
+	}
+	ctx, err := New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ErdosRenyi[int64](ctx, 300, 5, 23)
+	frontier, err := VectorFromSlices(ctx, 300, []int{4}, []int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	visited := NewDenseVector[int64](ctx, 300)
+	visited.Set(4, 1)
+	return ctx, a, frontier, visited
+}
+
+// runFrontierRounds runs BFS rounds through the public per-op surface — the
+// exact chain every frontier algorithm issues — and returns the frontier
+// entries after each round.
+func runFrontierRounds(t *testing.T, a *Matrix[int64], frontier *Vector[int64], visited *DenseVector[int64]) [][]int {
+	t.Helper()
+	var rounds [][]int
+	for {
+		y, err := SpMSpV(a, frontier)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := EWiseMult(y, visited, func(_, m int64) bool { return m == 0 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Assign(frontier, f); err != nil {
+			t.Fatal(err)
+		}
+		ind, _ := frontier.Entries() // materialization point
+		if len(ind) == 0 {
+			return rounds
+		}
+		rounds = append(rounds, ind)
+		for _, i := range ind {
+			visited.Set(i, 1)
+		}
+	}
+}
+
+// TestFusedFrontierChainBitwise runs the canonical frontier chain on a Fused
+// and an Eager context: identical entries every round, one spmspv+frontier
+// region per round on the fused side (never the three per-op kernels), and a
+// strictly lower modeled time.
+func TestFusedFrontierChainBitwise(t *testing.T) {
+	trF, trE := trace.New(), trace.New()
+
+	ctxF, aF, frF, visF := frontierCtx(t, Fused, trF)
+	gotRounds := runFrontierRounds(t, aF, frF, visF)
+
+	ctxE, aE, frE, visE := frontierCtx(t, Eager, trE)
+	wantRounds := runFrontierRounds(t, aE, frE, visE)
+
+	if len(gotRounds) != len(wantRounds) {
+		t.Fatalf("fused ran %d rounds, eager %d", len(gotRounds), len(wantRounds))
+	}
+	for r := range wantRounds {
+		if len(gotRounds[r]) != len(wantRounds[r]) {
+			t.Fatalf("round %d: fused frontier %v, eager %v", r, gotRounds[r], wantRounds[r])
+		}
+		for k := range wantRounds[r] {
+			if gotRounds[r][k] != wantRounds[r][k] {
+				t.Fatalf("round %d: fused frontier %v, eager %v", r, gotRounds[r], wantRounds[r])
+			}
+		}
+	}
+
+	wantRegions := len(gotRounds) + 1 // every round materializes once, incl. the empty last
+	if n := countSpans(trF, "FusedSpMSpVFilterAssign"); n != wantRegions {
+		t.Errorf("fused side emitted %d fused-region spans, want %d", n, wantRegions)
+	}
+	if tag := spanTag(trF, "FusedSpMSpVFilterAssign", "recipe"); tag != "spmspv+frontier" {
+		t.Errorf("fused region recipe tag = %q, want %q", tag, "spmspv+frontier")
+	}
+	for _, name := range []string{"SpMSpVDist", "EWiseMultSD", "Assign2"} {
+		if n := countSpans(trF, name); n != 0 {
+			t.Errorf("fused side still emitted %d %s spans", n, name)
+		}
+	}
+	if n := countSpans(trE, "SpMSpVDist"); n == 0 {
+		t.Error("eager side emitted no per-op SpMSpVDist spans")
+	}
+	if fe, ee := ctxF.Elapsed(), ctxE.Elapsed(); fe >= ee {
+		t.Errorf("fused modeled time %.9fs, want < eager %.9fs", fe, ee)
+	}
+}
+
+// TestFusedMaskedAssignRegion checks the spmspv.masked+assign recipe through
+// the public surface, bitwise against eager execution.
+func TestFusedMaskedAssignRegion(t *testing.T) {
+	run := func(mode FusionMode) ([]int, []int64, *Trace) {
+		tr := trace.New()
+		ctx, err := New(Locales(4), Threads(8), mode, Tracer(tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := ErdosRenyi[int64](ctx, 250, 5, 29)
+		x, err := VectorFromSlices(ctx, 250, []int{7, 31}, []int64{1, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mask := NewDenseVector[int64](ctx, 250)
+		for i := 0; i < 250; i += 3 {
+			mask.Set(i, 1)
+		}
+		dst := NewVector[int64](ctx, 250)
+		y, err := SpMSpVMasked(a, x, mask)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Assign(dst, y); err != nil {
+			t.Fatal(err)
+		}
+		ind, val := dst.Entries()
+		return ind, val, tr
+	}
+	gi, gv, trF := run(Fused)
+	wi, wv, _ := run(Eager)
+	if len(gi) != len(wi) {
+		t.Fatalf("fused kept %d entries, eager %d", len(gi), len(wi))
+	}
+	for k := range wi {
+		if gi[k] != wi[k] || gv[k] != wv[k] {
+			t.Fatalf("entry %d: fused (%d,%d), eager (%d,%d)", k, gi[k], gv[k], wi[k], wv[k])
+		}
+	}
+	if n := countSpans(trF, "FusedSpMSpVMaskedAssign"); n != 1 {
+		t.Errorf("fused side emitted %d masked+assign regions, want 1", n)
+	}
+	if tag := spanTag(trF, "FusedSpMSpVMaskedAssign", "recipe"); tag != "spmspv.masked+assign" {
+		t.Errorf("recipe tag = %q, want %q", tag, "spmspv.masked+assign")
+	}
+}
+
+// TestFusedApplyEWiseMultRegion checks the apply∘ewisemult recipe through the
+// public surface: one region, identical output entries and identical applied
+// input (Apply's in-place mutation is preserved by the fused kernel).
+func TestFusedApplyEWiseMultRegion(t *testing.T) {
+	run := func(mode FusionMode) ([]int, []int64, []int, []int64, *Trace) {
+		tr := trace.New()
+		ctx, err := New(Locales(4), Threads(8), mode, Tracer(tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := RandomVector[int64](ctx, 400, 80, 41)
+		m := NewDenseVector[int64](ctx, 400)
+		for i := 0; i < 400; i += 2 {
+			m.Set(i, 1)
+		}
+		Apply(x, func(v int64) int64 { return v*3 + 1 })
+		z, err := EWiseMult(x, m, func(_, mv int64) bool { return mv != 0 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		zi, zv := z.Entries()
+		xi, xv := x.Entries()
+		return zi, zv, xi, xv, tr
+	}
+	gzi, gzv, gxi, gxv, trF := run(Fused)
+	wzi, wzv, wxi, wxv, _ := run(Eager)
+	for k := range wzi {
+		if gzi[k] != wzi[k] || gzv[k] != wzv[k] {
+			t.Fatalf("output entry %d differs: fused (%d,%d), eager (%d,%d)", k, gzi[k], gzv[k], wzi[k], wzv[k])
+		}
+	}
+	for k := range wxi {
+		if gxi[k] != wxi[k] || gxv[k] != wxv[k] {
+			t.Fatalf("applied input entry %d differs: fused (%d,%d), eager (%d,%d)", k, gxi[k], gxv[k], wxi[k], wxv[k])
+		}
+	}
+	if n := countSpans(trF, "FusedApplyEWiseMult"); n != 1 {
+		t.Errorf("fused side emitted %d apply∘ewisemult regions, want 1", n)
+	}
+	if tag := spanTag(trF, "FusedApplyEWiseMult", "recipe"); tag != "apply∘ewisemult" {
+		t.Errorf("recipe tag = %q, want %q", tag, "apply∘ewisemult")
+	}
+}
+
+// TestFusionDefersUntilRead pins the nonblocking contract: deferred ops emit
+// nothing until a materialization point, and Wait drains the queue.
+func TestFusionDefersUntilRead(t *testing.T) {
+	tr := trace.New()
+	ctx, err := New(Locales(2), Threads(4), Tracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ErdosRenyi[int64](ctx, 100, 4, 9)
+	x, err := VectorFromSlices(ctx, 100, []int{1}, []int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SpMSpV(a, x); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Roots()) != 0 {
+		t.Fatalf("deferred SpMSpV already emitted %d spans", len(tr.Roots()))
+	}
+	if err := ctx.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if countSpans(tr, "SpMSpVDist") != 1 {
+		t.Error("Wait did not run the deferred multiply")
+	}
+	// Eager contexts execute at the call.
+	trE := trace.New()
+	ectx, err := New(Locales(2), Threads(4), Eager, Tracer(trE))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ae := ErdosRenyi[int64](ectx, 100, 4, 9)
+	xe, err := VectorFromSlices(ectx, 100, []int{1}, []int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SpMSpV(ae, xe); err != nil {
+		t.Fatal(err)
+	}
+	if countSpans(trE, "SpMSpVDist") != 1 {
+		t.Error("Eager SpMSpV did not execute at the call")
+	}
+}
+
+// TestDeferredHandleInvalidation documents the aliasing rule of DESIGN §13:
+// an intermediate consumed by a fused region is never materialized, so a
+// handle to it reads back empty. Callers that need the intermediate must read
+// it (or Wait) before issuing the consuming ops.
+func TestDeferredHandleInvalidation(t *testing.T) {
+	ctx, a, frontier, visited := frontierCtx(t, Fused, nil)
+	y, err := SpMSpV(a, frontier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := EWiseMult(y, visited, func(_, m int64) bool { return m == 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Assign(frontier, f); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if frontier.NNZ() == 0 {
+		t.Fatal("fused region produced an empty frontier")
+	}
+	if y.NNZ() != 0 || f.NNZ() != 0 {
+		t.Errorf("fused intermediates materialized: y=%d f=%d entries, want 0 (see doc.go invalidation rules)",
+			y.NNZ(), f.NNZ())
+	}
+}
+
+// TestReadTriggeredDrainKeepsIntermediateLive pins the other half of the
+// invalidation contract: when the read of an intermediate is what drains the
+// batch, the planner must see it live, refuse the fusion, and materialize
+// it — a read never returns an empty fused-away vector. The chain's final
+// result is unaffected either way.
+func TestReadTriggeredDrainKeepsIntermediateLive(t *testing.T) {
+	_, a, frontier, visited := frontierCtx(t, Fused, nil)
+	_, aE, frontierE, visitedE := frontierCtx(t, Eager, nil)
+
+	y, err := SpMSpV(a, frontier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := EWiseMult(y, visited, func(_, m int64) bool { return m == 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Assign(frontier, f); err != nil {
+		t.Fatal(err)
+	}
+	yE, err := SpMSpV(aE, frontierE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fE, err := EWiseMult(yE, visitedE, func(_, m int64) bool { return m == 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Assign(frontierE, fE); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reading y drains the pending batch with y observed: it must hold the
+	// full eager product, not come back empty.
+	gi, gv := y.Entries()
+	wi, wv := yE.Entries()
+	if fmt.Sprint(gi, gv) != fmt.Sprint(wi, wv) {
+		t.Errorf("read-triggered drain: y = (%v, %v), eager y = (%v, %v)", gi, gv, wi, wv)
+	}
+	if y.NNZ() == 0 {
+		t.Error("observed intermediate was fused away")
+	}
+	gi, gv = frontier.Entries()
+	wi, wv = frontierE.Entries()
+	if fmt.Sprint(gi, gv) != fmt.Sprint(wi, wv) {
+		t.Errorf("final frontier diverged: fused (%v, %v), eager (%v, %v)", gi, gv, wi, wv)
+	}
+}
+
+// TestFusionTracingZeroOverhead asserts the fused paths keep the tracing
+// contract: an identical fused workload reports bitwise-identical modeled
+// time with and without a tracer.
+func TestFusionTracingZeroOverhead(t *testing.T) {
+	run := func(tr *Trace) float64 {
+		opts := []Option{Locales(4), Threads(8)}
+		if tr != nil {
+			opts = append(opts, Tracer(tr))
+		}
+		ctx, err := New(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := ErdosRenyi[int64](ctx, 300, 5, 23)
+		fr, err := VectorFromSlices(ctx, 300, []int{4}, []int64{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vis := NewDenseVector[int64](ctx, 300)
+		vis.Set(4, 1)
+		runFrontierRounds(t, a, fr, vis)
+		return ctx.Elapsed()
+	}
+	plain := run(nil)
+	traced := run(trace.New())
+	if plain != traced {
+		t.Errorf("fused modeled time changed under tracing: %v vs %v", plain, traced)
+	}
+}
+
+// TestWithFusionDerivation checks the With* aliasing rules for fusion mode.
+func TestWithFusionDerivation(t *testing.T) {
+	base, err := New(Locales(2), Threads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager := base.WithFusion(Eager)
+	if eager.lazy() {
+		t.Error("WithFusion(Eager) still defers")
+	}
+	if !base.lazy() {
+		t.Error("WithFusion mutated the receiver")
+	}
+	refused := eager.WithFusion(Fused)
+	if !refused.lazy() {
+		t.Error("WithFusion(Fused) did not restore deferral")
+	}
+	if _, err := New(FusionMode(99)); err == nil {
+		t.Error("New accepted an invalid fusion mode")
+	}
+	if _, err := New(WithFusion(Eager)); err != nil {
+		t.Errorf("New(WithFusion(Eager)) = %v", err)
+	}
+}
+
+// FuzzFusionPlan feeds random short op programs through the deferred surface
+// and asserts the fused execution is bitwise identical to Eager. Each byte
+// selects an op; the whole program runs as one batch, so the planner's
+// deadness analysis must keep every handle the program still uses
+// materialized. The observable is the Assign target plus a final implicit
+// Assign of the running vector (consumed intermediates are documented to read
+// back empty, so they are not compared directly).
+func FuzzFusionPlan(f *testing.F) {
+	f.Add([]byte{2, 1, 3})          // the BFS frontier chain
+	f.Add([]byte{0, 1})             // apply∘ewisemult
+	f.Add([]byte{4, 3})             // spmspv.masked+assign
+	f.Add([]byte{2, 2, 0, 1, 3, 4}) // mixed chain with an unfused head
+	f.Add([]byte{2, 1, 3, 1})       // intermediate stays live: no fusion
+	f.Fuzz(func(t *testing.T, prog []byte) {
+		if len(prog) > 10 {
+			prog = prog[:10]
+		}
+		run := func(mode FusionMode) ([]int, []int64, []int, []int64) {
+			ctx, err := New(Locales(4), Threads(8), mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := ErdosRenyi[int64](ctx, 120, 4, 13)
+			cur, err := VectorFromSlices(ctx, 120, []int{2, 9}, []int64{1, 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst := NewVector[int64](ctx, 120)
+			out := NewVector[int64](ctx, 120)
+			mask := NewDenseVector[int64](ctx, 120)
+			for i := 0; i < 120; i += 3 {
+				mask.Set(i, 1)
+			}
+			for _, b := range prog {
+				switch b % 5 {
+				case 0:
+					Apply(cur, func(v int64) int64 { return v + 2 })
+				case 1:
+					z, err := EWiseMult(cur, mask, func(v, m int64) bool { return (v+m)%2 == 0 })
+					if err != nil {
+						t.Fatal(err)
+					}
+					cur = z
+				case 2:
+					y, err := SpMSpV(a, cur)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cur = y
+				case 3:
+					if err := Assign(dst, cur); err != nil {
+						t.Fatal(err)
+					}
+				case 4:
+					y, err := SpMSpVMasked(a, cur, mask)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cur = y
+				}
+			}
+			if err := Assign(out, cur); err != nil {
+				t.Fatal(err)
+			}
+			if err := ctx.Wait(); err != nil {
+				t.Fatal(err)
+			}
+			di, dv := dst.Entries()
+			oi, ov := out.Entries()
+			return di, dv, oi, ov
+		}
+		fdi, fdv, foi, fov := run(Fused)
+		edi, edv, eoi, eov := run(Eager)
+		if len(fdi) != len(edi) || len(foi) != len(eoi) {
+			t.Fatalf("fused kept %d+%d entries, eager %d+%d (prog %v)",
+				len(fdi), len(foi), len(edi), len(eoi), prog)
+		}
+		for k := range edi {
+			if fdi[k] != edi[k] || fdv[k] != edv[k] {
+				t.Fatalf("dst entry %d: fused (%d,%d), eager (%d,%d) (prog %v)",
+					k, fdi[k], fdv[k], edi[k], edv[k], prog)
+			}
+		}
+		for k := range eoi {
+			if foi[k] != eoi[k] || fov[k] != eov[k] {
+				t.Fatalf("out entry %d: fused (%d,%d), eager (%d,%d) (prog %v)",
+					k, foi[k], fov[k], eoi[k], eov[k], prog)
+			}
+		}
+	})
+}

@@ -81,6 +81,10 @@ type Context struct {
 	// epoch configures the streaming matrices created on this context (see
 	// WithEpochPolicy).
 	epoch EpochPolicy
+	// fusion selects nonblocking (Fused, the default) or eager execution;
+	// fq is the pending-op DAG of the nonblocking mode (see fusion.go).
+	fusion FusionMode
+	fq     *opQueue
 }
 
 // clone returns a context sharing this one's grid and data layout but with
@@ -89,9 +93,12 @@ type Context struct {
 // phases are copied; matrices and vectors created on the old context remain
 // usable from the clone (the distribution is identical). A tracer carried
 // across the clone is rebound to the clone's simulator: spans report the
-// newest derivation's costs.
+// newest derivation's costs. Deferred operations are materialized first, so
+// the clone never shares a pending-op queue with the receiver.
 func (c *Context) clone() *Context {
+	c.force()
 	nc := *c
+	nc.fq = nil
 	rt := *c.rt
 	rt.S = c.rt.S.Clone()
 	if rt.Tr != nil {
@@ -157,13 +164,25 @@ func (c *Context) Threads() int { return c.rt.Threads }
 func (c *Context) SetRealWorkers(w int) { c.rt.RealWorkers = w }
 
 // Elapsed returns the modeled execution time accumulated so far, in seconds.
-func (c *Context) Elapsed() float64 { return c.rt.S.ElapsedSeconds() }
+// Pending deferred operations are materialized first, so the reading reflects
+// every operation issued before the call.
+func (c *Context) Elapsed() float64 {
+	c.force()
+	return c.rt.S.ElapsedSeconds()
+}
 
-// ResetClock zeroes the modeled time and traffic counters.
-func (c *Context) ResetClock() { c.rt.S.Reset() }
+// ResetClock zeroes the modeled time and traffic counters (after
+// materializing any pending deferred operations).
+func (c *Context) ResetClock() {
+	c.force()
+	c.rt.S.Reset()
+}
 
 // Messages returns the modeled communication message count so far.
-func (c *Context) Messages() int64 { return c.rt.S.Traffic().Messages }
+func (c *Context) Messages() int64 {
+	c.force()
+	return c.rt.S.Traffic().Messages
+}
 
 // Matrix is a 2-D block-distributed sparse matrix.
 type Matrix[T Number] struct {
@@ -239,8 +258,12 @@ func RandomVector[T Number](ctx *Context, n, nnz int, seed int64) *Vector[T] {
 	return &Vector[T]{ctx: ctx, v: dist.SpVecFromVec(ctx.rt, sparse.RandomVec[T](n, nnz, seed))}
 }
 
-// NNZ returns the stored-element count.
-func (v *Vector[T]) NNZ() int { return v.v.NNZ() }
+// NNZ returns the stored-element count. Like every read, it materializes the
+// context's pending deferred operations first.
+func (v *Vector[T]) NNZ() int {
+	v.ctx.forceObserving(v.v)
+	return v.v.NNZ()
+}
 
 // Size returns the logical length of the vector (the GraphBLAS "size": the
 // index domain, independent of how many elements are stored).
@@ -252,11 +275,16 @@ func (v *Vector[T]) Size() int { return v.v.N }
 // storage capacity. Use Size.
 func (v *Vector[T]) Capacity() int { return v.Size() }
 
-// Get returns the value at index i.
-func (v *Vector[T]) Get(i int) (T, bool) { return v.v.Get(i) }
+// Get returns the value at index i (materializing pending operations first).
+func (v *Vector[T]) Get(i int) (T, bool) {
+	v.ctx.forceObserving(v.v)
+	return v.v.Get(i)
+}
 
-// Entries gathers the vector to (sorted) index/value slices.
+// Entries gathers the vector to (sorted) index/value slices (materializing
+// pending operations first).
 func (v *Vector[T]) Entries() ([]int, []T) {
+	v.ctx.forceObserving(v.v)
 	lv := v.v.ToVec()
 	return lv.Ind, lv.Val
 }
@@ -271,53 +299,158 @@ func DenseVectorFromSlice[T Number](ctx *Context, data []T) *DenseVector[T] {
 	return &DenseVector[T]{ctx: ctx, d: dist.DenseVecFromDense(ctx.rt, &sparse.Dense[T]{Data: data})}
 }
 
-// Get returns the value at index i.
-func (d *DenseVector[T]) Get(i int) T { return d.d.Get(i) }
+// Get returns the value at index i (materializing pending operations first).
+func (d *DenseVector[T]) Get(i int) T {
+	d.ctx.forceObserving(d.d)
+	return d.d.Get(i)
+}
 
-// Set stores x at index i.
-func (d *DenseVector[T]) Set(i int, x T) { d.d.Set(i, x) }
+// Set stores x at index i. Pending deferred operations that read this vector
+// are materialized first, so they observe the pre-Set value as they would
+// have eagerly.
+func (d *DenseVector[T]) Set(i int, x T) {
+	d.ctx.forceObserving(d.d)
+	d.d.Set(i, x)
+}
 
 // --- The GraphBLAS operations -------------------------------------------------
 
 // Apply applies op to every stored element of v, using the optimized
 // per-locale implementation (the paper's Apply2). ApplyNaive is the
 // fine-grained global iteration (Apply1) kept for comparison.
-func Apply[T Number](v *Vector[T], op UnaryOp[T]) { core.Apply2(v.ctx.rt, v.v, op) }
+//
+// On a Fused context the call defers; an EWiseMult of the applied vector then
+// executes as one apply∘ewisemult region (the unary op runs inside the
+// predicate scan, one pass over the data).
+func Apply[T Number](v *Vector[T], op UnaryOp[T]) {
+	c := v.ctx
+	if c.lazy() {
+		q := c.queue()
+		rt, xv := c.rt, v.v
+		id := q.id(xv)
+		q.nodes = append(q.nodes, &qnode{
+			desc:    core.OpDesc{Op: core.OpApply, In0: id, Out: id},
+			payload: applyP[T]{v: xv, op: op},
+			run:     func() error { core.Apply2(rt, xv, op); return nil },
+		})
+		return
+	}
+	core.Apply2(c.rt, v.v, op)
+}
 
 // ApplyNaive is the paper's Apply1: a global data-parallel forall that pays
 // fine-grained communication on multiple locales.
-func ApplyNaive[T Number](v *Vector[T], op UnaryOp[T]) { core.Apply1(v.ctx.rt, v.v, op) }
+func ApplyNaive[T Number](v *Vector[T], op UnaryOp[T]) {
+	v.ctx.force()
+	core.Apply1(v.ctx.rt, v.v, op)
+}
 
 // Assign copies src into dst (matching distributions required), using the
 // optimized per-locale implementation (Assign2). AssignNaive is Assign1.
-func Assign[T Number](dst, src *Vector[T]) error { return core.Assign2(dst.ctx.rt, dst.v, src.v) }
+//
+// On a Fused context the call defers; preceded by the SpMSpV/EWiseMult chain
+// of a frontier round (or a masked SpMSpV) producing src, the whole chain
+// executes as one fused region that installs straight into dst.
+func Assign[T Number](dst, src *Vector[T]) error {
+	c := dst.ctx
+	c.sync(src.ctx)
+	if c.lazy() && dst.v.N == src.v.N {
+		q := c.queue()
+		rt, d, s := c.rt, dst.v, src.v
+		q.nodes = append(q.nodes, &qnode{
+			desc:    core.OpDesc{Op: core.OpAssign, In0: q.id(s), Out: q.id(d)},
+			payload: assignP[T]{dst: d, src: s},
+			run:     func() error { return core.Assign2(rt, d, s) },
+		})
+		return nil
+	}
+	return core.Assign2(c.rt, dst.v, src.v)
+}
 
 // AssignNaive is the paper's Assign1: domain rebuild plus per-element
 // logarithmic indexed access.
-func AssignNaive[T Number](dst, src *Vector[T]) error { return core.Assign1(dst.ctx.rt, dst.v, src.v) }
+func AssignNaive[T Number](dst, src *Vector[T]) error {
+	dst.ctx.force()
+	dst.ctx.sync(src.ctx)
+	return core.Assign1(dst.ctx.rt, dst.v, src.v)
+}
 
 // EWiseMult returns the entries of x whose positions satisfy pred against
 // the dense vector y (the paper's sparse-dense specialization).
+//
+// On a Fused context the call defers (dimensions are still validated
+// immediately); see Apply and Assign for the chains it fuses into.
 func EWiseMult[T Number](x *Vector[T], y *DenseVector[T], pred Pred[T]) (*Vector[T], error) {
 	if x.v.N != y.d.N {
 		return nil, fmt.Errorf("gb: EWiseMult: vector capacities %d and %d differ: %w", x.v.N, y.d.N, ErrDimensionMismatch)
 	}
-	z, err := core.EWiseMultSD(x.ctx.rt, x.v, y.d, pred)
+	c := x.ctx
+	c.sync(y.ctx)
+	if c.lazy() {
+		q := c.queue()
+		z := &Vector[T]{ctx: c, v: dist.NewSpVec[T](c.rt, x.v.N)}
+		rt, xv, yd, zv := c.rt, x.v, y.d, z.v
+		q.nodes = append(q.nodes, &qnode{
+			desc:    core.OpDesc{Op: core.OpEWiseMult, In0: q.id(xv), In1: q.id(yd), Out: q.id(zv)},
+			payload: ewiseP[T]{x: xv, y: yd, pred: pred, out: zv},
+			run: func() error {
+				res, err := core.EWiseMultSD(rt, xv, yd, pred)
+				if err != nil {
+					return err
+				}
+				*zv = *res
+				return nil
+			},
+			fuseApply: func(prev *qnode) (bool, error) {
+				ap, ok := prev.payload.(applyP[T])
+				if !ok || ap.v != xv {
+					return false, nil
+				}
+				return true, core.FusedApplyEWiseMult(rt, xv, ap.op, yd, pred, zv)
+			},
+		})
+		return z, nil
+	}
+	z, err := core.EWiseMultSD(c.rt, x.v, y.d, pred)
 	if err != nil {
 		return nil, err
 	}
-	return &Vector[T]{ctx: x.ctx, v: z}, nil
+	return &Vector[T]{ctx: c, v: z}, nil
 }
 
 // SpMSpV multiplies sparse vector x with matrix a (y ← xA), returning the
 // pattern of reached columns valued with their discovering row ids (the
 // paper's formulation; exactly BFS parents).
+//
+// On a Fused context the call defers; the canonical frontier chain
+// SpMSpV → EWiseMult → Assign executes as one spmspv+frontier region with a
+// single gather/scatter plan.
 func SpMSpV[T Number](a *Matrix[T], x *Vector[T]) (*Vector[int64], error) {
 	if x.v.N != a.m.NRows {
 		return nil, fmt.Errorf("gb: SpMSpV: vector capacity %d != matrix rows %d: %w", x.v.N, a.m.NRows, ErrDimensionMismatch)
 	}
-	y, _ := core.SpMSpVDist(a.ctx.rt, a.m, x.v)
-	return &Vector[int64]{ctx: a.ctx, v: y}, nil
+	c := a.ctx
+	c.sync(x.ctx)
+	if c.lazy() {
+		q := c.queue()
+		out := &Vector[int64]{ctx: c, v: dist.NewSpVec[int64](c.rt, a.m.NCols)}
+		rt, am, xv, ov := c.rt, a.m, x.v, out.v
+		q.nodes = append(q.nodes, &qnode{
+			desc: core.OpDesc{Op: core.OpSpMSpV, In0: q.id(xv), Out: q.id(ov)},
+			run: func() error {
+				y, _ := core.SpMSpVDist(rt, am, xv)
+				*ov = *y
+				return nil
+			},
+			filterInto: func(pred Pred[int64], mask *dist.DenseVec[int64], dst *dist.SpVec[int64]) error {
+				core.FusedSpMSpVFilterAssign(rt, am, xv, mask, pred, dst)
+				return nil
+			},
+		})
+		return out, nil
+	}
+	y, _ := core.SpMSpVDist(c.rt, a.m, x.v)
+	return &Vector[int64]{ctx: c, v: y}, nil
 }
 
 // SpMSpVSemiring multiplies over an arbitrary semiring:
@@ -326,12 +459,16 @@ func SpMSpVSemiring[T Number](a *Matrix[T], x *Vector[T], sr Semiring[T]) (*Vect
 	if x.v.N != a.m.NRows {
 		return nil, fmt.Errorf("gb: SpMSpVSemiring: vector capacity %d != matrix rows %d: %w", x.v.N, a.m.NRows, ErrDimensionMismatch)
 	}
+	a.ctx.force()
+	a.ctx.sync(x.ctx)
 	y, _ := core.SpMSpVDistSemiring(a.ctx.rt, a.m, x.v, sr)
 	return &Vector[T]{ctx: a.ctx, v: y}, nil
 }
 
-// Reduce folds all stored values of v with a monoid.
+// Reduce folds all stored values of v with a monoid (a materialization
+// point: pending deferred operations run first).
 func Reduce[T Number](v *Vector[T], m Monoid[T]) T {
+	v.ctx.forceObserving(v.v)
 	return core.ReduceVec(v.v.ToVec(), m)
 }
 
@@ -358,6 +495,8 @@ func BFS[T Number](ctx *Context, a *Matrix[T], source int) (*BFSResult, error) {
 	if err := checkGraphSource("BFS", a, source); err != nil {
 		return nil, err
 	}
+	ctx.force()
+	ctx.sync(a.ctx)
 	return algorithms.BFSDist(ctx.rt, a.m, source)
 }
 
@@ -368,23 +507,27 @@ func SSSP[T Number](a *Matrix[T], source int) ([]T, int, error) {
 	if err := checkGraphSource("SSSP", a, source); err != nil {
 		return nil, 0, err
 	}
+	a.ctx.force()
 	return algorithms.SSSPDist(a.ctx.rt, a.m, source)
 }
 
 // ConnectedComponents labels the vertices of an undirected graph by minimum
 // reachable vertex id and returns the label vector and component count.
 func ConnectedComponents[T Number](a *Matrix[T]) ([]int64, int, error) {
+	a.ctx.force()
 	return algorithms.CCDist(a.ctx.rt, a.m)
 }
 
 // PageRank computes PageRank with damping d to tolerance tol.
 func PageRank[T Number](a *Matrix[T], d, tol float64, maxIter int) ([]float64, int, error) {
+	a.ctx.force()
 	return algorithms.PageRankDist(a.ctx.rt, a.m, d, tol, maxIter)
 }
 
 // TriangleCount counts triangles of a simple undirected graph via the masked
 // SpGEMM formulation sum(A .* (A·A)) / 6.
 func TriangleCount[T Number](a *Matrix[T]) (int64, error) {
+	a.ctx.force()
 	csr, err := a.m.ToCSR()
 	if err != nil {
 		return 0, err
@@ -394,6 +537,7 @@ func TriangleCount[T Number](a *Matrix[T]) (int64, error) {
 
 // ApplyMatrix applies op to every stored element of the matrix (per-locale).
 func ApplyMatrix[T Number](a *Matrix[T], op UnaryOp[T]) {
+	a.ctx.force() // pending ops read the matrix; they observe pre-Apply values
 	core.ApplyMat2(a.ctx.rt, a.m, op)
 }
 
@@ -403,6 +547,8 @@ func EWiseAdd[T Number](x, y *Vector[T], op BinaryOp[T]) (*Vector[T], error) {
 	if x.v.N != y.v.N {
 		return nil, fmt.Errorf("gb: EWiseAdd: vector capacities %d and %d differ: %w", x.v.N, y.v.N, ErrDimensionMismatch)
 	}
+	x.ctx.force()
+	x.ctx.sync(y.ctx)
 	z, err := core.EWiseAddDist(x.ctx.rt, x.v, y.v, op)
 	if err != nil {
 		return nil, err
@@ -415,6 +561,8 @@ func EWiseMultSparse[T Number](x, y *Vector[T], op BinaryOp[T]) (*Vector[T], err
 	if x.v.N != y.v.N {
 		return nil, fmt.Errorf("gb: EWiseMultSparse: vector capacities %d and %d differ: %w", x.v.N, y.v.N, ErrDimensionMismatch)
 	}
+	x.ctx.force()
+	x.ctx.sync(y.ctx)
 	z, err := core.EWiseMultDistSS(x.ctx.rt, x.v, y.v, op)
 	if err != nil {
 		return nil, err
@@ -424,42 +572,68 @@ func EWiseMultSparse[T Number](x, y *Vector[T], op BinaryOp[T]) (*Vector[T], err
 
 // SpMV computes the dense product y = xA over a semiring with the
 // distributed 2-D algorithm (row-team all-gather, local multiply, column-team
-// reduce).
+// reduce). On a Fused context the call defers (dimensions are still validated
+// immediately); collective errors only occur under fault plans, which always
+// execute eagerly, so deferral never hides one.
 func SpMV[T Number](a *Matrix[T], x *DenseVector[T], sr Semiring[T]) (*DenseVector[T], error) {
 	if x.d.N != a.m.NRows {
 		return nil, fmt.Errorf("gb: SpMV: vector capacity %d != matrix rows %d: %w", x.d.N, a.m.NRows, ErrDimensionMismatch)
 	}
-	y, err := core.SpMVDist(a.ctx.rt, a.m, x.d, sr)
+	c := a.ctx
+	c.sync(x.ctx)
+	if c.lazy() {
+		q := c.queue()
+		out := &DenseVector[T]{ctx: c, d: dist.NewDenseVec[T](c.rt, a.m.NCols)}
+		rt, am, xd, od := c.rt, a.m, x.d, out.d
+		q.nodes = append(q.nodes, &qnode{
+			desc: core.OpDesc{Op: core.OpSpMV, In0: q.id(xd), Out: q.id(od)},
+			run: func() error {
+				y, err := core.SpMVDist(rt, am, xd, sr)
+				if err != nil {
+					return err
+				}
+				*od = *y
+				return nil
+			},
+		})
+		return out, nil
+	}
+	y, err := core.SpMVDist(c.rt, a.m, x.d, sr)
 	if err != nil {
 		return nil, err
 	}
-	return &DenseVector[T]{ctx: a.ctx, d: y}, nil
+	return &DenseVector[T]{ctx: c, d: y}, nil
 }
 
 // Transpose returns Aᵀ distributed over the transposed grid; the returned
 // matrix carries a context over that grid.
 func Transpose[T Number](a *Matrix[T]) (*Matrix[T], error) {
+	a.ctx.force()
 	at, trt, err := core.TransposeDist(a.ctx.rt, a.m)
 	if err != nil {
 		return nil, err
 	}
-	return &Matrix[T]{ctx: &Context{rt: trt}, m: at}, nil
+	trt.Fusion = a.ctx.rt.Fusion
+	return &Matrix[T]{ctx: &Context{rt: trt, fusion: a.ctx.fusion}, m: at}, nil
 }
 
 // BFSDirectionOptimizing runs the push/pull BFS on a gathered copy of the
 // matrix (a shared-memory algorithm; alpha <= 0 uses the default switch
 // threshold of 14).
 func BFSDirectionOptimizing[T Number](a *Matrix[T], source, alpha int) (*BFSResult, error) {
+	a.ctx.force()
 	csr, err := a.m.ToCSR()
 	if err != nil {
 		return nil, err
 	}
-	return algorithms.BFSDirectionOptimizing(csr, source, alpha)
+	return algorithms.BFSDirectionOptimizingCfg(csr, source, alpha,
+		core.ShmConfig{Fused: a.ctx.rt.Fusion})
 }
 
 // BetweennessCentrality computes Brandes betweenness from the given source
 // sample (all vertices = exact).
 func BetweennessCentrality[T Number](a *Matrix[T], sources []int) ([]float64, error) {
+	a.ctx.force()
 	csr, err := a.m.ToCSR()
 	if err != nil {
 		return nil, err
@@ -480,6 +654,8 @@ func AssignIndexed[T Number](dst *Vector[T], indices []int, src *Vector[T]) erro
 			return fmt.Errorf("gb: AssignIndexed: index %d outside destination of capacity %d: %w", i, dst.v.N, ErrIndexOutOfRange)
 		}
 	}
+	dst.ctx.force()
+	dst.ctx.sync(src.ctx)
 	return core.AssignIndexedDist(dst.ctx.rt, dst.v, indices, src.v)
 }
 
@@ -491,6 +667,7 @@ func Extract[T Number](v *Vector[T], indices []int) (*Vector[T], error) {
 			return nil, fmt.Errorf("gb: Extract: index %d outside vector of capacity %d: %w", i, v.v.N, ErrIndexOutOfRange)
 		}
 	}
+	v.ctx.force()
 	out, err := core.ExtractDist(v.ctx.rt, v.v, indices)
 	if err != nil {
 		return nil, err
@@ -500,6 +677,7 @@ func Extract[T Number](v *Vector[T], indices []int) (*Vector[T], error) {
 
 // Select returns the entries of v whose (index, value) satisfy pred.
 func Select[T Number](v *Vector[T], pred func(index int, value T) bool) *Vector[T] {
+	v.ctx.force()
 	out := core.SelectDist(v.ctx.rt, v.v, core.SelectPred[T](pred))
 	return &Vector[T]{ctx: v.ctx, v: out}
 }
@@ -507,6 +685,7 @@ func Select[T Number](v *Vector[T], pred func(index int, value T) bool) *Vector[
 // ReduceRows reduces each matrix row with a monoid, returning a distributed
 // sparse vector with one entry per nonempty row.
 func ReduceRows[T Number](a *Matrix[T], m Monoid[T]) *Vector[T] {
+	a.ctx.force()
 	out := core.ReduceRowsDist(a.ctx.rt, a.m, m)
 	return &Vector[T]{ctx: a.ctx, v: out}
 }
@@ -517,6 +696,8 @@ func MxM[T Number](a, b *Matrix[T], sr Semiring[T]) (*Matrix[T], error) {
 	if a.m.NCols != b.m.NRows {
 		return nil, fmt.Errorf("gb: MxM: inner dimensions %d and %d differ: %w", a.m.NCols, b.m.NRows, ErrDimensionMismatch)
 	}
+	a.ctx.force()
+	a.ctx.sync(b.ctx)
 	c, err := core.SpGEMMDist(a.ctx.rt, a.m, b.m, sr)
 	if err != nil {
 		return nil, err
@@ -531,5 +712,7 @@ func BFSMasked[T Number](ctx *Context, a *Matrix[T], source int) (*BFSResult, er
 	if err := checkGraphSource("BFSMasked", a, source); err != nil {
 		return nil, err
 	}
+	ctx.force()
+	ctx.sync(a.ctx)
 	return algorithms.BFSDistMasked(ctx.rt, a.m, source)
 }

@@ -46,6 +46,9 @@ type options struct {
 	replicate bool
 	recovery  *RecoveryPolicy
 	epoch     *EpochPolicy
+	// fusion selects the execution mode; the zero value Fused makes
+	// nonblocking execution the default (see fusion.go).
+	fusion FusionMode
 }
 
 // Locales sets the locale count (default 1, one locale per node).
@@ -159,7 +162,8 @@ func New(opts ...Option) (*Context, error) {
 			return nil, err
 		}
 	}
-	ctx := &Context{rt: rt}
+	ctx := &Context{rt: rt, fusion: o.fusion}
+	rt.Fusion = o.fusion == Fused
 	ctx.SetSpMSpVEngine(o.engine)
 	if o.workers > 0 {
 		rt.RealWorkers = o.workers

@@ -29,6 +29,12 @@ func runSpMSpVTraced(t *testing.T, e Engine) *Trace {
 	if _, err := SpMSpV(a, x); err != nil {
 		t.Fatal(err)
 	}
+	// The default Fused context defers the multiply; materialize it so the
+	// span is collected. A single-op region runs the exact eager kernel, so
+	// the goldens are unchanged.
+	if err := ctx.Wait(); err != nil {
+		t.Fatal(err)
+	}
 	return tr
 }
 

@@ -62,6 +62,16 @@ func BFSShm[T semiring.Number](a *sparse.CSR[T], source int, cfg core.ShmConfig)
 	res.Level[source] = 0
 
 	for level := int64(1); frontier.NNZ() > 0; level++ {
+		if cfg.Fused {
+			// One fused region: masked push step + level/parent/visited
+			// updates + next-frontier construction, no intermediate vectors.
+			nn, _ := core.FusedPushStepShm(a, frontier, visited, level, res.Level, res.Parent, cfg)
+			if nn == 0 {
+				break
+			}
+			res.Rounds++
+			continue
+		}
 		// y = frontier × A, discovering parents; complemented visited mask.
 		y, _ := core.SpMSpVMasked(a, frontier, visited, cfg)
 		if y.NNZ() == 0 {
@@ -160,6 +170,19 @@ func BFSDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], source int) 
 			if res.Rounds > ckptRounds && res.Rounds%CheckpointInterval == 0 {
 				snapshot()
 			}
+		}
+		if rt.Fusion {
+			// One fused region per round (RecipeSpMSpVFrontier): the masked
+			// multiply, freshness filter, level/parent updates and frontier
+			// install run between one spawn and one barrier. keepNonzero=true
+			// keeps exactly the vertices with notVisited != 0, as the eager
+			// EWiseMultSD predicate below does.
+			nn, _ := core.FusedBFSRound(rt, a, frontier, notVisited, true, level, res.Level, res.Parent)
+			if nn == 0 {
+				break
+			}
+			res.Rounds++
+			continue
 		}
 		y, _ := core.SpMSpVDist(rt, a, frontier)
 		// Keep only vertices not yet visited. The parents vector y carries
@@ -282,6 +305,17 @@ func BFSDistMasked[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], source
 			if res.Rounds > ckptRounds && res.Rounds%CheckpointInterval == 0 {
 				snapshot()
 			}
+		}
+		if rt.Fusion {
+			// Fused round with the visited-polarity mask: keepNonzero=false
+			// keeps positions with visited == 0 (the complemented mask of
+			// SpMSpVDistMasked) and flips the survivors' flags to 1.
+			nn, _ := core.FusedBFSRound(rt, a, frontier, visited, false, level, res.Level, res.Parent)
+			if nn == 0 {
+				break
+			}
+			res.Rounds++
+			continue
 		}
 		fresh, _ := core.SpMSpVDistMasked(rt, a, frontier, visited)
 		if fresh.NNZ() == 0 {

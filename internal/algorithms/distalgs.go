@@ -84,27 +84,52 @@ func SSSPDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], source int)
 			ckptIter, ckptRounds = iter, rounds
 			chargeCheckpoint(rt, int64(n)*8)
 		}
-		relaxed, err := core.SpMVDist(rt, a, dcur, sr)
-		if err != nil {
-			rollback, rerr := restore(err)
-			if rerr != nil {
-				return nil, 0, rerr
-			}
-			iter = resume(iter, rollback)
-			continue
-		}
-		// Elementwise min per locale, tracking change flags.
 		changedFlags := make([]int64, rt.G.P)
-		rt.Coforall(func(l int) {
-			cur := dcur.Loc[l]
-			rel := relaxed.Loc[l]
-			for i := range cur {
-				if rel[i] < cur[i] {
-					cur[i] = rel[i]
+		if rt.Fusion {
+			// Fused relaxation (RecipeSpMVUpdate): the elementwise min folds
+			// into the SpMV's final distribution pass — the relaxed vector is
+			// never materialized and the separate min coforall disappears.
+			// Collective errors surface before any update, so recovery is
+			// unchanged. The callback visits locale-major ascending indices,
+			// the exact order the eager min loop reads the relaxed vector.
+			err := core.FusedSpMVUpdate(rt, a, dcur, sr, func(l, gi int, v T) {
+				cur := dcur.Loc[l]
+				i := gi - dcur.Bounds[l]
+				if v < cur[i] {
+					cur[i] = v
 					changedFlags[l] = 1
 				}
+			})
+			if err != nil {
+				rollback, rerr := restore(err)
+				if rerr != nil {
+					return nil, 0, rerr
+				}
+				iter = resume(iter, rollback)
+				continue
 			}
-		})
+		} else {
+			relaxed, err := core.SpMVDist(rt, a, dcur, sr)
+			if err != nil {
+				rollback, rerr := restore(err)
+				if rerr != nil {
+					return nil, 0, rerr
+				}
+				iter = resume(iter, rollback)
+				continue
+			}
+			// Elementwise min per locale, tracking change flags.
+			rt.Coforall(func(l int) {
+				cur := dcur.Loc[l]
+				rel := relaxed.Loc[l]
+				for i := range cur {
+					if rel[i] < cur[i] {
+						cur[i] = rel[i]
+						changedFlags[l] = 1
+					}
+				}
+			})
+		}
 		rounds++
 		changed, err := comm.AllReduce(rt, changedFlags, semiring.MaxMonoid[int64]())
 		if err != nil {
@@ -230,22 +255,41 @@ func prDistInit[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], d, tol fl
 			continue
 		}
 		xd := dist.DenseVecFromDense(rt, &sparse.Dense[float64]{Data: x})
-		spread, err := core.SpMVDist(rt, pm, xd, sr)
-		if err != nil {
-			rollback, rerr := restore(err)
-			if rerr != nil {
-				return nil, 0, rerr
-			}
-			iter = resume(iter, rollback)
-			continue
-		}
-		sd := spread.ToDense().Data
 		base := (1-d)/float64(n) + d*dangling/float64(n)
 		deltaParts := make([]float64, rt.G.P)
 		next := make([]float64, n)
-		for i := range next {
-			next[i] = base + d*sd[i]
-			deltaParts[locale.OwnerOf(n, rt.G.P, i)] += math.Abs(next[i] - r[i])
+		if rt.Fusion {
+			// Fused rank update (RecipeSpMVUpdate): the spread vector is
+			// consumed element by element as the SpMV distributes it, in the
+			// same ascending order as the eager loop — the float delta
+			// accumulation stays bitwise identical.
+			err := core.FusedSpMVUpdate(rt, pm, xd, sr, func(_, gi int, v float64) {
+				next[gi] = base + d*v
+				deltaParts[locale.OwnerOf(n, rt.G.P, gi)] += math.Abs(next[gi] - r[gi])
+			})
+			if err != nil {
+				rollback, rerr := restore(err)
+				if rerr != nil {
+					return nil, 0, rerr
+				}
+				iter = resume(iter, rollback)
+				continue
+			}
+		} else {
+			spread, err := core.SpMVDist(rt, pm, xd, sr)
+			if err != nil {
+				rollback, rerr := restore(err)
+				if rerr != nil {
+					return nil, 0, rerr
+				}
+				iter = resume(iter, rollback)
+				continue
+			}
+			sd := spread.ToDense().Data
+			for i := range next {
+				next[i] = base + d*sd[i]
+				deltaParts[locale.OwnerOf(n, rt.G.P, i)] += math.Abs(next[i] - r[i])
+			}
 		}
 		r = next
 		delta, err := comm.AllReduce(rt, deltaParts, semiring.PlusMonoid[float64]())
@@ -344,19 +388,38 @@ func ccDistInit[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], init []in
 		}
 		rounds++
 		ld := dist.DenseVecFromDense(rt, &sparse.Dense[int64]{Data: labels})
-		prop, err := core.SpMVDist(rt, pm, ld, sr)
-		if err != nil {
-			if err = restore(err); err != nil {
-				return nil, 0, 0, err
-			}
-			continue
-		}
-		pd := prop.ToDense().Data
 		changedParts := make([]int64, rt.G.P)
-		for i := range labels {
-			if pd[i] != inf && pd[i] < labels[i] {
-				labels[i] = pd[i]
-				changedParts[locale.OwnerOf(n, rt.G.P, i)] = 1
+		if rt.Fusion {
+			// Fused label propagation (RecipeSpMVUpdate): the min-label
+			// update consumes the propagated vector in place of building it.
+			// ld snapshotted labels before the call, so in-callback label
+			// writes cannot feed back into this round's multiply.
+			err := core.FusedSpMVUpdate(rt, pm, ld, sr, func(_, gi int, v int64) {
+				if v != inf && v < labels[gi] {
+					labels[gi] = v
+					changedParts[locale.OwnerOf(n, rt.G.P, gi)] = 1
+				}
+			})
+			if err != nil {
+				if err = restore(err); err != nil {
+					return nil, 0, 0, err
+				}
+				continue
+			}
+		} else {
+			prop, err := core.SpMVDist(rt, pm, ld, sr)
+			if err != nil {
+				if err = restore(err); err != nil {
+					return nil, 0, 0, err
+				}
+				continue
+			}
+			pd := prop.ToDense().Data
+			for i := range labels {
+				if pd[i] != inf && pd[i] < labels[i] {
+					labels[i] = pd[i]
+					changedParts[locale.OwnerOf(n, rt.G.P, i)] = 1
+				}
 			}
 		}
 		changed, err := comm.AllReduce(rt, changedParts, semiring.MaxMonoid[int64]())

@@ -78,6 +78,24 @@ func BFSDirectionOptimizingCfg[T semiring.Number](a *sparse.CSR[T], source int, 
 			for _, v := range next.Ind {
 				visited.Data[v] = 1
 			}
+		} else if cfg.Fused {
+			// Fused push step: the frontier is rewritten in place, so clear
+			// its flags before the call and set the new ones after — the
+			// shared flag swap below needs the old indices, which the fused
+			// kernel has already overwritten.
+			pushCfg := cfg
+			pushCfg.Engine = core.EngineBucket
+			for _, v := range frontier.Ind {
+				inFrontier[v] = false
+			}
+			core.FusedPushStepShm(a, frontier, visited, level, res.Level, res.Parent, pushCfg)
+			for _, v := range frontier.Ind {
+				inFrontier[v] = true
+			}
+			if frontier.NNZ() > 0 {
+				res.Rounds++
+			}
+			continue
 		} else {
 			// Top-down (push): the paper's masked SpMSpV step, run on the
 			// sort-free bucket engine — direction optimization is already a

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/algorithms"
+	"repro/internal/dist"
+	"repro/internal/locale"
+	"repro/internal/sparse"
+)
+
+// AblFuse quantifies the nonblocking execution layer (DESIGN.md §13): the
+// same algorithm rounds run once with one eager kernel per operation (the
+// paper's model) and once through the fused regions — SpMSpV, frontier filter
+// and assignment planned as a single kernel per round, with one set of
+// gather/scatter collectives instead of one per op. Results are bitwise
+// identical; the figure shows the modeled-time gap.
+func AblFuse(scale Scale) (Figure, error) {
+	n := scaled(scale, 120_000)
+	ai := sparse.ErdosRenyi[int64](n, 8, 913)
+	af := sparse.ErdosRenyi[float64](n, 8, 914)
+	fig := Figure{
+		ID:     "ablfuse",
+		Title:  fmt.Sprintf("Algorithm rounds: eager per-op kernels vs fused regions, ER n=%s d=8", human(n)),
+		XLabel: "locales",
+		YLabel: "time",
+	}
+	algos := []struct {
+		name string
+		run  func(rt *locale.Runtime) error
+	}{
+		{"bfs", func(rt *locale.Runtime) error {
+			_, err := algorithms.BFSDist(rt, dist.MatFromCSR(rt, ai), 0)
+			return err
+		}},
+		{"sssp", func(rt *locale.Runtime) error {
+			_, _, err := algorithms.SSSPDist(rt, dist.MatFromCSR(rt, af), 0)
+			return err
+		}},
+		{"pagerank", func(rt *locale.Runtime) error {
+			_, _, err := algorithms.PageRankDist(rt, dist.MatFromCSR(rt, af), 0.85, 1e-8, 30)
+			return err
+		}},
+		{"cc", func(rt *locale.Runtime) error {
+			_, _, err := algorithms.CCDist(rt, dist.MatFromCSR(rt, ai))
+			return err
+		}},
+	}
+	for _, p := range localeSweep {
+		for _, alg := range algos {
+			for _, mode := range []struct {
+				name  string
+				fused bool
+			}{{"eager", false}, {"fused", true}} {
+				rt, err := newRT(p, 24)
+				if err != nil {
+					return fig, err
+				}
+				rt.Fusion = mode.fused
+				if err := alg.run(rt); err != nil {
+					return fig, err
+				}
+				fig.Points = append(fig.Points, Point{alg.name + " " + mode.name, p, rt.S.ElapsedSeconds()})
+			}
+		}
+	}
+	return fig, nil
+}

@@ -99,6 +99,49 @@ func MeasureAllocs() (AllocReport, error) {
 		sparse.PutVec(cfg.Scratch, y)
 	})
 
+	// Fused BFS push step: the SpMSpV product comes from the arena and the
+	// frontier is rebuilt in place, so a warm call allocates nothing. The
+	// traversal state rewinds between runs on its high-water buffers.
+	fusedCfg := cfg
+	fusedCfg.Fused = true
+	const fsrc = 3
+	frontier := sparse.NewVec[int64](5000)
+	visited := sparse.NewDense[int64](5000)
+	flv := make([]int64, 5000)
+	fpar := make([]int64, 5000)
+	fusedReset := func() {
+		for i := range visited.Data {
+			visited.Data[i] = 0
+			flv[i] = -1
+			fpar[i] = -1
+		}
+		visited.Data[fsrc] = 1
+		flv[fsrc] = 0
+		frontier.Ind = append(frontier.Ind[:0], fsrc)
+		frontier.Val = append(frontier.Val[:0], 1)
+	}
+	for i := 0; i < allocWarmups; i++ {
+		fusedReset()
+		core.FusedPushStepShm(a, frontier, visited, 1, flv, fpar, fusedCfg)
+	}
+	add("spmspv_fused", func() {
+		fusedReset()
+		core.FusedPushStepShm(a, frontier, visited, 1, flv, fpar, fusedCfg)
+	})
+
+	// Fusion planner: descriptors in, regions out of a warm buffer.
+	planOps := []core.OpDesc{
+		{Op: core.OpSpMSpV, In0: 1, Out: 2},
+		{Op: core.OpEWiseMult, In0: 2, In1: 3, Out: 4},
+		{Op: core.OpAssign, In0: 4, Out: 1},
+		{Op: core.OpApply, In0: 1, Out: 1},
+		{Op: core.OpEWiseMult, In0: 1, In1: 3, Out: 5},
+	}
+	planRegions := make([]core.Region, 0, 8)
+	add("fusion_plan", func() {
+		planRegions = core.PlanFusion(planOps, planRegions)
+	})
+
 	// Distributed element-wise kernels: four locales, outputs reused.
 	rtDist, err := locale.New(machine.Edison(), 4, 24)
 	if err != nil {

@@ -82,6 +82,7 @@ func Registry() []struct {
 		{"ablgrid", AblGrid},
 		{"ablengine", AblEngine},
 		{"ablbulk", AblBulk},
+		{"ablfuse", AblFuse},
 	}
 }
 

@@ -28,8 +28,8 @@ func runFig(t *testing.T, r Runner) Figure {
 
 func TestRegistryAndLookup(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 24 {
-		t.Fatalf("registry has %d figures, want 24", len(reg))
+	if len(reg) != 25 {
+		t.Fatalf("registry has %d figures, want 25", len(reg))
 	}
 	for _, e := range reg {
 		if Lookup(e.ID) == nil {
@@ -321,6 +321,33 @@ func TestAblationGridShape(t *testing.T) {
 	if two > rows && two > cols {
 		t.Errorf("2-D (%.4fs) should not lose to both 1-D rows (%.4fs) and cols (%.4fs)",
 			two, rows, cols)
+	}
+}
+
+func TestAblationFuseShape(t *testing.T) {
+	skipShort(t)
+	f := runFig(t, AblFuse)
+	// Fused regions plan the frontier chain's collectives once per round, so
+	// BFS and SSSP are strictly faster at every locale count; PageRank and CC
+	// fuse only uncharged update loops, so their modeled times never worsen.
+	for _, p := range localeSweep {
+		for _, alg := range []string{"bfs", "sssp"} {
+			e, ok1 := f.Get(alg+" eager", p)
+			fu, ok2 := f.Get(alg+" fused", p)
+			if !ok1 || !ok2 {
+				t.Fatalf("%s: missing points at p=%d", alg, p)
+			}
+			if fu >= e {
+				t.Errorf("%s at p=%d: fused (%.4fs) should beat eager (%.4fs)", alg, p, fu, e)
+			}
+		}
+		for _, alg := range []string{"pagerank", "cc"} {
+			e, _ := f.Get(alg+" eager", p)
+			fu, _ := f.Get(alg+" fused", p)
+			if fu > e {
+				t.Errorf("%s at p=%d: fused (%.4fs) regressed past eager (%.4fs)", alg, p, fu, e)
+			}
+		}
 	}
 }
 

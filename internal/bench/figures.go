@@ -27,6 +27,16 @@ func EnableChaos(seed int64) {
 // DisableChaos returns figure runs to fault-free execution.
 func DisableChaos() { chaos = nil }
 
+// fusion, when true, routes every figure runtime through the fused
+// nonblocking paths (gbbench -fuse=on). The default keeps the paper-fidelity
+// eager kernels so figure baselines are unaffected; AblFuse sets the mode
+// per-run itself and ignores this knob.
+var fusion bool
+
+// SetFusion selects fused (true) or eager (false) execution for every
+// subsequent figure run.
+func SetFusion(on bool) { fusion = on }
+
 // tracer, when non-nil, is installed on every runtime the figures build so a
 // driver (gbbench -trace-out) can export one span forest for the whole run.
 // Tracing only observes the simulator — modeled times are identical with and
@@ -56,6 +66,7 @@ func applyChaos(rt *locale.Runtime) *locale.Runtime {
 	if tracer != nil {
 		rt.SetTracer(tracer)
 	}
+	rt.Fusion = fusion
 	return rt
 }
 

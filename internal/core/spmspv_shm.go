@@ -97,6 +97,11 @@ type ShmConfig struct {
 	// out of it, making steady-state calls allocation-free. Nil degrades
 	// every checkout to a plain allocation.
 	Scratch *sparse.ScratchPool
+	// Fused routes the shared-memory algorithm loops (BFSShm, the DOBFS push
+	// step) through the fused push-step kernel (FusedPushStepShm) instead of
+	// the eager SpMSpVMasked + update chain. Results are bitwise identical;
+	// the fused path skips the intermediate masked product.
+	Fused bool
 }
 
 // ShmStats reports the work a SpMSpV call performed.

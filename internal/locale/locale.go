@@ -196,6 +196,13 @@ type Runtime struct {
 	// accumulators and buffers out of it instead of allocating per call. Nil
 	// degrades every checkout to a plain allocation.
 	Scratch *sparse.ScratchPool
+	// Fusion routes the distributed algorithm loops (BFS/SSSP/PageRank/CC)
+	// through the fused region kernels of internal/core (FusedBFSRound,
+	// FusedSpMVUpdate) instead of the eager per-op chains. Results are
+	// bitwise identical; fused rounds charge fewer modeled collectives. The
+	// gb surface sets this from its fusion mode; raw runtimes default to
+	// eager.
+	Fusion bool
 }
 
 // SetTracer installs t (nil uninstalls) and binds it to the runtime's
