@@ -38,16 +38,19 @@ ablations:
 # The CI smoke benchmark: SpMSpV kernel microbenchmarks once each, plus the
 # Fig 7 / engine / bulk / fusion figures at small scale into BENCH_spmspv.json
 # and their trace spans into trace_smoke.json. -trace-expect fails the run if
-# any listed kernel stops reporting spans. The second run regenerates the
-# fusion ablation alone into BENCH_fusion.json (eager vs fused series per
-# algorithm).
+# any listed kernel stops reporting spans or the inspector stops tagging
+# dispatch decisions ('strategy='). The second run regenerates the fusion
+# ablation alone into BENCH_fusion.json (eager vs fused series per algorithm);
+# the third sweeps the inspector ablation (pins vs auto per dispatch axis)
+# into BENCH_inspector.json.
 bench-smoke:
 	$(GO) test -run '^$$' -bench SpMSpV -benchtime 1x ./...
-	$(GO) run ./cmd/gbbench -figure fig7,ablengine,ablbulk,ablfuse -scale small -json BENCH_spmspv.json -q \
+	$(GO) run ./cmd/gbbench -figure fig7,ablengine,ablbulk,ablfuse,ablinspect -scale small -json BENCH_spmspv.json -q \
 		-alloc-out BENCH_alloc.json \
 		-trace-out trace_smoke.json \
-		-trace-expect SpMSpVShm,SpMSpVDist,SpMSpVDistBulk,SparseRowAllGather,ColMergeScatter,FusedBFSRound,FusedSpMVUpdate
+		-trace-expect SpMSpVShm,SpMSpVDist,SpMSpVDistBulk,SparseRowAllGather,ColMergeScatter,FusedBFSRound,FusedSpMVUpdate,strategy=,reason=
 	$(GO) run ./cmd/gbbench -figure ablfuse -scale small -json BENCH_fusion.json -q
+	$(GO) run ./cmd/gbbench -figure ablinspect -scale small -json BENCH_inspector.json -q
 
 # Gate the fresh bench-smoke artifacts against the committed baseline: fail on
 # >20% modeled-time regression or ANY increase in steady-state allocs/op.
@@ -59,14 +62,16 @@ bench-baseline: bench-smoke
 	$(GO) run ./cmd/benchgate -write-baseline -baseline bench_baseline.json -bench BENCH_spmspv.json -alloc BENCH_alloc.json
 
 # The CI fuzz smoke: 30s each on the bucket SPA, the scratch arena, the
-# fault injector, the epoch delta merge and the fusion planner (random op
-# programs, fused vs eager bitwise identity).
+# fault injector, the epoch delta merge, the fusion planner (random op
+# programs, fused vs eager bitwise identity) and the strategy dispatcher
+# (random strategies, auto vs forced bitwise identity).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzBucketSPA -fuzztime 30s ./internal/sparse
 	$(GO) test -run '^$$' -fuzz FuzzScratchPool -fuzztime 30s ./internal/sparse
 	$(GO) test -run '^$$' -fuzz FuzzInjector -fuzztime 30s ./internal/fault
 	$(GO) test -run '^$$' -fuzz FuzzDeltaMerge -fuzztime 30s ./internal/dist
 	$(GO) test -run '^$$' -fuzz FuzzFusionPlan -fuzztime 30s ./gb
+	$(GO) test -run '^$$' -fuzz FuzzStrategyDispatch -fuzztime 30s ./gb
 
 # One cell of the CI chaos matrix locally: make chaos-matrix CHAOS_SEED=2 CHAOS_POLICY=failover
 CHAOS_SEED ?= 1

@@ -58,13 +58,14 @@ func main() {
 		chaos     = flag.Bool("chaos", false, "run every figure under a deterministic fault plan (message drops, delays, stalls); results are unchanged, modeled times include the recovery cost")
 		chaosSeed = flag.Int64("chaos-seed", 1, "seed of the -chaos fault plan")
 		fuse      = flag.String("fuse", "off", "execution mode of the figure runs: 'off' (eager per-op kernels, paper fidelity) or 'on' (fused nonblocking regions); the ablfuse figure always runs both")
+		strat     = flag.String("strategy", "off", "communication strategy of the figure runs: 'off' (no inspector, the historical kernels), 'auto' (cost-model dispatch), or a pin ('fine', 'bulk', 'push', 'pull', 'gather', 'replicate'); the ablinspect figure always sweeps pins vs auto")
 		chaosPol  = flag.String("chaos-policy", "redistribute", "crash-recovery policy of the -mttr-out runs: 'redistribute', 'failover' or 'besteffort'")
 		mttrOut   = flag.String("mttr-out", "", "crash one locale mid-algorithm (BFS, SSSP, PageRank) under -chaos-seed and -chaos-policy and write the MTTR/recovery-bytes report as JSON to this file")
 		mutate    = flag.Float64("mutate-rate", 0.02, "fraction of stored elements mutated per epoch in the -stream-out benchmark (0 < rate <= 1)")
 		streamOut = flag.String("stream-out", "", "run the streaming ingest/query benchmark (epoch merges + incremental CC + streaming PageRank at -mutate-rate, under -chaos-seed and -chaos-policy) and write the report as JSON to this file")
 		jsonPath  = flag.String("json", "", "also write the figures (modeled points + wall-clock seconds per figure) as JSON to this file")
 		traceOut  = flag.String("trace-out", "", "write the trace spans of the whole run as JSON to this file")
-		traceWant = flag.String("trace-expect", "", "comma-separated op names that must each report at least one span; any missing op fails the run (CI smoke check)")
+		traceWant = flag.String("trace-expect", "", "comma-separated span checks that must each match at least once: an op name, 'key=value' for an exact span tag, or 'key=' for any span carrying that tag (CI smoke check)")
 		traceHTTP = flag.String("trace-http", "", "serve Prometheus-style trace metrics on this address (e.g. :8080) while the run executes")
 		allocOut  = flag.String("alloc-out", "", "measure the steady-state allocs/op of the pooled hot kernels and write them as JSON to this file (the BENCH_alloc.json of the CI gate)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -111,6 +112,11 @@ func main() {
 		bench.SetFusion(false)
 	default:
 		fmt.Fprintf(os.Stderr, "gbbench: -fuse must be 'on' or 'off', got %q\n", *fuse)
+		os.Exit(2)
+	}
+
+	if err := bench.SetStrategy(*strat); err != nil {
+		fmt.Fprintf(os.Stderr, "gbbench: -strategy: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -371,14 +377,30 @@ func main() {
 	}
 }
 
-// countSpans counts spans named name anywhere in the forest.
-func countSpans(spans []*trace.Span, name string) int {
+// countSpans counts matching spans anywhere in the forest. A plain token
+// matches span names; a token containing '=' matches span tags — "k=v"
+// requires the exact tag, "k=" matches any span carrying tag key k (so
+// "strategy=" asserts that dispatch decisions were traced at all).
+func countSpans(spans []*trace.Span, want string) int {
+	key, val := "", ""
+	if i := strings.IndexByte(want, '='); i >= 0 {
+		key, val = want[:i], want[i+1:]
+	}
 	n := 0
 	for _, sp := range spans {
-		if sp.Name == name {
-			n++
+		if key == "" {
+			if sp.Name == want {
+				n++
+			}
+		} else {
+			for _, tg := range sp.Tags {
+				if tg.Key == key && (val == "" || tg.Value == val) {
+					n++
+					break
+				}
+			}
 		}
-		n += countSpans(sp.Children, name)
+		n += countSpans(sp.Children, want)
 	}
 	return n
 }

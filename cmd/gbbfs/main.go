@@ -19,6 +19,7 @@ import (
 	"repro/internal/algorithms"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/inspect"
 	"repro/internal/locale"
 	"repro/internal/machine"
 	"repro/internal/sparse"
@@ -33,9 +34,22 @@ func main() {
 		source  = flag.Int("source", 0, "BFS source vertex")
 		locales = flag.Int("locales", 4, "locale count for the distributed run")
 		threads = flag.Int("threads", 24, "modeled threads per locale")
+		strat   = flag.String("strategy", "auto", "direction strategy of the direction-optimizing run: 'auto' (cost-model dispatch, replaces the old alpha threshold), 'push', or 'pull'")
+		pullThr = flag.Int("pull-threshold", 0, "replay the legacy alpha rule in the direction-optimizing run: pull while nnz(frontier) > n/threshold (0 = use -strategy)")
 		verbose = flag.Bool("v", false, "print per-vertex levels (small graphs)")
 	)
 	flag.Parse()
+
+	dirStrat := inspect.Strategy{PullThreshold: *pullThr}
+	switch *strat {
+	case "auto":
+	case "push":
+		dirStrat.Dir = inspect.DirPush
+	case "pull":
+		dirStrat.Dir = inspect.DirPull
+	default:
+		fatal(fmt.Errorf("-strategy must be 'auto', 'push' or 'pull', got %q", *strat))
+	}
 
 	var a *sparse.CSR[int64]
 	if *input != "" {
@@ -65,6 +79,27 @@ func main() {
 	reach, maxLevel := summarize(res)
 	fmt.Printf("shared-memory BFS: reached %d vertices in %d rounds (eccentricity %d)\n",
 		reach, res.Rounds, maxLevel)
+
+	// Direction-optimizing BFS under the selected strategy (alpha = 0: the
+	// per-round direction comes from the inspector, not a fixed threshold).
+	srt, err := locale.New(machine.Edison(), 1, *threads)
+	if err != nil {
+		fatal(err)
+	}
+	dres0, err := algorithms.BFSDirectionOptimizingCfg(a, *source, 0, core.ShmConfig{
+		Threads: *threads, Workers: 1, Engine: core.EngineBucket,
+		Sim: srt.S, Pool: srt.WP, Scratch: srt.Scratch,
+		Insp: inspect.New(dirStrat),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	doReach, doMax := summarize(dres0)
+	fmt.Printf("direction-optimizing BFS (strategy=%s): reached %d vertices in %d rounds (eccentricity %d), modeled time %.3f ms\n",
+		*strat, doReach, dres0.Rounds, doMax, srt.S.Elapsed()/1e6)
+	if reach != doReach {
+		fatal(fmt.Errorf("plain and direction-optimizing BFS disagree: %d vs %d reached", reach, doReach))
+	}
 
 	// Distributed BFS on the simulated machine.
 	rt, err := locale.New(machine.Edison(), *locales, *threads)

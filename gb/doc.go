@@ -76,6 +76,42 @@
 //   - Algorithm results and reductions are always materialized values;
 //     deferred handles never escape the vector types.
 //
+// # Communication strategy
+//
+// Distributed kernels dispatch among communication variants per operation —
+// fine-grained element traffic vs bulk collectives, push vs pull traversal,
+// row-team gather vs full vector replication — through an inspector–executor
+// layer that prices each variant from the op's sampled access pattern and
+// calibrates its model against observed costs. All variants produce bitwise
+// identical results; only the modeled cost differs. The default (gb.Auto)
+// selects every axis automatically; a Strategy assembled from
+// StrategyOptions pins axes:
+//
+//	ctx, _ := gb.New(gb.Locales(16), gb.WithStrategy(gb.ForceBulk))
+//	pinned, _ := ctx.WithStrategy(gb.ForcePull, gb.PinEngine(gb.MergeSort))
+//	auto, _ := ctx.WithStrategy(gb.Auto)  // clear every pin
+//
+// The strategy aliasing rules:
+//
+//   - ctx.WithStrategy derives a context with a fresh inspector: empty
+//     calibration and decision history, so the derived lineage prices its
+//     own workload from scratch. The receiver keeps its strategy, model and
+//     history unmodified.
+//   - Implicit derivations (other With* methods, Transpose) carry a clone of
+//     the inspector — same strategy and calibration, diverging history — so
+//     they keep the learned cost model.
+//   - An armed fault plan overrides cost-driven comm dispatch: the variant
+//     with established retry semantics is kept (decisions record
+//     reason=fault-plan).
+//   - ctx.StrategyTable() renders the retained dispatch decisions ("op
+//     axis=choice reason" per line); ctx.Strategy() reads the installed
+//     strategy back. With a tracer attached, each decision also reports a
+//     punctual Dispatch span tagged op=, strategy= and reason=.
+//
+// BFSDirectionOptimizing's alpha parameter folds into this layer: alpha > 0
+// replays the legacy threshold rule (gb.PullThreshold is the per-context
+// equivalent), alpha <= 0 defers each round's direction to the inspector.
+//
 // # Deriving contexts and aliasing
 //
 // The chainable With* methods (WithFaultPlan, WithRetryPolicy, WithTracer)

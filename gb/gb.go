@@ -71,8 +71,10 @@ const (
 // performance-model state.
 //
 // New contexts default to EngineBucket — the fastest SpMSpV pipeline — for
-// their local multiplies; use SetSpMSpVEngine to study the paper's original
-// pipelines. All engines produce bitwise-identical results.
+// their local multiplies and to the automatic communication strategy
+// (gb.Auto); pass an Engine or gb.WithStrategy options to New to study the
+// paper's original pipelines or pin dispatch axes. All engines and strategy
+// choices produce bitwise-identical results.
 type Context struct {
 	rt *locale.Runtime
 	// replicate makes matrices created on this context carry a
@@ -101,6 +103,7 @@ func (c *Context) clone() *Context {
 	nc.fq = nil
 	rt := *c.rt
 	rt.S = c.rt.S.Clone()
+	rt.Insp = c.rt.Insp.Clone()
 	if rt.Tr != nil {
 		rt.Tr.Bind(rt.S)
 	}
@@ -120,25 +123,32 @@ func (c *Context) WithTracer(t *Trace) *Context {
 func (c *Context) Tracer() *Trace { return c.rt.Tr }
 
 // SetSpMSpVEngine selects the shared-memory SpMSpV pipeline for subsequent
-// operations on this context.
+// operations on this context. Unknown engine values are rejected (they used
+// to fall back to EngineBucket silently).
 //
-// Deprecated: pass the Engine to New instead (gb.New(gb.MergeSort)); this
-// mutating setter remains for existing callers.
-func (c *Context) SetSpMSpVEngine(e Engine) {
+// Deprecated: pass the Engine to New (gb.New(gb.MergeSort)) or pin it in a
+// strategy (gb.WithStrategy(gb.PinEngine(gb.MergeSort))); this mutating
+// setter remains for existing callers.
+func (c *Context) SetSpMSpVEngine(e Engine) error {
 	switch e {
 	case EngineMergeSort:
 		c.rt.ShmEngine = int(core.EngineMergeSort)
 	case EngineRadixSort:
 		c.rt.ShmEngine = int(core.EngineRadixSort)
-	default:
+	case EngineBucket:
 		c.rt.ShmEngine = int(core.EngineBucket)
+	default:
+		return fmt.Errorf("gb: unknown engine %d", int(e))
 	}
+	return nil
 }
 
 // NewContext returns a context with p locales (one per node) and the given
-// modeled thread count per locale, on the Edison machine model.
+// modeled thread count per locale, on the Edison machine model. Like New, it
+// installs the automatic communication strategy (gb.Auto).
 //
-// Deprecated: use New(Locales(p), Threads(threads)).
+// Deprecated: use New(Locales(p), Threads(threads)), optionally with
+// WithStrategy to pin dispatch axes.
 func NewContext(p, threads int) (*Context, error) {
 	return New(Locales(p), Threads(threads))
 }
@@ -146,7 +156,8 @@ func NewContext(p, threads int) (*Context, error) {
 // NewContextOneNode places all p locales on a single node (the configuration
 // of the paper's Fig 10).
 //
-// Deprecated: use New(Locales(p), Threads(threads), OneNode()).
+// Deprecated: use New(Locales(p), Threads(threads), OneNode()), optionally
+// with WithStrategy to pin dispatch axes.
 func NewContextOneNode(p, threads int) (*Context, error) {
 	return New(Locales(p), Threads(threads), OneNode())
 }
@@ -160,7 +171,7 @@ func (c *Context) Threads() int { return c.rt.Threads }
 // SetRealWorkers sets how many goroutines shared-memory kernels actually use
 // (default 1, which makes every operation deterministic).
 //
-// Deprecated: use the Workers option of New.
+// Deprecated: use the Workers option of New (gb.New(gb.Workers(w))).
 func (c *Context) SetRealWorkers(w int) { c.rt.RealWorkers = w }
 
 // Elapsed returns the modeled execution time accumulated so far, in seconds.
@@ -438,7 +449,7 @@ func SpMSpV[T Number](a *Matrix[T], x *Vector[T]) (*Vector[int64], error) {
 		q.nodes = append(q.nodes, &qnode{
 			desc: core.OpDesc{Op: core.OpSpMSpV, In0: q.id(xv), Out: q.id(ov)},
 			run: func() error {
-				y, _ := core.SpMSpVDist(rt, am, xv)
+				y, _ := core.SpMSpVDistAuto(rt, am, xv)
 				*ov = *y
 				return nil
 			},
@@ -449,7 +460,7 @@ func SpMSpV[T Number](a *Matrix[T], x *Vector[T]) (*Vector[int64], error) {
 		})
 		return out, nil
 	}
-	y, _ := core.SpMSpVDist(c.rt, a.m, x.v)
+	y, _ := core.SpMSpVDistAuto(c.rt, a.m, x.v)
 	return &Vector[int64]{ctx: c, v: y}, nil
 }
 
@@ -614,12 +625,16 @@ func Transpose[T Number](a *Matrix[T]) (*Matrix[T], error) {
 		return nil, err
 	}
 	trt.Fusion = a.ctx.rt.Fusion
+	trt.Insp = a.ctx.rt.Insp.Clone()
 	return &Matrix[T]{ctx: &Context{rt: trt, fusion: a.ctx.fusion}, m: at}, nil
 }
 
 // BFSDirectionOptimizing runs the push/pull BFS on a gathered copy of the
-// matrix (a shared-memory algorithm; alpha <= 0 uses the default switch
-// threshold of 14).
+// matrix (a shared-memory algorithm). alpha > 0 replays the legacy switch
+// rule (pull while nnz(frontier) > n/alpha); alpha <= 0 means Auto — the
+// context's inspector picks the direction per round from modeled push/pull
+// work, honoring any strategy pin (gb.ForcePush / gb.ForcePull) or
+// gb.PullThreshold.
 func BFSDirectionOptimizing[T Number](a *Matrix[T], source, alpha int) (*BFSResult, error) {
 	a.ctx.force()
 	csr, err := a.m.ToCSR()
@@ -627,7 +642,7 @@ func BFSDirectionOptimizing[T Number](a *Matrix[T], source, alpha int) (*BFSResu
 		return nil, err
 	}
 	return algorithms.BFSDirectionOptimizingCfg(csr, source, alpha,
-		core.ShmConfig{Fused: a.ctx.rt.Fusion})
+		core.ShmConfig{Fused: a.ctx.rt.Fusion, Insp: a.ctx.rt.Insp})
 }
 
 // BetweennessCentrality computes Brandes betweenness from the given source

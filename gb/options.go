@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/fault"
+	"repro/internal/inspect"
 	"repro/internal/locale"
 	"repro/internal/machine"
 	"repro/internal/trace"
@@ -49,6 +50,9 @@ type options struct {
 	// fusion selects the execution mode; the zero value Fused makes
 	// nonblocking execution the default (see fusion.go).
 	fusion FusionMode
+	// strategy is the communication strategy assembled by WithStrategy; nil
+	// means fully automatic (see strategy.go).
+	strategy *Strategy
 }
 
 // Locales sets the locale count (default 1, one locale per node).
@@ -128,8 +132,9 @@ func (rp RetryPolicy) apply(o *options) error {
 }
 
 // New builds a Context from functional options. The defaults are one locale,
-// one thread, the bucket SpMSpV engine, no faults and no tracing — a
-// deterministic single-node configuration on the Edison machine model.
+// one thread, the bucket SpMSpV engine, the automatic communication strategy
+// (gb.Auto — see WithStrategy), no faults and no tracing — a deterministic
+// single-node configuration on the Edison machine model.
 //
 // New replaces the old constructor/setter sprawl: NewContext,
 // NewContextOneNode, SetSpMSpVEngine, SetRealWorkers, WithFaultPlan and
@@ -137,7 +142,8 @@ func (rp RetryPolicy) apply(o *options) error {
 // expresses any combination:
 //
 //	ctx, err := gb.New(gb.Locales(16), gb.Threads(24), gb.Engine(gb.Bucket),
-//	    gb.StandardChaosPlan(7), gb.RetryPolicy{MaxAttempts: 5})
+//	    gb.WithStrategy(gb.ForceBulk), gb.StandardChaosPlan(7),
+//	    gb.RetryPolicy{MaxAttempts: 5})
 func New(opts ...Option) (*Context, error) {
 	o := options{locales: 1, threads: 1, engine: EngineBucket}
 	for _, op := range opts {
@@ -164,7 +170,17 @@ func New(opts ...Option) (*Context, error) {
 	}
 	ctx := &Context{rt: rt, fusion: o.fusion}
 	rt.Fusion = o.fusion == Fused
-	ctx.SetSpMSpVEngine(o.engine)
+	strat := inspect.Strategy{}
+	if o.strategy != nil {
+		strat = o.strategy.inner
+		if o.strategy.engine != 0 {
+			o.engine = o.strategy.engine
+		}
+	}
+	rt.Insp = inspect.New(strat)
+	if err := ctx.SetSpMSpVEngine(o.engine); err != nil {
+		return nil, err
+	}
 	if o.workers > 0 {
 		rt.RealWorkers = o.workers
 	}

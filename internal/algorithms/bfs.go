@@ -184,7 +184,7 @@ func BFSDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], source int) 
 			res.Rounds++
 			continue
 		}
-		y, _ := core.SpMSpVDist(rt, a, frontier)
+		y, _ := core.SpMSpVDistAuto(rt, a, frontier)
 		// Keep only vertices not yet visited. The parents vector y carries
 		// int64 values; mask it against the visited flags.
 		fresh, err := core.EWiseMultSD(rt, y, notVisited, func(_, nv int64) bool { return nv != 0 })

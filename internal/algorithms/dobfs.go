@@ -4,8 +4,10 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/inspect"
 	"repro/internal/semiring"
 	"repro/internal/sparse"
+	"repro/internal/trace"
 )
 
 // BFSDirectionOptimizing is the push/pull ("direction-optimizing") BFS of
@@ -16,8 +18,11 @@ import (
 // frontier member. The paper cites exactly this kind of workload (BFS on
 // bulk-synchronous frontiers) as the driver for its operations.
 //
-// alpha controls the switch: pull is used while nnz(frontier) > n/alpha.
-// alpha <= 0 selects the conventional default of 14.
+// alpha controls the switch when positive: pull is used while
+// nnz(frontier) > n/alpha. alpha <= 0 means Auto: with an inspector in
+// cfg.Insp the direction is decided per round from modeled push/pull work
+// (or the strategy's pin / PullThreshold); without one, the conventional
+// threshold of 14 applies, as before.
 func BFSDirectionOptimizing[T semiring.Number](a *sparse.CSR[T], source int, alpha int) (*BFSResult, error) {
 	return BFSDirectionOptimizingCfg(a, source, alpha, core.ShmConfig{})
 }
@@ -25,7 +30,8 @@ func BFSDirectionOptimizing[T semiring.Number](a *sparse.CSR[T], source int, alp
 // BFSDirectionOptimizingCfg is BFSDirectionOptimizing with an explicit
 // shared-memory config: the push steps run through cfg (forcing the bucket
 // engine, as before) so their cost charging and tracing flow to cfg.Sim and
-// cfg.Trace.
+// cfg.Trace, and cfg.Insp drives the per-round direction choice when alpha
+// is Auto.
 func BFSDirectionOptimizingCfg[T semiring.Number](a *sparse.CSR[T], source int, alpha int, cfg core.ShmConfig) (*BFSResult, error) {
 	defer cfg.Trace.Begin("BFSDirectionOptimizing").End()
 	if a.NRows != a.NCols {
@@ -35,9 +41,12 @@ func BFSDirectionOptimizingCfg[T semiring.Number](a *sparse.CSR[T], source int, 
 	if source < 0 || source >= n {
 		return nil, fmt.Errorf("algorithms: DOBFS: source %d out of range [0,%d)", source, n)
 	}
-	if alpha <= 0 {
+	inspected := alpha <= 0 && cfg.Insp != nil
+	if alpha <= 0 && !inspected {
 		alpha = 14
 	}
+	totalEdges := a.NNZ()
+	unvisited := n - 1
 	at := a.ToCSC() // in-neighbor access for the pull step
 
 	res := &BFSResult{Source: source, Level: make([]int64, n), Parent: make([]int64, n)}
@@ -56,16 +65,68 @@ func BFSDirectionOptimizingCfg[T semiring.Number](a *sparse.CSR[T], source int, 
 
 	for level := int64(1); frontier.NNZ() > 0; level++ {
 		var next *sparse.Vec[T]
-		if frontier.NNZ() > n/alpha {
+		var usePull bool
+		var pushEst, pullEst float64 // > 0 when the cost model priced this round
+		if !inspected {
+			usePull = frontier.NNZ() > n/alpha
+		} else {
+			s := cfg.Insp.Strategy()
+			switch {
+			case s.Dir != inspect.DirAuto:
+				// Pinned: DecideDir records the forced choice; costs unused.
+				usePull = cfg.Insp.DecideDir("DOBFS", 0, 0, "", "") == inspect.DirPull
+			case s.PullThreshold > 0:
+				// Legacy rule on an explicit threshold, recorded as such.
+				usePull = frontier.NNZ() > n/s.PullThreshold
+				choice := "push"
+				if usePull {
+					choice = "pull"
+				}
+				cfg.Insp.Note("DOBFS", inspect.AxisDir, choice, inspect.ReasonPullThreshold)
+			default:
+				fEdges := 0
+				for _, u := range frontier.Ind {
+					cols, _ := a.Row(u)
+					fEdges += len(cols)
+				}
+				pushEst, pullEst = core.EstimateBFSDir(&cfg, n, unvisited, frontier.NNZ(), fEdges, totalEdges)
+				usePull = cfg.Insp.DecideDir("DOBFS", pushEst, pullEst,
+					core.ReasonFrontierEdges, core.ReasonUnvisitedScan) == inspect.DirPull
+			}
+			d := cfg.Insp.Last()
+			cfg.Trace.Begin("Dispatch",
+				trace.T("op", d.Op), trace.T("strategy", d.Choice), trace.T("reason", d.Reason)).End()
+		}
+		// Calibrate the cost-model rounds against the simulator's actual
+		// charge for the round (spawn overheads, bandwidth and all).
+		modeled := pullEst > 0 && cfg.Sim != nil
+		var roundStart float64
+		if modeled {
+			roundStart = cfg.Sim.Elapsed()
+		}
+		observeRound := func() {
+			if !modeled {
+				return
+			}
+			choice, est := uint8(inspect.DirPush), pushEst
+			if usePull {
+				choice, est = uint8(inspect.DirPull), pullEst
+			}
+			cfg.Insp.Observe(inspect.AxisDir, choice, est, cfg.Sim.Elapsed()-roundStart)
+		}
+		if usePull {
 			// Bottom-up (pull): every undiscovered vertex looks for an
 			// in-neighbor in the frontier; first hit becomes the parent.
 			next = sparse.NewVec[T](n)
+			var checked, scanned int64
 			for v := 0; v < n; v++ {
 				if visited.Data[v] != 0 {
 					continue
 				}
+				checked++
 				rows, _ := at.Col(v)
 				for _, u := range rows {
+					scanned++
 					if inFrontier[u] {
 						res.Level[v] = level
 						res.Parent[v] = int64(u)
@@ -78,6 +139,8 @@ func BFSDirectionOptimizingCfg[T semiring.Number](a *sparse.CSR[T], source int, 
 			for _, v := range next.Ind {
 				visited.Data[v] = 1
 			}
+			core.ChargeDOBFSPull(&cfg, checked, scanned)
+			observeRound()
 		} else if cfg.Fused {
 			// Fused push step: the frontier is rewritten in place, so clear
 			// its flags before the call and set the new ones after — the
@@ -92,6 +155,8 @@ func BFSDirectionOptimizingCfg[T semiring.Number](a *sparse.CSR[T], source int, 
 			for _, v := range frontier.Ind {
 				inFrontier[v] = true
 			}
+			observeRound()
+			unvisited -= frontier.NNZ()
 			if frontier.NNZ() > 0 {
 				res.Rounds++
 			}
@@ -112,6 +177,7 @@ func BFSDirectionOptimizingCfg[T semiring.Number](a *sparse.CSR[T], source int, 
 				next.Ind = append(next.Ind, v)
 				next.Val = append(next.Val, 1)
 			}
+			observeRound()
 		}
 		// Swap frontier flags.
 		for _, v := range frontier.Ind {
@@ -120,6 +186,7 @@ func BFSDirectionOptimizingCfg[T semiring.Number](a *sparse.CSR[T], source int, 
 		for _, v := range next.Ind {
 			inFrontier[v] = true
 		}
+		unvisited -= next.NNZ()
 		frontier = next
 		if frontier.NNZ() > 0 {
 			res.Rounds++

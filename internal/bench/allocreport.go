@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/inspect"
 	"repro/internal/locale"
 	"repro/internal/machine"
 	"repro/internal/semiring"
@@ -169,6 +170,22 @@ func MeasureAllocs() (AllocReport, error) {
 	add("apply2", func() {
 		core.Apply2(rtDist, dx, op)
 	})
+
+	// Inspector dispatch: pricing both communication variants, recording the
+	// decision and feeding back the observed cost all run on the inspector's
+	// fixed ring and calibration arrays — a dispatch heats no memory.
+	rtDist.Insp = inspect.New(inspect.Strategy{})
+	dma := dist.MatFromCSR(rtDist, sparse.ErdosRenyi[int64](8000, 8, 7))
+	dispatch := func() {
+		est := core.EstimateSpMSpVComm(rtDist, dma, dx)
+		choice := rtDist.Insp.DecideComm("SpMSpV", est.Fine, est.Bulk,
+			core.ReasonSparseFrontier, core.ReasonDenseFrontier)
+		rtDist.Insp.Observe(inspect.AxisComm, uint8(choice), est.Fine, est.Fine)
+	}
+	for i := 0; i < allocWarmups; i++ {
+		dispatch()
+	}
+	add("inspector_dispatch", dispatch)
 
 	// Streaming ingest: absorbing mutations appends into retained delta
 	// buffers, and a steady-state epoch merge runs entirely on recycled

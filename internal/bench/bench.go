@@ -83,6 +83,7 @@ func Registry() []struct {
 		{"ablengine", AblEngine},
 		{"ablbulk", AblBulk},
 		{"ablfuse", AblFuse},
+		{"ablinspect", AblInspect},
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/fault"
+	"repro/internal/inspect"
 	"repro/internal/locale"
 	"repro/internal/machine"
 	"repro/internal/sparse"
@@ -37,6 +38,39 @@ var fusion bool
 // subsequent figure run.
 func SetFusion(on bool) { fusion = on }
 
+// strategy, when non-nil, installs an inspector with the given pins on every
+// figure runtime (gbbench -strategy). The default keeps runtimes without an
+// inspector — the hardcoded paper-fidelity kernels — so figure baselines are
+// unaffected; AblInspect sets strategies per-run itself and ignores this knob.
+var strategy *inspect.Strategy
+
+// SetStrategy selects the communication strategy of every subsequent figure
+// run: "off" (no inspector, the historical kernels), "auto", or a single-axis
+// pin ("fine", "bulk", "push", "pull", "gather", "replicate").
+func SetStrategy(name string) error {
+	switch name {
+	case "off":
+		strategy = nil
+	case "auto":
+		strategy = &inspect.Strategy{}
+	case "fine":
+		strategy = &inspect.Strategy{Comm: inspect.CommFine}
+	case "bulk":
+		strategy = &inspect.Strategy{Comm: inspect.CommBulk}
+	case "push":
+		strategy = &inspect.Strategy{Dir: inspect.DirPush}
+	case "pull":
+		strategy = &inspect.Strategy{Dir: inspect.DirPull}
+	case "gather":
+		strategy = &inspect.Strategy{Place: inspect.PlaceGather}
+	case "replicate":
+		strategy = &inspect.Strategy{Place: inspect.PlaceReplicate}
+	default:
+		return fmt.Errorf("bench: unknown strategy %q", name)
+	}
+	return nil
+}
+
 // tracer, when non-nil, is installed on every runtime the figures build so a
 // driver (gbbench -trace-out) can export one span forest for the whole run.
 // Tracing only observes the simulator — modeled times are identical with and
@@ -65,6 +99,9 @@ func applyChaos(rt *locale.Runtime) *locale.Runtime {
 	}
 	if tracer != nil {
 		rt.SetTracer(tracer)
+	}
+	if strategy != nil {
+		rt.Insp = inspect.New(*strategy)
 	}
 	rt.Fusion = fusion
 	return rt

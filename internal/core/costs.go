@@ -82,6 +82,15 @@ const (
 
 	// denseToSparse scan at the end of the distributed SpMSpV.
 	costScanCPU = 4.0
+
+	// Direction-optimized BFS pull phase: sequential in-neighbor scans over
+	// the CSC copy with early exit — streaming access, no atomics, an order
+	// of magnitude cheaper per edge than the push side's per-entry SPA
+	// machinery above.
+	costPullScanCPU   = 80.0
+	costPullScanBytes = 16.0
+	// Per unvisited vertex: the visited test and loop overhead.
+	costPullCheckCPU = 20.0
 )
 
 // log2ceil returns ceil(log2(n)) for n >= 1, minimum 1 (a search in a

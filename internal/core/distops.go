@@ -48,11 +48,12 @@ func SpMVDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *dist.Den
 	g := rt.G
 	rt.S.CoforallSpawn()
 
-	// Row-team all-gather of x: locale (r, c) needs x over the row band r.
-	// The vector's block distribution aligns with the bands (same identity
-	// used by SpMSpVDist), so the row team's local parts concatenate to the
-	// band segment.
-	xParts, err := comm.RowAllGather(rt, x.Loc)
+	// Locale (r, c) needs x over the row band r. The vector's block
+	// distribution aligns with the bands (same identity used by SpMSpVDist),
+	// so the row team's local parts concatenate to the band segment. The
+	// inspector picks the placement (row-team all-gather vs full
+	// replication); a nil inspector keeps the all-gather.
+	xParts, err := distributeSpMVInput(rt, a, x, "SpMV")
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,352 @@
+package core
+
+// The executor half of the inspector–executor layer (the inspector lives in
+// internal/inspect): before a distributed kernel runs, the functions here
+// sample the op's access pattern — frontier density, per-locale nnz, expected
+// products, team sizes — price each communication variant with the
+// simulator's non-mutating estimators under the exact charging formulas of
+// internal/comm, and let the runtime's inspector pick the cheaper side. A nil
+// inspector short-circuits every dispatch to the historical hardcoded
+// variant, so raw runtimes and existing benchmarks are byte-for-byte
+// unchanged.
+
+import (
+	"repro/internal/comm"
+	"repro/internal/dist"
+	"repro/internal/inspect"
+	"repro/internal/locale"
+	"repro/internal/semiring"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Reason strings the executors hand the inspector: the signal each modeled
+// cost was derived from, recorded on the winning side's decision and emitted
+// as the dispatch span's reason= tag.
+const (
+	// ReasonSparseFrontier: the frontier is sparse enough that per-element
+	// fine-grained traffic undercuts the bulk collectives' fixed latencies.
+	ReasonSparseFrontier = "sparse-frontier"
+	// ReasonDenseFrontier: enough elements move that the bulk payloads
+	// amortize their per-pair latency below the per-element cost.
+	ReasonDenseFrontier = "dense-frontier"
+	// ReasonTeamGather: the row-team all-gather moves only each team's band
+	// over a team-depth tree.
+	ReasonTeamGather = "row-team-gather"
+	// ReasonReplicated: full replication of the vector priced below the
+	// team gathers (requires heavy row skew; see EstimateSpMVPlace).
+	ReasonReplicated = "replicated-vector"
+	// ReasonFrontierEdges: the frontier's out-edges are few enough that
+	// pushing them beats scanning the unvisited side.
+	ReasonFrontierEdges = "frontier-edges"
+	// ReasonUnvisitedScan: the frontier is dense enough that bottom-up
+	// in-neighbor scans terminate early and undercut the push machinery.
+	ReasonUnvisitedScan = "unvisited-scan"
+)
+
+// estTreeDepth mirrors comm's treeDepth: ceil(log2(p)), 0 for p <= 1.
+func estTreeDepth(p int) float64 {
+	d := 0
+	for v := 1; v < p; v <<= 1 {
+		d++
+	}
+	return float64(d)
+}
+
+// sparsePayloadBytes mirrors comm's sparse-collective payload: 16 bytes per
+// (index, value) element.
+func sparsePayloadBytes(n int) int64 { return int64(16 * n) }
+
+// estSparseMergeCPU mirrors comm's per-element sorted-merge cost.
+const estSparseMergeCPU = 6.0
+
+// SpMSpVCommCosts prices the communication phases of one distributed SpMSpV
+// under both shapes. The local multiply is identical either way and is
+// excluded. The gather halves are exact — per-locale frontier counts are
+// known before the run — while the scatter halves rest on a products
+// estimate, whose realized value is fed back through observe.
+type SpMSpVCommCosts struct {
+	// Fine prices SpMSpVDist's per-element exchange; Bulk prices
+	// SpMSpVDistBulk's sparse collectives.
+	Fine, Bulk               float64
+	fineScatter, bulkScatter float64
+	products                 float64
+}
+
+// EstimateSpMSpVComm samples x's per-locale frontier and prices the fine and
+// bulk communication shapes of y = A·x. It allocates nothing.
+func EstimateSpMSpVComm[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *dist.SpVec[T]) SpMSpVCommCosts {
+	g := rt.G
+	var e SpMSpVCommCosts
+	var fineGather, bulkGather float64
+	nnzX := 0
+	for r := 0; r < g.Pr; r++ {
+		teamTotal := 0
+		for c := 0; c < g.Pc; c++ {
+			teamTotal += x.Loc[g.ID(r, c)].NNZ()
+		}
+		nnzX += teamTotal
+		for c := 0; c < g.Pc; c++ {
+			l := g.ID(r, c)
+			remote := int64(teamTotal - x.Loc[l].NNZ())
+			srcCount := 0
+			var tb float64
+			for c2 := 0; c2 < g.Pc; c2++ {
+				src := g.ID(r, c2)
+				if src == l {
+					continue
+				}
+				if sn := x.Loc[src].NNZ(); sn > 0 {
+					srcCount++
+					tb += rt.S.BulkTime(sparsePayloadBytes(sn), g.SameNode(src, l))
+				}
+			}
+			if remote > 0 {
+				o := rt.FineLatencyOpts(l, pickRemote(l, g.P), remote+int64(srcCount)*6, bytesPerEntry, g.P)
+				o.Overlap = 1
+				if t := rt.S.FineGrainedTime(o); t > fineGather {
+					fineGather = t
+				}
+			}
+			tb += rt.S.ComputeTime(1, sim.Kernel{Name: "sparse-allgather-merge", Items: int64(teamTotal), CPUPerItem: estSparseMergeCPU})
+			if tb > bulkGather {
+				bulkGather = tb
+			}
+		}
+	}
+
+	// Products: expected output entries across all locales, before the
+	// owner-side merge — the volume both scatters move. Capped at every
+	// block emitting its full row band.
+	prod := float64(nnzX) * float64(a.NNZ()) / float64(max(a.NCols, 1))
+	if hi := float64(a.NRows) * float64(g.Pc); prod > hi {
+		prod = hi
+	}
+	e.products = prod
+	perLoc := prod / float64(g.P)
+
+	var fineScatter float64
+	if g.P > 1 && perLoc > 0 {
+		msgs := int64(perLoc * float64(g.P-1) / float64(g.P))
+		if msgs > 0 {
+			fineScatter = rt.S.FineGrainedTime(rt.FineLatencyOpts(0, pickRemote(0, g.P), msgs, bytesPerEntry, g.P))
+		}
+	}
+	// The fine path ends with every locale scanning its bounds slice back to
+	// sparse form; the bulk path assembles the result from the merged runs.
+	width := int64((a.NRows + g.P - 1) / g.P)
+	fineScatter += rt.S.ComputeTime(rt.Threads, sim.Kernel{Name: "spmspv-densetosparse", Items: width, CPUPerItem: costScanCPU, BytesPerItem: 1})
+
+	var bulkScatter float64
+	if prod > 0 && g.Pc > 1 {
+		// Each block's output lands on its own grid row's Pc owners: every
+		// destination receives from its Pc-1 row neighbours.
+		pairs := g.Pc - 1
+		recvRemote := perLoc * float64(pairs) / float64(g.Pc)
+		intra := g.SameNode(0, g.P-1)
+		bulkScatter = float64(pairs)*rt.S.BulkTime(sparsePayloadBytes(int(recvRemote)/pairs), intra) +
+			rt.S.ComputeTime(1, sim.Kernel{Name: "colmerge-scatter-merge", Items: int64(recvRemote), CPUPerItem: estSparseMergeCPU})
+	}
+
+	e.fineScatter, e.bulkScatter = fineScatter, bulkScatter
+	e.Fine = fineGather + fineScatter
+	e.Bulk = bulkGather + bulkScatter
+	return e
+}
+
+// observe feeds the realized scatter volume back into the inspector's
+// calibration. The gather half of the estimate is exact, so the whole
+// observed/estimated gap is attributed to the scatter's product prediction:
+// the scatter component is re-priced linearly by the realized ratio.
+func (e SpMSpVCommCosts) observe(in *inspect.Inspector, choice inspect.Comm, st DistStats) {
+	if e.products <= 0 || st.ScatteredMsgs <= 0 {
+		return
+	}
+	r := float64(st.ScatteredMsgs) / e.products
+	switch choice {
+	case inspect.CommFine:
+		in.Observe(inspect.AxisComm, uint8(choice), e.Fine, e.Fine-e.fineScatter+e.fineScatter*r)
+	case inspect.CommBulk:
+		in.Observe(inspect.AxisComm, uint8(choice), e.Bulk, e.Bulk-e.bulkScatter+e.bulkScatter*r)
+	}
+}
+
+// dispatchSpan opens the strategy-tagged span recording the inspector's most
+// recent decision. The dispatched kernel's own span becomes its child, so a
+// trace shows Dispatch[op= strategy= reason=] → kernel.
+func dispatchSpan(rt *locale.Runtime, in *inspect.Inspector) *trace.Span {
+	d := in.Last()
+	return rt.Span("Dispatch", trace.T("op", d.Op), trace.T("strategy", d.Choice), trace.T("reason", d.Reason))
+}
+
+// SpMSpVDistAuto runs one distributed SpMSpV, dispatching between the
+// fine-grained element exchange (SpMSpVDist) and the bulk collectives
+// (SpMSpVDistBulk) through the runtime's inspector. A nil inspector keeps the
+// historical fine-grained kernel unconditionally. Both variants produce
+// bitwise-identical results (the bulk owner-merge replays the fine path's
+// locale-order first-wins rule), so the choice is purely one of modeled cost.
+func SpMSpVDistAuto[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *dist.SpVec[T]) (*dist.SpVec[int64], DistStats) {
+	in := rt.Insp
+	if in == nil {
+		return SpMSpVDist(rt, a, x)
+	}
+	if rt.Fault != nil {
+		// Fault plans are wired through the fine path's per-element retry
+		// accounting; keep it regardless of cost so injected faults surface
+		// with their established semantics.
+		in.Note("SpMSpV", inspect.AxisComm, "fine", inspect.ReasonFaultPlan)
+		defer dispatchSpan(rt, in).End()
+		return SpMSpVDist(rt, a, x)
+	}
+	if rt.G.P == 1 {
+		in.Note("SpMSpV", inspect.AxisComm, "fine", inspect.ReasonSingleLocale)
+		defer dispatchSpan(rt, in).End()
+		return SpMSpVDist(rt, a, x)
+	}
+	e := EstimateSpMSpVComm(rt, a, x)
+	choice := in.DecideComm("SpMSpV", e.Fine, e.Bulk, ReasonSparseFrontier, ReasonDenseFrontier)
+	defer dispatchSpan(rt, in).End()
+	if choice == inspect.CommBulk {
+		y, st, err := SpMSpVDistBulk(rt, a, x)
+		if err == nil {
+			e.observe(in, choice, st)
+			return y, st
+		}
+		// The bulk collectives only fail under an armed fault plan, which
+		// was routed to the fine path above; fall through defensively.
+	}
+	y, st := SpMSpVDist(rt, a, x)
+	e.observe(in, inspect.CommFine, st)
+	return y, st
+}
+
+// EstimateSpMVPlace prices the two ways of handing every locale the input
+// band of a distributed SpMV: the row-team all-gather each team runs today,
+// vs replicating the whole vector to every locale over one P-deep tree. The
+// formulas mirror comm.RowAllGather's charging exactly, so with dense
+// (unskewed) bands the gather never loses — replication stays reachable only
+// through ForceReplicate, and the decision table says why.
+func EstimateSpMVPlace[T semiring.Number](rt *locale.Runtime, x *dist.DenseVec[T]) (gather, replicate float64) {
+	g := rt.G
+	for r := 0; r < g.Pr; r++ {
+		total := 0
+		for c := 0; c < g.Pc; c++ {
+			total += len(x.Loc[g.ID(r, c)])
+		}
+		if t := rt.S.BulkTime(int64(8*total), false) * estTreeDepth(g.Pc); t > gather {
+			gather = t
+		}
+	}
+	replicate = rt.S.BulkTime(int64(8*x.N), false) * estTreeDepth(g.P)
+	return gather, replicate
+}
+
+// distributeSpMVInput gives every locale the x segment of its grid row,
+// routing between comm.RowAllGather and full replication through the
+// runtime's inspector. Both placements deliver identical band contents — the
+// vector's block bounds align with the matrix row bands (BlockBounds(n, P)
+// at index r·Pc equals BlockBounds(n, Pr) at r) — so downstream multiplies
+// are bitwise identical. A nil inspector keeps the historical all-gather.
+func distributeSpMVInput[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *dist.DenseVec[T], op string) ([][]T, error) {
+	in := rt.Insp
+	if in == nil {
+		return comm.RowAllGather(rt, x.Loc)
+	}
+	if rt.Fault != nil || rt.G.P == 1 {
+		reason := inspect.ReasonSingleLocale
+		if rt.Fault != nil {
+			reason = inspect.ReasonFaultPlan
+		}
+		in.Note(op, inspect.AxisPlace, "gather", reason)
+		defer dispatchSpan(rt, in).End()
+		return comm.RowAllGather(rt, x.Loc)
+	}
+	gc, rc := EstimateSpMVPlace(rt, x)
+	choice := in.DecidePlace(op, gc, rc, ReasonTeamGather, ReasonReplicated)
+	defer dispatchSpan(rt, in).End()
+	if choice == inspect.PlaceGather {
+		return comm.RowAllGather(rt, x.Loc)
+	}
+	return replicateSpMVInput(rt, a.RowBands, x), nil
+}
+
+// replicateSpMVInput broadcasts the full vector to every locale (one tree of
+// depth ceil(log2 P), like comm.Broadcast) and slices each locale's row band
+// out of its replica. The bands are read-only inside the multiplies, so the
+// locales share the replica's backing array.
+func replicateSpMVInput[T semiring.Number](rt *locale.Runtime, rowBands []int, x *dist.DenseVec[T]) [][]T {
+	g := rt.G
+	defer rt.Span("VectorReplicate").End()
+	full := make([]T, 0, x.N)
+	for l := 0; l < g.P; l++ {
+		full = append(full, x.Loc[l]...)
+	}
+	base := rt.S.BulkTime(int64(8*x.N), false) * estTreeDepth(g.P)
+	out := make([][]T, g.P)
+	for l := 0; l < g.P; l++ {
+		rt.S.Advance(l, base)
+		r, _ := g.Coords(l)
+		out[l] = full[rowBands[r]:rowBands[r+1]]
+	}
+	return out
+}
+
+// EstimateBFSDir prices one direction-optimized BFS round. Push runs the
+// masked SpMSpV: every edge out of the frontier pays the per-entry SPA/bucket
+// machinery plus per-row setup and an output pass. Pull scans each unvisited
+// vertex's in-neighbors until it finds a frontier member — streaming access
+// with early exit after ~n/nnz(frontier) probes once the frontier covers that
+// fraction of the vertices. With a simulator in cfg, both sides are priced
+// through its ComputeTime on the kernels the round would actually charge, so
+// the estimates include spawn overheads and memory bandwidth at the config's
+// thread count; without one they fall back to raw work units (same crossover
+// at one thread).
+func EstimateBFSDir(cfg *ShmConfig, n, unvisited, frontierNNZ, frontierEdges, totalEdges int) (push, pull float64) {
+	fEdges, fNNZ := int64(frontierEdges), int64(frontierNNZ)
+	probes := 0.0
+	if frontierNNZ > 0 {
+		probes = float64(n) / float64(frontierNNZ)
+		if avgIn := float64(totalEdges) / float64(max(n, 1)); avgIn < probes {
+			probes = avgIn
+		}
+	}
+	scanned := int64(float64(unvisited) * probes)
+	if cfg == nil || cfg.Sim == nil {
+		push = float64(fEdges)*costSpaCPU + float64(fNNZ)*costSpaPerRow
+		if frontierNNZ == 0 {
+			return push, 0
+		}
+		return push, float64(unvisited)*costPullCheckCPU + float64(scanned)*costPullScanCPU
+	}
+	threads := cfg.Threads
+	if threads <= 0 {
+		threads = 1
+	}
+	push = cfg.Sim.ComputeTime(threads, sim.Kernel{Items: fEdges, CPUPerItem: costSpaCPU, BytesPerItem: costSpaBytes}) +
+		cfg.Sim.ComputeTime(threads, sim.Kernel{Items: fNNZ, CPUPerItem: costSpaPerRow}) +
+		cfg.Sim.ComputeTime(threads, sim.Kernel{Items: fEdges, CPUPerItem: costOutputCPU, BytesPerItem: costOutputBytes})
+	if frontierNNZ == 0 {
+		return push, 0
+	}
+	pull = cfg.Sim.ComputeTime(threads, sim.Kernel{Items: int64(unvisited), CPUPerItem: costPullCheckCPU, BytesPerItem: 1}) +
+		cfg.Sim.ComputeTime(threads, sim.Kernel{Items: scanned, CPUPerItem: costPullScanCPU, BytesPerItem: costPullScanBytes})
+	return push, pull
+}
+
+// ChargeDOBFSPull records the modeled cost of one pull round against the
+// config's simulator — the unvisited vertices checked and the in-edges
+// actually scanned before early exit — and returns the charged nanoseconds
+// (the observed side of the dir-axis calibration). Nil Sim is a no-op,
+// matching the uncharged shared-memory paths.
+func ChargeDOBFSPull(cfg *ShmConfig, checked, scanned int64) float64 {
+	if cfg.Sim == nil {
+		return 0
+	}
+	threads := cfg.Threads
+	if threads <= 0 {
+		threads = 1
+	}
+	t := cfg.Sim.Compute(cfg.Loc, threads, sim.Kernel{Name: "dobfs-pull-check", Items: checked, CPUPerItem: costPullCheckCPU, BytesPerItem: 1})
+	t += cfg.Sim.Compute(cfg.Loc, threads, sim.Kernel{Name: "dobfs-pull-scan", Items: scanned, CPUPerItem: costPullScanCPU, BytesPerItem: costPullScanBytes})
+	return t
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/dist"
+	"repro/internal/inspect"
 	"repro/internal/locale"
 	"repro/internal/semiring"
 	"repro/internal/sim"
@@ -177,6 +178,44 @@ func fusedGather[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *dist.
 	return lxs
 }
 
+// fusedGatherBulk is fusedGather with the bulk collective's charging: one
+// α+βn payload per (src, dst) team pair plus a per-destination sorted merge,
+// exactly as comm.SparseRowAllGather prices it. The gathered data is
+// identical (team order concatenates disjoint ascending ranges), so the
+// downstream multiply is bitwise unchanged — only the modeled clock differs.
+func fusedGatherBulk[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *dist.SpVec[T], st *DistStats) []*sparse.Vec[T] {
+	g := rt.G
+	lxs := make([]*sparse.Vec[T], g.P)
+	for l := 0; l < g.P; l++ {
+		r, _ := g.Coords(l)
+		rowBase := a.RowBands[r]
+		lx := sparse.NewVec[T](a.RowBands[r+1] - rowBase)
+		merged := 0
+		for _, src := range g.RowLocales(r) {
+			sv := x.Loc[src]
+			if sv.NNZ() == 0 {
+				continue // empty sources send nothing
+			}
+			for k, gi := range sv.Ind {
+				lx.Ind = append(lx.Ind, gi-rowBase)
+				lx.Val = append(lx.Val, sv.Val[k])
+			}
+			merged += sv.NNZ()
+			if src != l {
+				rt.S.Bulk(l, sparsePayloadBytes(sv.NNZ()), g.SameNode(src, l))
+			}
+		}
+		lxs[l] = lx
+		st.GatheredElems += int64(lx.NNZ())
+		rt.S.Compute(l, 1, sim.Kernel{
+			Name:       "sparse-allgather-merge",
+			Items:      int64(merged),
+			CPUPerItem: estSparseMergeCPU,
+		})
+	}
+	return lxs
+}
+
 // fusedLocalMultiply runs the per-block shared-memory SpMSpV on every locale
 // and rewrites the discovered row ids to global vertex ids. When bandMask is
 // non-nil the replicated mask segment filters the local product before the
@@ -264,6 +303,81 @@ func fusedScatter[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], lys []*
 	return claimed
 }
 
+// fusedScatterBulk is fusedScatter with the bulk collective's charging: each
+// source's sorted output run splits into per-owner segments, one α+βn payload
+// per remote (src, owner) segment plus a per-owner merge, exactly as
+// comm.ColMergeScatter prices it. The bitmap mutation is identical to
+// fusedScatter (first-wins in locale order), so results are bitwise unchanged.
+func fusedScatterBulk[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], lys []*sparse.Vec[int64], isthere []bool, value []int64, st *DistStats) int {
+	g := rt.G
+	n := a.NCols
+	claimed := 0
+	received := make([]int64, g.P)
+	for l := 0; l < g.P; l++ {
+		_, c := g.Coords(l)
+		colBase := a.ColBands[c]
+		ly := lys[l]
+		segOwner, segLen := -1, 0
+		flush := func() {
+			if segOwner >= 0 && segOwner != l && segLen > 0 {
+				rt.S.Bulk(segOwner, sparsePayloadBytes(segLen), g.SameNode(l, segOwner))
+				received[segOwner] += int64(segLen)
+			}
+			segLen = 0
+		}
+		for k, lj := range ly.Ind {
+			gj := colBase + lj
+			if !isthere[gj] {
+				isthere[gj] = true
+				value[gj] = ly.Val[k]
+				claimed++
+			}
+			if owner := locale.OwnerOf(n, g.P, gj); owner != segOwner {
+				flush()
+				segOwner = owner
+			}
+			segLen++
+		}
+		flush()
+		st.ScatteredMsgs += int64(ly.NNZ())
+		sparse.PutVec(rt.Scratch, ly)
+		lys[l] = nil
+	}
+	for l := 0; l < g.P; l++ {
+		if received[l] > 0 {
+			rt.S.Compute(l, 1, sim.Kernel{
+				Name:       "colmerge-scatter-merge",
+				Items:      received[l],
+				CPUPerItem: estSparseMergeCPU,
+			})
+		}
+	}
+	return claimed
+}
+
+// fusedCommChoice consults the runtime's inspector for the gather/scatter
+// shape of one fused SpMSpV region. A nil inspector keeps the fine-grained
+// charging, preserving every pre-inspector trace and modeled time. The
+// returned span (nil without an inspector) is the strategy-tagged dispatch
+// record; End is nil-safe.
+func fusedCommChoice[T semiring.Number](rt *locale.Runtime, op string, a *dist.Mat[T], x *dist.SpVec[T]) (inspect.Comm, SpMSpVCommCosts, *trace.Span) {
+	in := rt.Insp
+	if in == nil {
+		return inspect.CommFine, SpMSpVCommCosts{}, nil
+	}
+	if rt.Fault != nil {
+		in.Note(op, inspect.AxisComm, "fine", inspect.ReasonFaultPlan)
+		return inspect.CommFine, SpMSpVCommCosts{}, dispatchSpan(rt, in)
+	}
+	if rt.G.P == 1 {
+		in.Note(op, inspect.AxisComm, "fine", inspect.ReasonSingleLocale)
+		return inspect.CommFine, SpMSpVCommCosts{}, dispatchSpan(rt, in)
+	}
+	e := EstimateSpMSpVComm(rt, a, x)
+	choice := in.DecideComm(op, e.Fine, e.Bulk, ReasonSparseFrontier, ReasonDenseFrontier)
+	return choice, e, dispatchSpan(rt, in)
+}
+
 // FusedBFSRound executes one whole BFS round as a single region
 // (RecipeSpMSpVFrontier): the masked SpMSpV push step, the level/parent
 // updates, the visited-mask update, and the next-frontier construction — all
@@ -289,13 +403,20 @@ func FusedBFSRound[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], fronti
 	g := rt.G
 	n := a.NCols
 	var st DistStats
+	choice, est, dsp := fusedCommChoice(rt, "FusedBFSRound", a, frontier)
+	defer dsp.End()
 	rt.S.CoforallSpawn()
 
 	rt.S.BeginPhase("Mask Broadcast")
 	bandMask := fusedMaskBroadcast(rt, a.ColBands, mask)
 
 	rt.S.BeginPhase("Gather Input")
-	lxs := fusedGather(rt, a, frontier, &st)
+	var lxs []*sparse.Vec[T]
+	if choice == inspect.CommBulk {
+		lxs = fusedGatherBulk(rt, a, frontier, &st)
+	} else {
+		lxs = fusedGather(rt, a, frontier, &st)
+	}
 
 	rt.S.BeginPhase("Local Multiply")
 	lys := fusedLocalMultiply(rt, a, lxs, bandMask, keepNonzero, &st)
@@ -303,7 +424,13 @@ func FusedBFSRound[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], fronti
 	rt.S.BeginPhase("Scatter Output")
 	isthere := make([]bool, n)
 	value := make([]int64, n)
-	claimed := fusedScatter(rt, a, lys, isthere, value, &st)
+	var claimed int
+	if choice == inspect.CommBulk {
+		claimed = fusedScatterBulk(rt, a, lys, isthere, value, &st)
+	} else {
+		claimed = fusedScatter(rt, a, lys, isthere, value, &st)
+	}
+	est.observe(rt.Insp, choice, st)
 	if claimed == 0 {
 		rt.S.EndPhase()
 		rt.S.Barrier()
@@ -370,13 +497,20 @@ func FusedSpMSpVMaskedAssign[T semiring.Number](rt *locale.Runtime, a *dist.Mat[
 	g := rt.G
 	n := a.NCols
 	var st DistStats
+	choice, est, dsp := fusedCommChoice(rt, "FusedSpMSpVMaskedAssign", a, x)
+	defer dsp.End()
 	rt.S.CoforallSpawn()
 
 	rt.S.BeginPhase("Mask Broadcast")
 	bandMask := fusedMaskBroadcast(rt, a.ColBands, mask)
 
 	rt.S.BeginPhase("Gather Input")
-	lxs := fusedGather(rt, a, x, &st)
+	var lxs []*sparse.Vec[T]
+	if choice == inspect.CommBulk {
+		lxs = fusedGatherBulk(rt, a, x, &st)
+	} else {
+		lxs = fusedGather(rt, a, x, &st)
+	}
 
 	rt.S.BeginPhase("Local Multiply")
 	// Complemented mask semantics, as in SpMSpVDistMasked: mask != 0 suppresses.
@@ -385,7 +519,12 @@ func FusedSpMSpVMaskedAssign[T semiring.Number](rt *locale.Runtime, a *dist.Mat[
 	rt.S.BeginPhase("Scatter Output")
 	isthere := make([]bool, n)
 	value := make([]int64, n)
-	fusedScatter(rt, a, lys, isthere, value, &st)
+	if choice == inspect.CommBulk {
+		fusedScatterBulk(rt, a, lys, isthere, value, &st)
+	} else {
+		fusedScatter(rt, a, lys, isthere, value, &st)
+	}
+	est.observe(rt.Insp, choice, st)
 
 	bounds := locale.BlockBounds(n, g.P)
 	for l := 0; l < g.P; l++ {
@@ -436,10 +575,17 @@ func FusedSpMSpVFilterAssign[T semiring.Number](rt *locale.Runtime, a *dist.Mat[
 	g := rt.G
 	n := a.NCols
 	var st DistStats
+	choice, est, dsp := fusedCommChoice(rt, "FusedSpMSpVFilterAssign", a, x)
+	defer dsp.End()
 	rt.S.CoforallSpawn()
 
 	rt.S.BeginPhase("Gather Input")
-	lxs := fusedGather(rt, a, x, &st)
+	var lxs []*sparse.Vec[T]
+	if choice == inspect.CommBulk {
+		lxs = fusedGatherBulk(rt, a, x, &st)
+	} else {
+		lxs = fusedGather(rt, a, x, &st)
+	}
 
 	rt.S.BeginPhase("Local Multiply")
 	lys := fusedLocalMultiply(rt, a, lxs, nil, false, &st)
@@ -447,7 +593,12 @@ func FusedSpMSpVFilterAssign[T semiring.Number](rt *locale.Runtime, a *dist.Mat[
 	rt.S.BeginPhase("Scatter Output")
 	isthere := make([]bool, n)
 	value := make([]int64, n)
-	fusedScatter(rt, a, lys, isthere, value, &st)
+	if choice == inspect.CommBulk {
+		fusedScatterBulk(rt, a, lys, isthere, value, &st)
+	} else {
+		fusedScatter(rt, a, lys, isthere, value, &st)
+	}
+	est.observe(rt.Insp, choice, st)
 
 	bounds := locale.BlockBounds(n, g.P)
 	for l := 0; l < g.P; l++ {
@@ -515,7 +666,7 @@ func FusedSpMVUpdate[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], x *d
 	g := rt.G
 	rt.S.CoforallSpawn()
 
-	xParts, err := comm.RowAllGather(rt, x.Loc)
+	xParts, err := distributeSpMVInput(rt, a, x, "FusedSpMVUpdate")
 	if err != nil {
 		return err
 	}

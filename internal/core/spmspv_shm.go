@@ -3,6 +3,7 @@ package core
 import (
 	"sync/atomic"
 
+	"repro/internal/inspect"
 	"repro/internal/semiring"
 	"repro/internal/sim"
 	"repro/internal/sparse"
@@ -102,6 +103,10 @@ type ShmConfig struct {
 	// the eager SpMSpVMasked + update chain. Results are bitwise identical;
 	// the fused path skips the intermediate masked product.
 	Fused bool
+	// Insp is the optional inspector consulted by the direction-optimizing
+	// BFS to pick push vs pull per round (and by future shared-memory
+	// dispatch sites). Nil keeps the legacy alpha-threshold rule.
+	Insp *inspect.Inspector
 }
 
 // ShmStats reports the work a SpMSpV call performed.

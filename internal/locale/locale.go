@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/health"
+	"repro/internal/inspect"
 	"repro/internal/machine"
 	"repro/internal/sim"
 	"repro/internal/sparse"
@@ -203,6 +204,13 @@ type Runtime struct {
 	// gb surface sets this from its fusion mode; raw runtimes default to
 	// eager.
 	Fusion bool
+	// Insp is the optional inspector of the inspector–executor layer: when
+	// non-nil, the dispatching kernel wrappers of internal/core consult it to
+	// pick a communication variant (fine vs bulk, gather vs replicate, push
+	// vs pull) from modeled costs. Nil keeps every kernel's historical
+	// hardcoded variant. The gb surface installs one per Context; raw
+	// runtimes default to nil.
+	Insp *inspect.Inspector
 }
 
 // SetTracer installs t (nil uninstalls) and binds it to the runtime's
