@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-smoke bench-gate bench-baseline fuzz-smoke chaos-matrix figures figures-paper ablations clean
+.PHONY: all build vet test test-short race bench bench-smoke bench-gate bench-baseline fuzz-smoke chaos-matrix spgemm-accept figures figures-paper ablations clean
 
 all: build vet test
 
@@ -51,6 +51,9 @@ bench-smoke:
 		-trace-expect SpMSpVShm,SpMSpVDist,SpMSpVDistBulk,SparseRowAllGather,ColMergeScatter,FusedBFSRound,FusedSpMVUpdate,strategy=,reason=
 	$(GO) run ./cmd/gbbench -figure ablfuse -scale small -json BENCH_fusion.json -q
 	$(GO) run ./cmd/gbbench -figure ablinspect -scale small -json BENCH_inspector.json -q
+	$(GO) run ./cmd/gbbench -figure spgemm -scale small -json BENCH_spgemm.json -q \
+		-trace-out trace_spgemm.json \
+		-trace-expect SpGEMMDist,SUMMABroadcast,SUMMAMultiply,SUMMAMerge,op=spgemm,stage=broadcast,stage=multiply,stage=merge
 
 # Gate the fresh bench-smoke artifacts against the committed baseline: fail on
 # >20% modeled-time regression or ANY increase in steady-state allocs/op.
@@ -72,12 +75,25 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDeltaMerge -fuzztime 30s ./internal/dist
 	$(GO) test -run '^$$' -fuzz FuzzFusionPlan -fuzztime 30s ./gb
 	$(GO) test -run '^$$' -fuzz FuzzStrategyDispatch -fuzztime 30s ./gb
+	$(GO) test -run '^$$' -fuzz FuzzDCSC -fuzztime 30s ./internal/sparse
+	$(GO) test -run '^$$' -fuzz FuzzSpGEMMLocal -fuzztime 30s ./internal/core
 
 # One cell of the CI chaos matrix locally: make chaos-matrix CHAOS_SEED=2 CHAOS_POLICY=failover
+# Runs both the BFS column and the SpGEMM column (crash mid-SUMMA-broadcast).
 CHAOS_SEED ?= 1
 CHAOS_POLICY ?= failover
 chaos-matrix:
-	CHAOS_SEED=$(CHAOS_SEED) CHAOS_POLICY=$(CHAOS_POLICY) $(GO) test -run TestChaosPolicyMatrix -v ./internal/algorithms
+	CHAOS_SEED=$(CHAOS_SEED) CHAOS_POLICY=$(CHAOS_POLICY) $(GO) test -run 'TestChaosPolicyMatrix|TestChaosSpGEMMMatrix' -v ./internal/algorithms
+
+# The CI spgemm-accept job: bitwise identity of the SUMMA SpGEMM against the
+# sequential reference on ER and R-MAT inputs over prime (1xp), square and
+# oversubscribed one-node grids; the per-stage message-count pin (O(sqrt P)
+# broadcasts, nnz-independent); the local heap/hash kernel cross-checks; and
+# the SpGEMM-powered workloads against their shared-memory references.
+spgemm-accept:
+	$(GO) test -run 'TestSpGEMMAccept|TestSUMMA|TestSpGEMMMasked|TestSpGEMMPlace|TestSpGEMMLocal|TestSpGEMMDist|TestDCSC' -v ./internal/core ./internal/sparse
+	$(GO) test -run 'TestTriangleCountDist|TestKTrussDist|TestMSBFS|TestChaosSpGEMM' -v ./internal/algorithms
+	$(GO) test -run 'TestMxM|TestKTrussAndMultiSourceBFSSurface|TestSUMMASpanTreeGolden' -v ./gb
 	$(GO) run ./cmd/gbbench -figure none -chaos-seed $(CHAOS_SEED) -chaos-policy $(CHAOS_POLICY) -mttr-out mttr_$(CHAOS_SEED)_$(CHAOS_POLICY).json -stream-out stream_$(CHAOS_SEED)_$(CHAOS_POLICY).json
 
 clean:

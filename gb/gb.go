@@ -243,11 +243,26 @@ func (m *Matrix[T]) NRows() int { return m.m.NRows }
 // NCols returns the column count.
 func (m *Matrix[T]) NCols() int { return m.m.NCols }
 
-// NNZ returns the stored-element count.
-func (m *Matrix[T]) NNZ() int { return m.m.NNZ() }
+// NNZ returns the stored-element count. Like every read, it materializes the
+// context's pending deferred operations (a queued MxM, say) first.
+func (m *Matrix[T]) NNZ() int {
+	m.ctx.forceObserving(m.m)
+	return m.m.NNZ()
+}
 
-// Get returns element (i, j).
-func (m *Matrix[T]) Get(i, j int) (T, bool) { return m.m.Get(i, j) }
+// Get returns element (i, j), materializing pending deferred operations
+// first.
+func (m *Matrix[T]) Get(i, j int) (T, bool) {
+	m.ctx.forceObserving(m.m)
+	return m.m.Get(i, j)
+}
+
+// ToCSR gathers the distributed matrix into one local CSR (a
+// materialization point: pending deferred operations run first).
+func (m *Matrix[T]) ToCSR() (*sparse.CSR[T], error) {
+	m.ctx.forceObserving(m.m)
+	return m.m.ToCSR()
+}
 
 // NewVector returns an empty distributed sparse vector of capacity n.
 func NewVector[T Number](ctx *Context, n int) *Vector[T] {
@@ -536,14 +551,41 @@ func PageRank[T Number](a *Matrix[T], d, tol float64, maxIter int) ([]float64, i
 }
 
 // TriangleCount counts triangles of a simple undirected graph via the masked
-// SpGEMM formulation sum(A .* (A·A)) / 6.
+// SpGEMM formulation sum(A .* (A·A)) / 6, computed entirely on the
+// distributed blocks with the sparse SUMMA — the matrix is never gathered.
 func TriangleCount[T Number](a *Matrix[T]) (int64, error) {
 	a.ctx.force()
-	csr, err := a.m.ToCSR()
+	return algorithms.TriangleCountDist(a.ctx.rt, a.m)
+}
+
+// KTruss returns the k-truss of an undirected graph — the maximal subgraph
+// in which every edge closes at least k−2 triangles — as a matrix of edge
+// supports, plus the number of prune rounds. Each round is one distributed
+// masked SUMMA product.
+func KTruss[T Number](a *Matrix[T], k int) (*Matrix[int64], int, error) {
+	a.ctx.force()
+	tm, rounds, err := algorithms.KTrussDist(a.ctx.rt, a.m, k)
 	if err != nil {
-		return 0, err
+		return nil, 0, err
 	}
-	return algorithms.TriangleCount(csr)
+	return &Matrix[int64]{ctx: a.ctx, m: tm}, rounds, nil
+}
+
+// MultiSourceBFS runs BFS from every source at once as SpGEMM over the
+// boolean semiring: the frontier is a matrix with one row per source.
+// Returns levels[k][v] = depth of vertex v from sources[k] (−1 when
+// unreached) and the round count.
+func MultiSourceBFS[T Number](a *Matrix[T], sources []int) ([][]int64, int, error) {
+	if len(sources) == 0 {
+		return nil, 0, fmt.Errorf("gb: MultiSourceBFS: no sources: %w", ErrIndexOutOfRange)
+	}
+	for _, s := range sources {
+		if err := checkGraphSource("MultiSourceBFS", a, s); err != nil {
+			return nil, 0, err
+		}
+	}
+	a.ctx.force()
+	return algorithms.MSBFSDist(a.ctx.rt, a.m, sources)
 }
 
 // ApplyMatrix applies op to every stored element of the matrix (per-locale).
@@ -705,19 +747,82 @@ func ReduceRows[T Number](a *Matrix[T], m Monoid[T]) *Vector[T] {
 	return &Vector[T]{ctx: a.ctx, v: out}
 }
 
-// MxM multiplies two distributed matrices over a semiring with the sparse
-// SUMMA algorithm (requires a square locale grid).
+// MxM multiplies two distributed matrices over a semiring with the blocked
+// sparse SUMMA algorithm. Any locale grid works — square grids run the
+// classic √P broadcast stages, rectangular grids sweep the merged band
+// boundaries — and the strategy place axis picks between per-stage
+// broadcasts and panel prefetch (see WithStrategy).
+//
+// On a Fused context the call defers (dimensions are still validated
+// immediately): the product runs when a result is observed — NNZ, Get,
+// ToCSR, an algorithm call, or Wait.
 func MxM[T Number](a, b *Matrix[T], sr Semiring[T]) (*Matrix[T], error) {
 	if a.m.NCols != b.m.NRows {
 		return nil, fmt.Errorf("gb: MxM: inner dimensions %d and %d differ: %w", a.m.NCols, b.m.NRows, ErrDimensionMismatch)
 	}
-	a.ctx.force()
-	a.ctx.sync(b.ctx)
-	c, err := core.SpGEMMDist(a.ctx.rt, a.m, b.m, sr)
+	c := a.ctx
+	c.sync(b.ctx)
+	if c.lazy() {
+		q := c.queue()
+		// The output shell carries the product's distribution up front so
+		// NRows/NCols work pre-materialization; the blocks start empty and
+		// are replaced wholesale when the queue drains.
+		g := c.rt.G
+		om := &dist.Mat[T]{
+			G:        g,
+			NRows:    a.m.NRows,
+			NCols:    b.m.NCols,
+			RowBands: append([]int(nil), a.m.RowBands...),
+			ColBands: append([]int(nil), b.m.ColBands...),
+			Blocks:   make([]*sparse.CSR[T], g.P),
+		}
+		for l := 0; l < g.P; l++ {
+			r, cc := g.Coords(l)
+			om.Blocks[l] = sparse.NewCSR[T](
+				om.RowBands[r+1]-om.RowBands[r], om.ColBands[cc+1]-om.ColBands[cc])
+		}
+		out := &Matrix[T]{ctx: c, m: om}
+		rt, am, bm := c.rt, a.m, b.m
+		q.nodes = append(q.nodes, &qnode{
+			desc: core.OpDesc{Op: core.OpMxM, In0: q.id(am), In1: q.id(bm), Out: q.id(om)},
+			run: func() error {
+				y, err := core.SpGEMMDist(rt, am, bm, sr)
+				if err != nil {
+					return err
+				}
+				*om = *y
+				return nil
+			},
+		})
+		return out, nil
+	}
+	y, err := core.SpGEMMDist(c.rt, a.m, b.m, sr)
 	if err != nil {
 		return nil, err
 	}
-	return &Matrix[T]{ctx: a.ctx, m: c}, nil
+	return &Matrix[T]{ctx: c, m: y}, nil
+}
+
+// MxMMasked computes (a·b) .* mask — the product restricted to the mask's
+// pattern, the formulation triangle counting and k-truss build on. Always
+// eager: the mask makes the result immediately observable anyway.
+func MxMMasked[T Number](a, b, mask *Matrix[T], sr Semiring[T]) (*Matrix[T], error) {
+	if a.m.NCols != b.m.NRows {
+		return nil, fmt.Errorf("gb: MxMMasked: inner dimensions %d and %d differ: %w", a.m.NCols, b.m.NRows, ErrDimensionMismatch)
+	}
+	if mask.m.NRows != a.m.NRows || mask.m.NCols != b.m.NCols {
+		return nil, fmt.Errorf("gb: MxMMasked: mask is %dx%d, want %dx%d: %w",
+			mask.m.NRows, mask.m.NCols, a.m.NRows, b.m.NCols, ErrDimensionMismatch)
+	}
+	c := a.ctx
+	c.force()
+	c.sync(b.ctx)
+	c.sync(mask.ctx)
+	y, err := core.SpGEMMDistMasked(c.rt, a.m, b.m, mask.m, sr)
+	if err != nil {
+		return nil, err
+	}
+	return &Matrix[T]{ctx: c, m: y}, nil
 }
 
 // BFSMasked runs the distributed BFS with the visited mask fused into the

@@ -381,11 +381,16 @@ func TestFacadeErrorPaths(t *testing.T) {
 	if _, err := Extract(v, []int{99}); err == nil {
 		t.Error("bad extract index accepted")
 	}
-	// MxM on a non-square grid fails cleanly.
+	// MxM on a non-square grid works (band-sweep SUMMA); only a dimension
+	// mismatch is an error.
 	ctx2, _ := NewContext(2, 4) // 1x2 grid
 	a := ErdosRenyi[int64](ctx2, 10, 2, 1)
-	if _, err := MxM(a, a, PlusTimes[int64]()); err == nil {
-		t.Error("SUMMA on non-square grid accepted")
+	if c, err := MxM(a, a, PlusTimes[int64]()); err != nil || c.NRows() != 10 {
+		t.Errorf("SUMMA on 1x2 grid: %v", err)
+	}
+	b := ErdosRenyi[int64](ctx2, 12, 2, 1)
+	if _, err := MxM(a, b, PlusTimes[int64]()); err == nil {
+		t.Error("MxM dimension mismatch accepted")
 	}
 	// BFS errors.
 	if _, err := BFS(ctx2, a, -1); err == nil {

@@ -1,0 +1,216 @@
+package gb
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sparse"
+	"repro/internal/trace"
+)
+
+// symCSR symmetrizes an Erdős–Rényi draw into a loop-free undirected graph.
+func symCSR(t *testing.T, n int, d float64, seed int64) *sparse.CSR[int64] {
+	t.Helper()
+	g := sparse.ErdosRenyi[int64](n, d, seed)
+	coo := sparse.NewCOO[int64](n, n)
+	for i := 0; i < n; i++ {
+		cols, _ := g.Row(i)
+		for _, j := range cols {
+			if i != j {
+				coo.Append(i, j, 1)
+				coo.Append(j, i, 1)
+			}
+		}
+	}
+	a, err := coo.ToCSR(func(x, _ int64) int64 { return x })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestMxMDefersUntilObserved pins the nonblocking contract for MxM: on the
+// default Fused context the product enqueues, runs no kernel until a read,
+// and then matches the Eager result exactly.
+func TestMxMDefersUntilObserved(t *testing.T) {
+	a0 := sparse.ErdosRenyi[int64](60, 4, 31)
+	b0 := sparse.ErdosRenyi[int64](60, 4, 32)
+
+	eager, err := New(Locales(4), Threads(4), Eager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	we, err := MxM(MatrixFromCSR(eager, a0), MatrixFromCSR(eager, b0), PlusTimes[int64]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := we.ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, err := New(Locales(4), Threads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	am := MatrixFromCSR(ctx, a0)
+	bm := MatrixFromCSR(ctx, b0)
+	// Read the simulator clock directly: Elapsed() itself is a
+	// materialization point and would drain the queue.
+	before := ctx.rt.S.ElapsedSeconds()
+	c, err := MxM(am, bm, PlusTimes[int64]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.rt.S.ElapsedSeconds() != before {
+		t.Error("deferred MxM advanced the clock before observation")
+	}
+	if c.NRows() != 60 || c.NCols() != 60 {
+		t.Errorf("shell is %dx%d, want 60x60", c.NRows(), c.NCols())
+	}
+	if c.NNZ() != want.NNZ() { // NNZ observes: the queue drains here
+		t.Errorf("nnz = %d, want %d", c.NNZ(), want.NNZ())
+	}
+	if ctx.rt.S.ElapsedSeconds() == before {
+		t.Error("observation did not run the deferred product")
+	}
+	got, err := c.ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Error("deferred MxM differs from eager MxM")
+	}
+}
+
+func TestMxMMaskedMatchesTriangleSupport(t *testing.T) {
+	ctx, err := New(Locales(6), Threads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := MatrixFromCSR(ctx, symCSR(t, 50, 5, 33))
+	c, err := MxMMasked(a, a, a, PlusTimes[int64]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	csr, err := c.ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range csr.Val {
+		sum += v
+	}
+	want, err := TriangleCount(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum/6 != want {
+		t.Errorf("masked product support sums to %d triangles, TriangleCount says %d", sum/6, want)
+	}
+	// Mask shape mismatch rejected.
+	bad := MatrixFromCSR(ctx, sparse.NewCSR[int64](50, 49))
+	if _, err := MxMMasked(a, a, bad, PlusTimes[int64]()); err == nil {
+		t.Error("mismatched mask accepted")
+	}
+}
+
+func TestKTrussAndMultiSourceBFSSurface(t *testing.T) {
+	ctx, err := New(Locales(4), Threads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := MatrixFromCSR(ctx, symCSR(t, 60, 6, 34))
+	truss, rounds, err := KTruss(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds < 1 {
+		t.Errorf("rounds = %d, want >= 1", rounds)
+	}
+	if truss.NRows() != 60 || truss.NCols() != 60 {
+		t.Errorf("truss is %dx%d, want 60x60", truss.NRows(), truss.NCols())
+	}
+	if _, _, err := KTruss(a, 2); err == nil {
+		t.Error("k=2 accepted")
+	}
+
+	levels, _, err := MultiSourceBFS(a, []int{0, 7, 59})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 3 {
+		t.Fatalf("got %d level rows, want 3", len(levels))
+	}
+	for k, s := range []int{0, 7, 59} {
+		if levels[k][s] != 0 {
+			t.Errorf("source %d has level %d, want 0", s, levels[k][s])
+		}
+		ref, err := BFS(ctx, a, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range ref.Level {
+			if levels[k][v] != ref.Level[v] {
+				t.Fatalf("source %d vertex %d: level %d, want %d", s, v, levels[k][v], ref.Level[v])
+			}
+		}
+	}
+	if _, _, err := MultiSourceBFS(a, nil); err == nil {
+		t.Error("empty source list accepted")
+	}
+}
+
+// TestSUMMASpanTreeGolden pins the exact span tree of a 2x2-grid SUMMA MxM —
+// the two broadcast stages, their multiply/merge children, tags, and the
+// modeled message and byte counts — against gb/testdata/summa_2x2.golden.
+// Regenerate with go test ./gb -run SUMMASpanTreeGolden -update.
+func TestSUMMASpanTreeGolden(t *testing.T) {
+	run := func() string {
+		tr := trace.New()
+		ctx, err := New(Locales(4), Threads(4), Tracer(tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := MatrixFromCSR(ctx, sparse.ErdosRenyi[int64](200, 5, 35))
+		b := MatrixFromCSR(ctx, sparse.ErdosRenyi[int64](200, 5, 36))
+		c, err := MxM(a, b, PlusTimes[int64]())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ctx.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		_ = c.NNZ()
+		return trace.Tree(tr)
+	}
+	got := run()
+	for _, tag := range []string{"SpGEMMDist", "SUMMABroadcast", "SUMMAMultiply", "SUMMAMerge", "op=spgemm", "stage=broadcast"} {
+		if !strings.Contains(got, tag) {
+			t.Errorf("span tree misses %q", tag)
+		}
+	}
+	path := filepath.Join("testdata", "summa_2x2.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("span tree drifted from %s (run with -update to regenerate):\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+	// The tree is a pure function of the workload: a second run is
+	// byte-identical.
+	if again := run(); again != got {
+		t.Error("second run produced a different span tree")
+	}
+}

@@ -73,9 +73,13 @@ var (
 	ForcePush StrategyOption = strategyOptionFunc(func(s *Strategy) error { s.inner.Dir = inspect.DirPush; return nil })
 	// ForcePull pins bottom-up in-neighbor scanning.
 	ForcePull StrategyOption = strategyOptionFunc(func(s *Strategy) error { s.inner.Dir = inspect.DirPull; return nil })
-	// ForceGather pins the row-team all-gather vector placement of SpMV.
+	// ForceGather pins the on-demand placement of operand data: the
+	// row-team all-gather of the SpMV input vector, and the per-stage panel
+	// broadcasts of the SUMMA SpGEMM.
 	ForceGather StrategyOption = strategyOptionFunc(func(s *Strategy) error { s.inner.Place = inspect.PlaceGather; return nil })
-	// ForceReplicate pins full replication of the SpMV input vector.
+	// ForceReplicate pins up-front replication: the full SpMV input vector
+	// on every locale, or all SUMMA panels prefetched before the stage loop
+	// (one team-wide exchange instead of √P staged broadcasts).
 	ForceReplicate StrategyOption = strategyOptionFunc(func(s *Strategy) error { s.inner.Place = inspect.PlaceReplicate; return nil })
 )
 

@@ -1,0 +1,110 @@
+package algorithms
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/fault"
+)
+
+// Chaos column for the SUMMA SpGEMM path: a locale crash lands mid-broadcast
+// (the plan's crash step falls inside the first product's stage fan-out) and
+// the workload must recover under the selected policy and, for the lossless
+// policies, reproduce the fault-free triangle count exactly.
+
+func TestChaosSpGEMMTriangleFailoverBitwiseIdentical(t *testing.T) {
+	a0 := symGraph(120, 6, 408)
+	clean := newRT(t, 6)
+	want, err := TriangleCountDist(clean, dist.MatFromCSR(clean, a0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaotic, m := replicatedChaosRT(t, chaosPlan(), fault.PolicyFailover, a0)
+	got, err := TriangleCountDist(chaotic, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("triangles = %d under chaos, want %d", got, want)
+	}
+	checkChaos(t, clean, chaotic)
+	checkOneRecovery(t, chaotic, fault.PolicyFailover)
+}
+
+func TestChaosSpGEMMKTrussRedistribute(t *testing.T) {
+	a0 := symGraph(110, 7, 409)
+	clean := newRT(t, 6)
+	want, wantRounds, err := KTrussDist(clean, dist.MatFromCSR(clean, a0), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCSR, err := want.ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaotic := newRT(t, 6).WithFault(chaosPlan())
+	chaotic.Recovery = fault.PolicyRedistribute
+	got, rounds, err := KTrussDist(chaotic, dist.MatFromCSR(chaotic, a0), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != wantRounds {
+		t.Errorf("rounds = %d under chaos, want %d", rounds, wantRounds)
+	}
+	gotCSR, err := got.ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotCSR.Equal(wantCSR) {
+		t.Error("k-truss under chaos differs from fault-free run")
+	}
+	checkChaos(t, clean, chaotic)
+	checkOneRecovery(t, chaotic, fault.PolicyRedistribute)
+}
+
+// TestChaosSpGEMMMatrix is the CI chaos-matrix SpGEMM column: CHAOS_SEED and
+// CHAOS_POLICY select the cell, the workload is distributed triangle
+// counting, and the crash interrupts a SUMMA broadcast. Lossless policies
+// must reproduce the fault-free count; best effort must finish and account
+// for what it dropped.
+func TestChaosSpGEMMMatrix(t *testing.T) {
+	plan := chaosPlan()
+	if s := os.Getenv("CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad CHAOS_SEED %q: %v", s, err)
+		}
+		plan.Seed = v
+	}
+	pol := fault.PolicyRedistribute
+	if s := os.Getenv("CHAOS_POLICY"); s != "" {
+		var err error
+		if pol, err = fault.ParseRecoveryPolicy(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a0 := symGraph(120, 6, 408)
+	clean := newRT(t, 6)
+	want, err := TriangleCountDist(clean, dist.MatFromCSR(clean, a0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaotic := newRT(t, 6).WithFault(plan)
+	chaotic.Recovery = pol
+	m := dist.MatFromCSR(chaotic, a0)
+	if pol == fault.PolicyFailover {
+		dist.ReplicateMat(chaotic, m)
+	}
+	got, err := TriangleCountDist(chaotic, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol != fault.PolicyBestEffort && got != want {
+		t.Fatalf("seed %d policy %v: triangles = %d, want %d", plan.Seed, pol, got, want)
+	}
+	checkChaos(t, clean, chaotic)
+	r := checkOneRecovery(t, chaotic, pol)
+	t.Logf("spgemm seed=%d policy=%v mttr=%.0fns moved=%dB", plan.Seed, pol, r.MTTRNS(), r.MovedBytes)
+}

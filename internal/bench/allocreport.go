@@ -225,6 +225,30 @@ func MeasureAllocs() (AllocReport, error) {
 		_, _ = em.Flush(rtDist)
 	})
 
+	// SUMMA local multiply: the per-stage kernel of the distributed SpGEMM.
+	// Heap or hash, the output CSR and every intermediate come from the
+	// scratch arena, so a warm call allocates nothing.
+	ga := sparse.ErdosRenyi[int64](3000, 6, 8)
+	gb := sparse.ErdosRenyi[int64](3000, 6, 9)
+	var gout sparse.CSR[int64]
+	for i := 0; i < allocWarmups; i++ {
+		core.SpGEMMLocal(rtShm.Scratch, ga, gb, sr, &gout)
+	}
+	add("spgemm_local", func() {
+		core.SpGEMMLocal(rtShm.Scratch, ga, gb, sr, &gout)
+	})
+
+	// CSR→DCSC conversion: the hypersparse representation is rebuilt into
+	// retained buffers on a warm convert.
+	hs := sparse.ErdosRenyi[int64](4000, 0.2, 10) // nnz < nrows: hypersparse
+	var dc sparse.DCSC[int64]
+	for i := 0; i < allocWarmups; i++ {
+		dc.FromCSR(hs)
+	}
+	add("dcsc_convert", func() {
+		dc.FromCSR(hs)
+	})
+
 	return rep, nil
 }
 

@@ -84,6 +84,7 @@ func Registry() []struct {
 		{"ablbulk", AblBulk},
 		{"ablfuse", AblFuse},
 		{"ablinspect", AblInspect},
+		{"spgemm", SpGEMM},
 	}
 }
 

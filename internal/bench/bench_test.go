@@ -28,8 +28,8 @@ func runFig(t *testing.T, r Runner) Figure {
 
 func TestRegistryAndLookup(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 26 {
-		t.Fatalf("registry has %d figures, want 26", len(reg))
+	if len(reg) != 27 {
+		t.Fatalf("registry has %d figures, want 27", len(reg))
 	}
 	for _, e := range reg {
 		if Lookup(e.ID) == nil {

@@ -1,0 +1,45 @@
+package comm
+
+import (
+	"repro/internal/locale"
+)
+
+// summaHeaderBytes is the fixed per-broadcast framing (block dimensions and
+// the stage's band window) that makes even an empty panel cost one message —
+// the SUMMA message count is a function of the grid, never of nnz.
+const summaHeaderBytes = 16
+
+// TeamBroadcastSparse charges the tree broadcast of one Sparse SUMMA stage
+// panel — an nnz-element (index, value) payload plus a fixed header — from
+// root to every other member of team (locale ids; root must be a member).
+// Exactly one message is counted per non-root member, so a stage costs
+// O(team size) messages per panel regardless of nnz, and each transfer is
+// fault-checked and retried under the runtime's retry policy: a mid-broadcast
+// crash surfaces here as an error wrapping fault.ErrLocaleLost, charged with
+// the detection timeout, exactly like the PR-2 bulk collectives. Latency is
+// the per-hop bulk time times the ceil(log2) depth of the team's broadcast
+// tree.
+func TeamBroadcastSparse(rt *locale.Runtime, root int, team []int, nnz int, op string) error {
+	if len(team) <= 1 {
+		return nil
+	}
+	depth := treeDepth(len(team))
+	bytes := summaHeaderBytes + payloadBytes(nnz)
+	for _, dst := range team {
+		if dst == root {
+			// The root drives the top of the tree: it is busy for the full
+			// pipelined depth like everyone else.
+			rt.S.Advance(root, rt.S.BulkTime(bytes, false)*depth)
+			continue
+		}
+		intra := rt.G.SameNode(root, dst)
+		hop := rt.S.BulkTime(bytes, intra)
+		extra, err := retryExtra(rt, root, dst, hop, op)
+		if err != nil {
+			return err
+		}
+		rt.S.Bulk(dst, bytes, intra)
+		rt.S.Advance(dst, hop*(depth-1)+extra)
+	}
+	return nil
+}

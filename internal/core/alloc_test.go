@@ -201,3 +201,46 @@ func TestFusedPushStepShmZeroAllocSteadyState(t *testing.T) {
 		t.Fatalf("FusedPushStepShm allocates %.1f objects per steady-state call, want 0", avg)
 	}
 }
+
+func TestSpGEMMLocalZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts include race-runtime shadow allocations")
+	}
+	scratch := sparse.NewScratchPool()
+	sr := semiring.PlusTimes[int64]()
+	a := sparse.ErdosRenyi[int64](2000, 6, 31)
+	b := sparse.ErdosRenyi[int64](2000, 6, 32)
+	hs := sparse.ErdosRenyi[int64](2000, 0.4, 33) // hypersparse: DCSC walk
+	var out sparse.CSR[int64]
+	for i := 0; i < warmups; i++ {
+		SpGEMMLocalHash(scratch, a, b, sr, &out)
+		SpGEMMLocalHeap(scratch, a, b, sr, &out)
+		SpGEMMLocalHeap(scratch, hs, b, sr, &out)
+	}
+	for _, tc := range []struct {
+		name string
+		f    func()
+	}{
+		{"hash", func() { SpGEMMLocalHash(scratch, a, b, sr, &out) }},
+		{"heap", func() { SpGEMMLocalHeap(scratch, a, b, sr, &out) }},
+		{"heap hypersparse (DCSC)", func() { SpGEMMLocalHeap(scratch, hs, b, sr, &out) }},
+	} {
+		if avg := testing.AllocsPerRun(50, tc.f); avg != 0 {
+			t.Errorf("SpGEMMLocal %s allocates %.1f objects per steady-state call, want 0", tc.name, avg)
+		}
+	}
+}
+
+func TestDCSCConvertZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts include race-runtime shadow allocations")
+	}
+	a := sparse.ErdosRenyi[int64](3000, 2, 34)
+	var d sparse.DCSC[int64]
+	for i := 0; i < warmups; i++ {
+		d.FromCSR(a)
+	}
+	if avg := testing.AllocsPerRun(50, func() { d.FromCSR(a) }); avg != 0 {
+		t.Fatalf("DCSC.FromCSR allocates %.1f objects per steady-state call, want 0", avg)
+	}
+}

@@ -38,6 +38,11 @@ const (
 	OpSpMV
 	// OpReduce folds a vector to a scalar (always a materialization point).
 	OpReduce
+	// OpMxM is the distributed matrix-matrix product (sparse SUMMA). It
+	// never fuses with its neighbors — the planner leaves it a single-op
+	// region — but deferring it lets MxM chains queue behind vector ops
+	// without forcing the whole DAG.
+	OpMxM
 )
 
 // Recipe names a fusion pattern the materialization pass recognizes. The

@@ -1,41 +1,274 @@
 package core
 
+// Distributed SpGEMM: blocked Sparse SUMMA over the 2-D locale grid, after
+// Buluç & Gilbert's "Parallel Sparse Matrix-Matrix Multiplication and
+// Indexing" (the paper's reference [8]) at CombBLAS-2.0 shape:
+//
+//   - The inner dimension is swept in band segments. On a square grid the
+//     segments are exactly the √P classic SUMMA stages; on a rectangular
+//     Pr×Pc grid they are the merged boundaries of A's column bands and B's
+//     row bands (≤ Pr+Pc−1 segments, no lcm blow-up), so non-square grids —
+//     including the 1×p grids a prime locale count produces — just work.
+//   - In stage k every locale (r, c) receives A's panel for the stage's
+//     band, tree-broadcast along its processor row, and B's panel broadcast
+//     along its processor column: O(team size) messages per panel per stage
+//     (comm.TeamBroadcastSparse), never O(nnz), each fault-checked and
+//     retried so the chaos machinery applies mid-broadcast.
+//   - Local multiplies run the heap/hash Gustavson kernels of
+//     spgemm_local.go on the runtime's ScratchPool, switching to the DCSC
+//     doubly-compressed walk when a stage panel goes hypersparse.
+//   - Stage products fold into a per-locale accumulator with a two-way
+//     sorted merge; the strategy place axis (gb.ForceGather /
+//     gb.ForceReplicate, auto via the inspector) picks between per-stage
+//     broadcasts and prefetching whole panels up front.
+
 import (
 	"fmt"
+	"strconv"
 
+	"repro/internal/comm"
 	"repro/internal/dist"
+	"repro/internal/inspect"
 	"repro/internal/locale"
 	"repro/internal/semiring"
 	"repro/internal/sim"
 	"repro/internal/sparse"
+	"repro/internal/trace"
 )
 
-// SpGEMMDist computes C = A·B over a semiring for 2-D block-distributed
-// matrices with the sparse SUMMA algorithm of Buluç & Gilbert (the paper's
-// reference [8] for distributed sparse matrix multiplication): the grids of A
-// and B must match, and the computation proceeds in Pr (= Pc for SUMMA we
-// require a square grid... see below) stages; in stage k every locale (r, c)
-// receives A's block (r, k) broadcast along its processor row and B's block
-// (k, c) broadcast along its processor column, multiplying them into a local
-// accumulator.
-//
-// The locale grid must be square (Pr == Pc) and A.NCols must equal B.NRows
-// with identical band splits, which MatFromCSR guarantees for matrices of
-// equal dimensions on the same runtime.
-func SpGEMMDist[T semiring.Number](rt *locale.Runtime, a, b *dist.Mat[T], sr semiring.Semiring[T]) (*dist.Mat[T], error) {
-	defer rt.Span("SpGEMMDist").End()
-	g := rt.G
-	if g.Pr != g.Pc {
-		return nil, fmt.Errorf("core: SpGEMMDist: SUMMA needs a square grid, got %dx%d", g.Pr, g.Pc)
+// Place-axis reasons for the SUMMA broadcast dispatch.
+const (
+	// ReasonStageBroadcast: moving each band panel in its own stage keeps
+	// every message at panel size and overlaps with the stage multiplies.
+	ReasonStageBroadcast = "stage-broadcast"
+	// ReasonPanelPrefetch: replicating the row/column panels once up front
+	// undercuts the per-stage tree latencies and headers.
+	ReasonPanelPrefetch = "panel-prefetch"
+)
+
+// logDepth returns ceil(log2(p)) as a float for cost charging.
+func logDepth(p int) float64 {
+	d := 0.0
+	for v := 1; v < p; v <<= 1 {
+		d++
 	}
+	return d
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// summaStage is one band segment of the inner-dimension sweep: global
+// columns [lo, hi) of A (= rows of B), owned by A's column team ca and B's
+// row team rb.
+type summaStage struct {
+	lo, hi, ca, rb int
+}
+
+// summaStages merges A's column-band and B's row-band boundaries into the
+// stage list. Both arrays start at 0 and end at the shared inner dimension,
+// so every segment lies inside exactly one band of each; empty segments
+// (empty bands happen whenever the inner dimension is smaller than a grid
+// side) are dropped.
+func summaStages(aColBands, bRowBands []int) []summaStage {
+	var stages []summaStage
+	ca, rb := 0, 0
+	lo := 0
+	for ca < len(aColBands)-1 && rb < len(bRowBands)-1 {
+		hi := aColBands[ca+1]
+		if bRowBands[rb+1] < hi {
+			hi = bRowBands[rb+1]
+		}
+		if hi > lo {
+			stages = append(stages, summaStage{lo: lo, hi: hi, ca: ca, rb: rb})
+		}
+		if aColBands[ca+1] == hi {
+			ca++
+		}
+		if bRowBands[rb+1] == hi {
+			rb++
+		}
+		lo = hi
+	}
+	return stages
+}
+
+// EstimateSpGEMMPlace prices the two ways SUMMA can hand every locale its
+// stage panels. Stage broadcasts move each panel in its own tree per stage —
+// per-stage headers and tree latencies, panel-sized messages. Prefetch
+// all-gathers the full row panel of A and column panel of B once up front —
+// one header per block, but the biggest messages the call will send. Panel
+// nnz per stage is approximated as the block's nnz split evenly over the
+// stages crossing it.
+func EstimateSpGEMMPlace[T semiring.Number](rt *locale.Runtime, a, b *dist.Mat[T], stages []summaStage) (stage, prefetch float64) {
+	g := rt.G
+	const hdr = 16
+	stagesInA := make([]int, g.Pc)
+	stagesInB := make([]int, g.Pr)
+	for _, st := range stages {
+		stagesInA[st.ca]++
+		stagesInB[st.rb]++
+	}
+	for _, st := range stages {
+		var worst float64
+		for r := 0; r < g.Pr; r++ {
+			nnz := a.Blocks[g.ID(r, st.ca)].NNZ() / maxInt(stagesInA[st.ca], 1)
+			if t := rt.S.BulkTime(hdr+int64(16*nnz), false) * estTreeDepth(g.Pc); t > worst {
+				worst = t
+			}
+		}
+		for c := 0; c < g.Pc; c++ {
+			nnz := b.Blocks[g.ID(st.rb, c)].NNZ() / maxInt(stagesInB[st.rb], 1)
+			if t := rt.S.BulkTime(hdr+int64(16*nnz), false) * estTreeDepth(g.Pr); t > worst {
+				worst = t
+			}
+		}
+		stage += worst
+	}
+	for r := 0; r < g.Pr; r++ {
+		var team float64
+		for c := 0; c < g.Pc; c++ {
+			team += rt.S.BulkTime(hdr+int64(16*a.Blocks[g.ID(r, c)].NNZ()), false) * estTreeDepth(g.Pc)
+		}
+		if team > prefetch {
+			prefetch = team
+		}
+	}
+	for c := 0; c < g.Pc; c++ {
+		var team float64
+		for r := 0; r < g.Pr; r++ {
+			team += rt.S.BulkTime(hdr+int64(16*b.Blocks[g.ID(r, c)].NNZ()), false) * estTreeDepth(g.Pr)
+		}
+		if team > prefetch {
+			prefetch = team
+		}
+	}
+	return stage, prefetch
+}
+
+// summaPlace routes the broadcast placement through the runtime's inspector
+// with the standard precedence (forced > fault-plan > single-locale >
+// modeled cost). A nil inspector keeps the historical per-stage broadcasts.
+func summaPlace[T semiring.Number](rt *locale.Runtime, a, b *dist.Mat[T], stages []summaStage) inspect.Place {
+	in := rt.Insp
+	if in == nil {
+		return inspect.PlaceGather
+	}
+	if rt.Fault != nil || rt.G.P == 1 {
+		reason := inspect.ReasonSingleLocale
+		if rt.Fault != nil {
+			// Per-stage broadcasts carry the per-transfer retry accounting;
+			// keep them so injected faults surface mid-broadcast.
+			reason = inspect.ReasonFaultPlan
+		}
+		in.Note("SpGEMM", inspect.AxisPlace, "gather", reason)
+		defer dispatchSpan(rt, in).End()
+		return inspect.PlaceGather
+	}
+	sc, pc := EstimateSpGEMMPlace(rt, a, b, stages)
+	choice := in.DecidePlace("SpGEMM", sc, pc, ReasonStageBroadcast, ReasonPanelPrefetch)
+	defer dispatchSpan(rt, in).End()
+	return choice
+}
+
+// mergeCSRInto writes a ⊕ b (entry-wise, add on collisions) into out,
+// reusing out's arrays. a and b must have identical shape.
+func mergeCSRInto[T semiring.Number](a, b *sparse.CSR[T], add semiring.BinaryOp[T], out *sparse.CSR[T]) {
+	spgemmResize(out, a.NRows, a.NCols)
+	for i := 0; i < a.NRows; i++ {
+		ac, av := a.Row(i)
+		bc, bv := b.Row(i)
+		x, y := 0, 0
+		for x < len(ac) && y < len(bc) {
+			switch {
+			case ac[x] < bc[y]:
+				out.ColIdx = append(out.ColIdx, ac[x])
+				out.Val = append(out.Val, av[x])
+				x++
+			case ac[x] > bc[y]:
+				out.ColIdx = append(out.ColIdx, bc[y])
+				out.Val = append(out.Val, bv[y])
+				y++
+			default:
+				out.ColIdx = append(out.ColIdx, ac[x])
+				out.Val = append(out.Val, add(av[x], bv[y]))
+				x, y = x+1, y+1
+			}
+		}
+		for ; x < len(ac); x++ {
+			out.ColIdx = append(out.ColIdx, ac[x])
+			out.Val = append(out.Val, av[x])
+		}
+		for ; y < len(bc); y++ {
+			out.ColIdx = append(out.ColIdx, bc[y])
+			out.Val = append(out.Val, bv[y])
+		}
+		out.RowPtr[i+1] = len(out.ColIdx)
+	}
+}
+
+// maskCSR keeps only the entries of a whose positions are stored in mask
+// (the structural masked-SpGEMM rule of SpGEMMMasked, applied blockwise).
+func maskCSR[T semiring.Number](a, mask *sparse.CSR[T]) *sparse.CSR[T] {
+	out := sparse.NewCSR[T](a.NRows, a.NCols)
+	for i := 0; i < a.NRows; i++ {
+		ac, av := a.Row(i)
+		mc, _ := mask.Row(i)
+		x, y := 0, 0
+		for x < len(ac) && y < len(mc) {
+			switch {
+			case ac[x] < mc[y]:
+				x++
+			case ac[x] > mc[y]:
+				y++
+			default:
+				out.ColIdx = append(out.ColIdx, ac[x])
+				out.Val = append(out.Val, av[x])
+				x, y = x+1, y+1
+			}
+		}
+		out.RowPtr[i+1] = len(out.ColIdx)
+	}
+	return out
+}
+
+// SpGEMMDist computes C = A·B over a semiring for 2-D block-distributed
+// matrices with blocked Sparse SUMMA. Any grid shape works, square or not;
+// A.NCols must equal B.NRows. See the package comment at the top of this
+// file for the algorithm.
+func SpGEMMDist[T semiring.Number](rt *locale.Runtime, a, b *dist.Mat[T], sr semiring.Semiring[T]) (*dist.Mat[T], error) {
+	return spgemmDist(rt, a, b, nil, sr)
+}
+
+// SpGEMMDistMasked computes C = (A·B) .* pattern(M): only output positions
+// stored in the mask survive, applied blockwise after the stage merges (the
+// distributed analogue of SpGEMMMasked — the mask's blocks align with C's
+// because both share the grid and A's row / B's column bands).
+func SpGEMMDistMasked[T semiring.Number](rt *locale.Runtime, a, b, mask *dist.Mat[T], sr semiring.Semiring[T]) (*dist.Mat[T], error) {
+	if mask.NRows != a.NRows || mask.NCols != b.NCols {
+		return nil, fmt.Errorf("core: SpGEMMDistMasked: mask is %dx%d, product is %dx%d",
+			mask.NRows, mask.NCols, a.NRows, b.NCols)
+	}
+	return spgemmDist(rt, a, b, mask, sr)
+}
+
+func spgemmDist[T semiring.Number](rt *locale.Runtime, a, b, mask *dist.Mat[T], sr semiring.Semiring[T]) (*dist.Mat[T], error) {
+	g := rt.G
 	if a.NCols != b.NRows {
 		return nil, fmt.Errorf("core: SpGEMMDist: inner dimensions %d vs %d", a.NCols, b.NRows)
 	}
-	for i := range a.ColBands {
-		if a.ColBands[i] != b.RowBands[i] {
-			return nil, fmt.Errorf("core: SpGEMMDist: inner band splits differ")
-		}
+	stages := summaStages(a.ColBands, b.RowBands)
+	place := summaPlace(rt, a, b, stages)
+	placeTag := "stage-broadcast"
+	if place == inspect.PlaceReplicate {
+		placeTag = "panel-prefetch"
 	}
+	defer rt.Span("SpGEMMDist", trace.T("op", "spgemm"),
+		trace.T("stages", strconv.Itoa(len(stages))), trace.T("place", placeTag)).End()
 	rt.S.CoforallSpawn()
 
 	c := &dist.Mat[T]{
@@ -46,75 +279,118 @@ func SpGEMMDist[T semiring.Number](rt *locale.Runtime, a, b *dist.Mat[T], sr sem
 		ColBands: append([]int(nil), b.ColBands...),
 		Blocks:   make([]*sparse.CSR[T], g.P),
 	}
-	// Per-locale accumulators as COO, merged at the end.
-	accs := make([]*sparse.COO[T], g.P)
-	for l := 0; l < g.P; l++ {
-		r, cc := g.Coords(l)
-		accs[l] = sparse.NewCOO[T](a.RowBands[r+1]-a.RowBands[r], b.ColBands[cc+1]-b.ColBands[cc])
-	}
 
-	stages := g.Pr
-	for k := 0; k < stages; k++ {
-		rt.S.BeginPhase(fmt.Sprintf("SUMMA stage %d", k))
+	if place == inspect.PlaceReplicate {
+		// Prefetch: all-gather A's blocks along each row team and B's along
+		// each column team once; the stage loop then slices panels locally.
+		ps := rt.Span("SUMMAPrefetch", trace.T("op", "spgemm"), trace.T("stage", "broadcast"))
 		for l := 0; l < g.P; l++ {
 			r, cc := g.Coords(l)
-			ablk := a.Blocks[g.ID(r, k)]  // broadcast along the row team
-			bblk := b.Blocks[g.ID(k, cc)] // broadcast along the column team
-			// Charge the two broadcasts (tree depth log2 of the team size).
-			if g.Pc > 1 {
-				rt.S.Advance(l, rt.S.BulkTime(int64(ablk.NNZ())*16, false)*logDepth(g.Pc))
-				rt.S.Advance(l, rt.S.BulkTime(int64(bblk.NNZ())*16, false)*logDepth(g.Pr))
+			if err := comm.TeamBroadcastSparse(rt, l, g.RowLocales(r), a.Blocks[l].NNZ(), "summa-prefetch-a"); err != nil {
+				ps.End()
+				return nil, fmt.Errorf("core: SpGEMMDist prefetch: %w", err)
 			}
-			// Local multiply-accumulate (Gustavson over the stage blocks).
-			var flops int64
-			spa := sparse.NewSPA[T](bblk.NCols)
-			for i := 0; i < ablk.NRows; i++ {
-				aCols, aVals := ablk.Row(i)
-				for t, kk := range aCols {
-					bCols, bVals := bblk.Row(kk)
-					flops += int64(len(bCols))
-					for u, j := range bCols {
-						spa.Scatter(j, sr.Mul(aVals[t], bVals[u]), sr.Add.Op)
-					}
-				}
-				row := spa.Gather(func(xs []int) { sparse.RadixSortInts(xs) })
-				for kk, j := range row.Ind {
-					accs[l].Append(i, j, row.Val[kk])
+			if err := comm.TeamBroadcastSparse(rt, l, g.ColLocales(cc), b.Blocks[l].NNZ(), "summa-prefetch-b"); err != nil {
+				ps.End()
+				return nil, fmt.Errorf("core: SpGEMMDist prefetch: %w", err)
+			}
+		}
+		ps.End()
+	}
+
+	// Per-locale accumulator (acc), spare merge buffer, and stage product,
+	// all reused across stages.
+	accs := make([]*sparse.CSR[T], g.P)
+	spares := make([]*sparse.CSR[T], g.P)
+	stageOut := make([]*sparse.CSR[T], g.P)
+	for l := 0; l < g.P; l++ {
+		spares[l] = &sparse.CSR[T]{}
+		stageOut[l] = &sparse.CSR[T]{}
+	}
+	aPanels := make([]*sparse.CSR[T], g.Pr)
+	bPanels := make([]*sparse.CSR[T], g.Pc)
+
+	for k, st := range stages {
+		rt.S.BeginPhase(fmt.Sprintf("SUMMA stage %d", k))
+		bs := rt.Span("SUMMABroadcast", trace.T("op", "spgemm"), trace.T("stage", "broadcast"),
+			trace.T("k", strconv.Itoa(k)))
+		for r := 0; r < g.Pr; r++ {
+			owner := g.ID(r, st.ca)
+			blk := a.Blocks[owner]
+			aPanels[r] = blk.SubMatrix(0, blk.NRows, st.lo-a.ColBands[st.ca], st.hi-a.ColBands[st.ca])
+			if place == inspect.PlaceGather {
+				if err := comm.TeamBroadcastSparse(rt, owner, g.RowLocales(r), aPanels[r].NNZ(), "summa-bcast-a"); err != nil {
+					bs.End()
+					return nil, fmt.Errorf("core: SpGEMMDist stage %d: %w", k, err)
 				}
 			}
+		}
+		for cc := 0; cc < g.Pc; cc++ {
+			owner := g.ID(st.rb, cc)
+			blk := b.Blocks[owner]
+			bPanels[cc] = blk.SubMatrix(st.lo-b.RowBands[st.rb], st.hi-b.RowBands[st.rb], 0, blk.NCols)
+			if place == inspect.PlaceGather {
+				if err := comm.TeamBroadcastSparse(rt, owner, g.ColLocales(cc), bPanels[cc].NNZ(), "summa-bcast-b"); err != nil {
+					bs.End()
+					return nil, fmt.Errorf("core: SpGEMMDist stage %d: %w", k, err)
+				}
+			}
+		}
+		bs.End()
+
+		ms := rt.Span("SUMMAMultiply", trace.T("op", "spgemm"), trace.T("stage", "multiply"),
+			trace.T("k", strconv.Itoa(k)))
+		for l := 0; l < g.P; l++ {
+			r, cc := g.Coords(l)
+			flops := SpGEMMLocal(rt.Scratch, aPanels[r], bPanels[cc], sr, stageOut[l])
 			rt.S.Compute(l, rt.Threads, sim.Kernel{
 				Name:         "summa-local",
-				Items:        flops + int64(ablk.NNZ()),
+				Items:        flops + int64(aPanels[r].NNZ()),
 				CPUPerItem:   25,
 				BytesPerItem: 24,
 			})
 		}
-	}
-	rt.S.EndPhase()
+		ms.End()
 
-	// Merge stage contributions per locale.
+		gs := rt.Span("SUMMAMerge", trace.T("op", "spgemm"), trace.T("stage", "merge"),
+			trace.T("k", strconv.Itoa(k)))
+		for l := 0; l < g.P; l++ {
+			if accs[l] == nil {
+				accs[l] = stageOut[l].Clone()
+				continue
+			}
+			mergeCSRInto(accs[l], stageOut[l], sr.Add.Op, spares[l])
+			accs[l], spares[l] = spares[l], accs[l]
+			rt.S.Compute(l, rt.Threads, sim.Kernel{
+				Name:         "summa-merge",
+				Items:        int64(accs[l].NNZ() + stageOut[l].NNZ()),
+				CPUPerItem:   30,
+				BytesPerItem: 24,
+			})
+		}
+		gs.End()
+	}
+	if len(stages) > 0 {
+		rt.S.EndPhase()
+	}
+
 	for l := 0; l < g.P; l++ {
-		blk, err := accs[l].ToCSR(sr.Add.Op)
-		if err != nil {
-			return nil, err
+		r, cc := g.Coords(l)
+		blk := accs[l]
+		if blk == nil {
+			blk = sparse.NewCSR[T](a.RowBands[r+1]-a.RowBands[r], b.ColBands[cc+1]-b.ColBands[cc])
+		}
+		if mask != nil {
+			blk = maskCSR(blk, mask.Blocks[l])
+			rt.S.Compute(l, rt.Threads, sim.Kernel{
+				Name:         "summa-mask",
+				Items:        int64(blk.NNZ() + mask.Blocks[l].NNZ()),
+				CPUPerItem:   8,
+				BytesPerItem: 16,
+			})
 		}
 		c.Blocks[l] = blk
-		rt.S.Compute(l, rt.Threads, sim.Kernel{
-			Name:         "summa-merge",
-			Items:        int64(accs[l].Len()),
-			CPUPerItem:   30,
-			BytesPerItem: 24,
-		})
 	}
 	rt.S.Barrier()
 	return c, nil
-}
-
-// logDepth returns ceil(log2(p)) as a float for cost charging.
-func logDepth(p int) float64 {
-	d := 0.0
-	for v := 1; v < p; v <<= 1 {
-		d++
-	}
-	return d
 }

@@ -1,0 +1,192 @@
+package core
+
+// The node-local half of the Sparse SUMMA stage multiply: C = A·B over a
+// semiring, for the stage blocks one locale holds after the broadcasts. Two
+// kernels cover the density regimes Buluç & Gilbert distinguish:
+//
+//   - hash: Gustavson's row-by-row algorithm with a dense SPA accumulator —
+//     best once A's rows fan out to many B rows.
+//   - heap: a k-way merge over the B rows an A row references, keyed by a
+//     binary heap of the runs' front columns — touches only the referenced
+//     entries, best for the short hypersparse rows a high-locale-count
+//     SUMMA stage produces.
+//
+// Both write sorted rows and accumulate values in increasing column order,
+// so they agree bitwise with each other (and, over exact element types, with
+// RefSpGEMM). Both draw every scratch buffer from the runtime's ScratchPool
+// and append into the caller's reused output matrix: after warmup a call
+// allocates nothing (the `spgemm_local` kernel of the CI alloc gate).
+//
+// When A is hypersparse (nnz < nrows) the row loops run over a pooled DCSC
+// image of A instead of scanning the full RowPtr, so an almost-empty block
+// costs O(nzr + flops), not O(nrows).
+
+import (
+	"repro/internal/semiring"
+	"repro/internal/sparse"
+)
+
+// spgemmResize readies out to receive an nr×nc product, reusing its arrays.
+func spgemmResize[T semiring.Number](out *sparse.CSR[T], nr, nc int) {
+	out.NRows, out.NCols = nr, nc
+	if cap(out.RowPtr) < nr+1 {
+		out.RowPtr = make([]int, nr+1)
+	}
+	out.RowPtr = out.RowPtr[:nr+1]
+	for i := range out.RowPtr {
+		out.RowPtr[i] = 0
+	}
+	out.ColIdx = out.ColIdx[:0]
+	out.Val = out.Val[:0]
+}
+
+// fixRowPtr turns the per-row end marks the kernels wrote (zero for skipped
+// rows) into cumulative offsets.
+func fixRowPtr[T semiring.Number](out *sparse.CSR[T]) {
+	for i := 1; i < len(out.RowPtr); i++ {
+		if out.RowPtr[i] < out.RowPtr[i-1] {
+			out.RowPtr[i] = out.RowPtr[i-1]
+		}
+	}
+}
+
+// forEachRow drives a kernel over A's non-empty rows, through a pooled DCSC
+// image when A is hypersparse so empty rows cost nothing.
+func forEachRow[T semiring.Number](scratch *sparse.ScratchPool, a *sparse.CSR[T], body func(i int, cols []int, vals []T)) {
+	if sparse.Hypersparse(a) {
+		d := sparse.GetDCSC[T](scratch)
+		d.FromCSR(a)
+		for k := 0; k < d.NzRows(); k++ {
+			i, cols, vals := d.RowAt(k)
+			body(i, cols, vals)
+		}
+		sparse.PutDCSC(scratch, d)
+		return
+	}
+	for i := 0; i < a.NRows; i++ {
+		cols, vals := a.Row(i)
+		if len(cols) > 0 {
+			body(i, cols, vals)
+		}
+	}
+}
+
+// SpGEMMLocalHash computes out = a·b with the SPA (hash) kernel, appending
+// into out's reused arrays. It returns the multiply-add count for cost
+// charging.
+func SpGEMMLocalHash[T semiring.Number](scratch *sparse.ScratchPool, a, b *sparse.CSR[T], sr semiring.Semiring[T], out *sparse.CSR[T]) int64 {
+	spgemmResize(out, a.NRows, b.NCols)
+	spa := sparse.GetSPA[T](scratch, b.NCols)
+	defer sparse.PutSPA(scratch, spa)
+	var flops int64
+	forEachRow(scratch, a, func(i int, aCols []int, aVals []T) {
+		for t, k := range aCols {
+			bCols, bVals := b.Row(k)
+			flops += int64(len(bCols))
+			av := aVals[t]
+			for u, j := range bCols {
+				spa.Scatter(j, sr.Mul(av, bVals[u]), sr.Add.Op)
+			}
+		}
+		sparse.RadixSortInts(spa.NzInds)
+		for _, j := range spa.NzInds {
+			out.ColIdx = append(out.ColIdx, j)
+			out.Val = append(out.Val, spa.Val[j])
+		}
+		spa.Reset()
+		out.RowPtr[i+1] = len(out.ColIdx)
+	})
+	fixRowPtr(out)
+	return flops
+}
+
+// SpGEMMLocalHeap computes out = a·b with the k-way heap-merge kernel,
+// appending into out's reused arrays. It returns the multiply-add count for
+// cost charging.
+func SpGEMMLocalHeap[T semiring.Number](scratch *sparse.ScratchPool, a, b *sparse.CSR[T], sr semiring.Semiring[T], out *sparse.CSR[T]) int64 {
+	spgemmResize(out, a.NRows, b.NCols)
+	maxRow := 0
+	for i := 0; i < a.NRows; i++ {
+		if n := a.RowPtr[i+1] - a.RowPtr[i]; n > maxRow {
+			maxRow = n
+		}
+	}
+	ints := scratch.GetInts(3 * maxRow)
+	defer scratch.PutInts(ints)
+	heads, ends, heap := ints[:maxRow], ints[maxRow:2*maxRow], ints[2*maxRow:3*maxRow]
+	av := sparse.GetVec[T](scratch, maxRow)
+	defer sparse.PutVec(scratch, av)
+	var flops int64
+	forEachRow(scratch, a, func(i int, aCols []int, aVals []T) {
+		// One merge run per non-empty B row A's row references; each run
+		// carries its A multiplier in av.Val, indexed by run id.
+		hn := 0
+		av.Val = av.Val[:0]
+		for t, k := range aCols {
+			lo, hi := b.RowPtr[k], b.RowPtr[k+1]
+			if lo == hi {
+				continue
+			}
+			heads[hn], ends[hn] = lo, hi
+			av.Val = append(av.Val, aVals[t])
+			heap[hn] = hn
+			hn++
+		}
+		less := func(x, y int) bool { return b.ColIdx[heads[x]] < b.ColIdx[heads[y]] }
+		for h := hn/2 - 1; h >= 0; h-- {
+			siftDown(heap[:hn], h, less)
+		}
+		rowStart := len(out.ColIdx)
+		for hn > 0 {
+			r := heap[0]
+			j := b.ColIdx[heads[r]]
+			v := sr.Mul(av.Val[r], b.Val[heads[r]])
+			if n := len(out.ColIdx); n > rowStart && out.ColIdx[n-1] == j {
+				out.Val[n-1] = sr.Add.Op(out.Val[n-1], v)
+			} else {
+				out.ColIdx = append(out.ColIdx, j)
+				out.Val = append(out.Val, v)
+			}
+			flops++
+			heads[r]++
+			if heads[r] == ends[r] {
+				heap[0] = heap[hn-1]
+				hn--
+			}
+			siftDown(heap[:hn], 0, less)
+		}
+		out.RowPtr[i+1] = len(out.ColIdx)
+	})
+	fixRowPtr(out)
+	return flops
+}
+
+// siftDown restores the heap property below index i.
+func siftDown(h []int, i int, less func(x, y int) bool) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && less(h[r], h[l]) {
+			m = r
+		}
+		if !less(h[m], h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// SpGEMMLocal computes out = a·b, choosing the kernel by A's density: the
+// heap merge for hypersparse stage blocks, the SPA otherwise. The two agree
+// bitwise, so the choice is purely one of constant factors.
+func SpGEMMLocal[T semiring.Number](scratch *sparse.ScratchPool, a, b *sparse.CSR[T], sr semiring.Semiring[T], out *sparse.CSR[T]) int64 {
+	if sparse.Hypersparse(a) {
+		return SpGEMMLocalHeap(scratch, a, b, sr, out)
+	}
+	return SpGEMMLocalHash(scratch, a, b, sr, out)
+}

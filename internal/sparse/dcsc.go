@@ -1,0 +1,134 @@
+package sparse
+
+import (
+	"fmt"
+
+	"repro/internal/semiring"
+)
+
+// DCSC is the doubly-compressed sparse block format of Buluç & Gilbert's
+// hypersparse kernels (the storage behind their Sparse SUMMA): on top of the
+// usual compressed index/value arrays, the row dimension itself is
+// compressed — only rows that actually hold an entry appear, each with its
+// own pointer range. A CSR block of an n-row matrix costs O(n) to touch even
+// when it holds a single entry (the RowPtr scan); a DCSC block costs
+// O(nzr + nnz) where nzr is the number of non-empty rows. On a p-locale SUMMA
+// grid the per-block density drops like nnz/p², so blocks go hypersparse
+// (nnz < nrows) long before the matrix does, and this format is what keeps
+// the stage multiplies from paying O(n/√p) per empty block.
+//
+// The repo stores matrices row-major (CSR), so the compressed dimension here
+// is rows — the layout is Buluç & Gilbert's DCSC with the roles of rows and
+// columns transposed to match.
+type DCSC[T semiring.Number] struct {
+	NRows, NCols int
+	// Rows lists the non-empty rows in increasing order.
+	Rows []int
+	// RowPtr has len(Rows)+1 entries; the k-th non-empty row's entries are
+	// ColIdx/Val[RowPtr[k]:RowPtr[k+1]].
+	RowPtr []int
+	// ColIdx/Val hold the entries of the non-empty rows, concatenated, with
+	// column indices sorted within each row (the CSR invariant carries over).
+	ColIdx []int
+	Val    []T
+}
+
+// Hypersparse reports whether a block is worth double compression: fewer
+// entries than rows means the CSR RowPtr array is mostly padding.
+func Hypersparse[T semiring.Number](a *CSR[T]) bool {
+	return a.NNZ() < a.NRows
+}
+
+// NNZ returns the stored-entry count.
+func (d *DCSC[T]) NNZ() int { return len(d.ColIdx) }
+
+// NzRows returns the number of non-empty rows.
+func (d *DCSC[T]) NzRows() int { return len(d.Rows) }
+
+// RowAt returns the k-th non-empty row: its global row index and its column
+// and value slices. k indexes [0, NzRows()), not the row dimension.
+func (d *DCSC[T]) RowAt(k int) (row int, cols []int, vals []T) {
+	lo, hi := d.RowPtr[k], d.RowPtr[k+1]
+	return d.Rows[k], d.ColIdx[lo:hi], d.Val[lo:hi]
+}
+
+// FromCSR rebuilds d as the doubly-compressed image of a, reusing d's
+// backing arrays: after the first call sized d to a block's high-water marks,
+// further conversions allocate nothing. This is the `dcsc_convert` kernel of
+// the CI alloc gate.
+func (d *DCSC[T]) FromCSR(a *CSR[T]) {
+	d.NRows, d.NCols = a.NRows, a.NCols
+	d.Rows = d.Rows[:0]
+	d.RowPtr = append(d.RowPtr[:0], 0)
+	d.ColIdx = d.ColIdx[:0]
+	d.Val = d.Val[:0]
+	for i := 0; i < a.NRows; i++ {
+		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+		if lo == hi {
+			continue
+		}
+		d.Rows = append(d.Rows, i)
+		d.ColIdx = append(d.ColIdx, a.ColIdx[lo:hi]...)
+		d.Val = append(d.Val, a.Val[lo:hi]...)
+		d.RowPtr = append(d.RowPtr, len(d.ColIdx))
+	}
+}
+
+// ToDCSC converts a CSR block into a freshly allocated DCSC block.
+func ToDCSC[T semiring.Number](a *CSR[T]) *DCSC[T] {
+	d := &DCSC[T]{}
+	d.FromCSR(a)
+	return d
+}
+
+// ToCSR expands the doubly-compressed block back to CSR; the round trip
+// d.FromCSR(a); d.ToCSR() reproduces a exactly.
+func (d *DCSC[T]) ToCSR() *CSR[T] {
+	a := NewCSR[T](d.NRows, d.NCols)
+	a.ColIdx = append(a.ColIdx, d.ColIdx...)
+	a.Val = append(a.Val, d.Val...)
+	for k, r := range d.Rows {
+		a.RowPtr[r+1] = d.RowPtr[k+1] - d.RowPtr[k]
+	}
+	for i := 0; i < d.NRows; i++ {
+		a.RowPtr[i+1] += a.RowPtr[i]
+	}
+	return a
+}
+
+// Validate checks the structural invariants.
+func (d *DCSC[T]) Validate() error {
+	if d.NRows < 0 || d.NCols < 0 {
+		return fmt.Errorf("sparse: DCSC: negative dimensions %dx%d", d.NRows, d.NCols)
+	}
+	if len(d.RowPtr) != len(d.Rows)+1 {
+		return fmt.Errorf("sparse: DCSC: RowPtr has %d entries for %d rows", len(d.RowPtr), len(d.Rows))
+	}
+	if len(d.RowPtr) > 0 && (d.RowPtr[0] != 0 || d.RowPtr[len(d.RowPtr)-1] != len(d.ColIdx)) {
+		return fmt.Errorf("sparse: DCSC: RowPtr does not span ColIdx")
+	}
+	if len(d.ColIdx) != len(d.Val) {
+		return fmt.Errorf("sparse: DCSC: %d indices vs %d values", len(d.ColIdx), len(d.Val))
+	}
+	for k, r := range d.Rows {
+		if r < 0 || r >= d.NRows {
+			return fmt.Errorf("sparse: DCSC: row %d out of range", r)
+		}
+		if k > 0 && d.Rows[k-1] >= r {
+			return fmt.Errorf("sparse: DCSC: rows not strictly increasing at %d", k)
+		}
+		lo, hi := d.RowPtr[k], d.RowPtr[k+1]
+		if lo >= hi {
+			return fmt.Errorf("sparse: DCSC: compressed row %d is empty", r)
+		}
+		for t := lo; t < hi; t++ {
+			if d.ColIdx[t] < 0 || d.ColIdx[t] >= d.NCols {
+				return fmt.Errorf("sparse: DCSC: column %d out of range in row %d", d.ColIdx[t], r)
+			}
+			if t > lo && d.ColIdx[t-1] >= d.ColIdx[t] {
+				return fmt.Errorf("sparse: DCSC: columns not strictly increasing in row %d", r)
+			}
+		}
+	}
+	return nil
+}

@@ -37,6 +37,7 @@ type ScratchPool struct {
 	spas       sync.Pool // *SPA[T]
 	buckets    sync.Pool // *BucketSPA[T]
 	vecs       sync.Pool // *Vec[T]
+	dcscs      sync.Pool // *DCSC[T]
 }
 
 // NewScratchPool returns an empty arena.
@@ -221,4 +222,30 @@ func PutVec[T semiring.Number](p *ScratchPool, v *Vec[T]) {
 	v.Ind = v.Ind[:0]
 	v.Val = v.Val[:0]
 	p.vecs.Put(v)
+}
+
+// GetDCSC checks out an empty doubly-compressed block whose backing arrays
+// are reused across checkouts; fill it with FromCSR. The caller owns it
+// until PutDCSC.
+func GetDCSC[T semiring.Number](p *ScratchPool) *DCSC[T] {
+	if p != nil {
+		if v := p.dcscs.Get(); v != nil {
+			if d, ok := v.(*DCSC[T]); ok {
+				return d
+			}
+		}
+	}
+	return &DCSC[T]{}
+}
+
+// PutDCSC returns a block checked out with GetDCSC to the arena.
+func PutDCSC[T semiring.Number](p *ScratchPool, d *DCSC[T]) {
+	if p == nil || d == nil {
+		return
+	}
+	d.Rows = d.Rows[:0]
+	d.RowPtr = d.RowPtr[:0]
+	d.ColIdx = d.ColIdx[:0]
+	d.Val = d.Val[:0]
+	p.dcscs.Put(d)
 }
