@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-smoke bench-gate bench-baseline fuzz-smoke chaos-matrix spgemm-accept figures figures-paper ablations clean
+.PHONY: all build vet test test-short race bench bench-smoke bench-gate bench-baseline fuzz-smoke chaos-matrix spgemm-accept serve-accept figures figures-paper ablations clean
 
 all: build vet test
 
@@ -95,6 +95,20 @@ spgemm-accept:
 	$(GO) test -run 'TestTriangleCountDist|TestKTrussDist|TestMSBFS|TestChaosSpGEMM' -v ./internal/algorithms
 	$(GO) test -run 'TestMxM|TestKTrussAndMultiSourceBFSSurface|TestSUMMASpanTreeGolden' -v ./gb
 	$(GO) run ./cmd/gbbench -figure none -chaos-seed $(CHAOS_SEED) -chaos-policy $(CHAOS_POLICY) -mttr-out mttr_$(CHAOS_SEED)_$(CHAOS_POLICY).json -stream-out stream_$(CHAOS_SEED)_$(CHAOS_POLICY).json
+
+# The CI serve-accept job: the gbserve query-service acceptance suite —
+# typed cancellation/deadline propagation, per-tenant admission control and
+# shedding under saturation, BFS batch coalescing, chaos queries that recover
+# bitwise-identically (or are flagged best-effort), epoch advance under
+# mutate/flush, concurrent snapshot readers racing recovery, and an
+# end-to-end boot -> concurrent-query -> SIGTERM-drain smoke of the binary.
+serve-accept:
+	$(GO) test -run 'TestQueryEndpoints|TestChaosQueries|TestDeadlineAndTimeout|TestAdmissionShedding|TestTenantRateLimit|TestBFSBatcher|TestMutateFlush|TestDrain|TestCanceledClient' -v ./internal/serve
+	$(GO) test -run 'TestBuildGraphSpecs|TestParsePolicy' -v ./cmd/gbserve
+	$(GO) test -run 'TestWithCancelContextTyped|TestModeledDeadlineTyped|TestCancelMidRunWithinOneRound|TestAbsorbCalibrationPersists' -v ./gb
+	$(GO) test -run 'TestRetryBudgetCappedByDeadline|TestCancelHookStopsCollectives' -v ./internal/comm
+	$(GO) test -run 'TestEpochChaosConcurrentReaders' -v ./internal/algorithms
+	./scripts/serve_accept.sh
 
 clean:
 	$(GO) clean ./...

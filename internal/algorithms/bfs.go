@@ -62,6 +62,9 @@ func BFSShm[T semiring.Number](a *sparse.CSR[T], source int, cfg core.ShmConfig)
 	res.Level[source] = 0
 
 	for level := int64(1); frontier.NNZ() > 0; level++ {
+		if err := cfg.Canceled(); err != nil {
+			return nil, fmt.Errorf("algorithms: BFSShm: %w", err)
+		}
 		if cfg.Fused {
 			// One fused region: masked push step + level/parent/visited
 			// updates + next-frontier construction, no intermediate vectors.
@@ -148,6 +151,9 @@ func BFSDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], source int) 
 	}
 
 	for level := int64(1); frontier.NNZ() > 0; level++ {
+		if err := rt.Canceled(); err != nil {
+			return nil, fmt.Errorf("algorithms: BFSDist: %w", err)
+		}
 		if rt.Fault != nil {
 			if d := rt.DownLocale(); d >= 0 && !recovered {
 				recovered = true
@@ -283,6 +289,9 @@ func BFSDistMasked[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], source
 	}
 
 	for level := int64(1); frontier.NNZ() > 0; level++ {
+		if err := rt.Canceled(); err != nil {
+			return nil, fmt.Errorf("algorithms: BFSDistMasked: %w", err)
+		}
 		if rt.Fault != nil {
 			if d := rt.DownLocale(); d >= 0 && !recovered {
 				recovered = true

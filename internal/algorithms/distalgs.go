@@ -79,6 +79,9 @@ func SSSPDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], source int)
 	}
 
 	for iter := 0; iter < n-1; iter++ {
+		if err := rt.Canceled(); err != nil {
+			return nil, 0, fmt.Errorf("algorithms: SSSPDist: %w", err)
+		}
 		if rt.Fault != nil && iter%CheckpointInterval == 0 {
 			ckptD = append(ckptD[:0], dcur.ToDense().Data...)
 			ckptIter, ckptRounds = iter, rounds
@@ -230,6 +233,9 @@ func prDistInit[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], d, tol fl
 	}
 
 	for iter := 0; iter < maxIter; iter++ {
+		if err := rt.Canceled(); err != nil {
+			return nil, 0, fmt.Errorf("algorithms: PageRankDist: %w", err)
+		}
 		if rt.Fault != nil && iter%CheckpointInterval == 0 {
 			ckptR = append(ckptR[:0], r...)
 			ckptIter, ckptIters = iter, iters
@@ -381,6 +387,9 @@ func ccDistInit[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], init []in
 	}
 
 	for {
+		if err := rt.Canceled(); err != nil {
+			return nil, 0, 0, fmt.Errorf("algorithms: CCDist: %w", err)
+		}
 		if rt.Fault != nil && rounds%CheckpointInterval == 0 {
 			ckptL = append(ckptL[:0], labels...)
 			ckptRounds = rounds

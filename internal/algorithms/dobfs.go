@@ -64,6 +64,9 @@ func BFSDirectionOptimizingCfg[T semiring.Number](a *sparse.CSR[T], source int, 
 	res.Level[source] = 0
 
 	for level := int64(1); frontier.NNZ() > 0; level++ {
+		if err := cfg.Canceled(); err != nil {
+			return nil, fmt.Errorf("algorithms: DOBFS: %w", err)
+		}
 		var next *sparse.Vec[T]
 		var usePull bool
 		var pushEst, pullEst float64 // > 0 when the cost model priced this round

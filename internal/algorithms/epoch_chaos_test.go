@@ -1,6 +1,8 @@
 package algorithms
 
 import (
+	"math"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -200,6 +202,110 @@ func TestEpochChaosMatrix(t *testing.T) {
 			got := gatherEpoch(t, em.Committed())
 			if !got.Equal(ref[epochs-1]) {
 				t.Fatalf("seed %d %v: final content differs from fault-free", seed, pol)
+			}
+		}
+	}
+}
+
+// fingerprintMat hashes a snapshot's block contents without touching the
+// runtime (no modeled clock, no grid reads), so concurrent readers can probe
+// a pinned epoch while a chaotic Flush — and its recovery — runs against the
+// same EpochMat on another goroutine.
+func fingerprintMat(m *dist.Mat[float64]) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime
+	}
+	for _, b := range m.Blocks {
+		mix(uint64(b.NRows)<<32 | uint64(b.NCols))
+		for _, p := range b.RowPtr {
+			mix(uint64(p))
+		}
+		for k, c := range b.ColIdx {
+			mix(uint64(c))
+			mix(math.Float64bits(b.Val[k]))
+		}
+	}
+	return h
+}
+
+// TestEpochChaosConcurrentReaders is the serve-path guarantee of the epoch
+// machinery: goroutines holding a pinned Snapshot must observe bitwise-stable
+// content while Flush runs — and crashes, and recovers — concurrently. Covers
+// Redistribute (recovery swaps in a freshly built matrix, the pinned one is
+// untouched) and BestEffort (recovery leaves the committed blocks alone).
+// Failover is exercised by the sequential matrix test above: its recovery
+// promotes replicas in place on the committed Mat by design, so a pin across
+// that repair sees the (equal-content) block table being rewritten.
+func TestEpochChaosConcurrentReaders(t *testing.T) {
+	const p, epochs, readers = 6, 4, 4
+	for seed := int64(1); seed <= 3; seed++ {
+		ref := epochReference(t, p, seed, epochs)
+		for _, pol := range []fault.RecoveryPolicy{fault.PolicyRedistribute, fault.PolicyBestEffort} {
+			rt := newRT(t, p).WithFault(mergeCrashPlan(seed))
+			rt.Recovery = pol
+			a := sparse.ErdosRenyi[float64](epochChaosN, 4, 31)
+			em := dist.NewEpochMat(dist.MatFromCSR(rt, a))
+
+			merged := 0
+			for k := 1; k <= epochs; k++ {
+				pinned, pinnedEpoch := em.Snapshot()
+				want := fingerprintMat(pinned)
+
+				// Readers hammer the pinned snapshot for the whole flush.
+				stop := make(chan struct{})
+				bad := make(chan uint64, readers)
+				var wg sync.WaitGroup
+				for r := 0; r < readers; r++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for {
+							if got := fingerprintMat(pinned); got != want {
+								select {
+								case bad <- got:
+								default:
+								}
+								return
+							}
+							select {
+							case <-stop:
+								return
+							default:
+							}
+						}
+					}()
+				}
+
+				applyEpochBatch(t, em, seed, k)
+				_, stale, err := core.FlushEpoch(rt, em)
+				close(stop)
+				wg.Wait()
+				if err != nil {
+					t.Fatalf("seed %d %v: flush %d: %v", seed, pol, k, err)
+				}
+				select {
+				case got := <-bad:
+					t.Fatalf("seed %d %v: snapshot pinned at epoch %d torn under flush %d: fingerprint %x, want %x",
+						seed, pol, pinnedEpoch, k, got, want)
+				default:
+				}
+				if got := fingerprintMat(pinned); got != want {
+					t.Fatalf("seed %d %v: pinned epoch %d changed after flush %d", seed, pol, pinnedEpoch, k)
+				}
+				if !stale {
+					merged = k
+				}
+				if merged > 0 {
+					if got := gatherEpoch(t, em.Committed()); !got.Equal(ref[merged-1]) {
+						t.Fatalf("seed %d %v: committed content after flush %d differs from fault-free", seed, pol, k)
+					}
+				}
+			}
+			if crashes := rt.Fault.Stats().Crashes; crashes != 1 {
+				t.Fatalf("seed %d %v: %d crashes fired, want 1", seed, pol, crashes)
 			}
 		}
 	}

@@ -71,6 +71,9 @@ func TriangleCountDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T]) (i
 	p := distStructural(rt, a)
 	recovered := false
 	for {
+		if err := rt.Canceled(); err != nil {
+			return 0, fmt.Errorf("algorithms: TriangleCountDist: %w", err)
+		}
 		c, err := core.SpGEMMDistMasked(rt, p, p, p, semiring.PlusTimes[int64]())
 		if err != nil {
 			if p, err = recoverOnce(rt, p, &recovered, err); err != nil {
@@ -106,6 +109,9 @@ func KTrussDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], k int) (*
 	recovered := false
 	rounds := 0
 	for {
+		if err := rt.Canceled(); err != nil {
+			return nil, 0, fmt.Errorf("algorithms: KTrussDist: %w", err)
+		}
 		rounds++
 		support, err := core.SpGEMMDistMasked(rt, cur, cur, cur, semiring.PlusTimes[int64]())
 		if err != nil {
@@ -244,6 +250,9 @@ func MSBFSDist[T semiring.Number](rt *locale.Runtime, a *dist.Mat[T], sources []
 	rounds := 0
 	sr := semiring.LOrLAnd[int64]()
 	for frontier > 0 {
+		if err := rt.Canceled(); err != nil {
+			return nil, 0, fmt.Errorf("algorithms: MSBFSDist: %w", err)
+		}
 		rounds++
 		nf, err := core.SpGEMMDist(rt, f, p, sr)
 		if err != nil {

@@ -1,0 +1,81 @@
+package comm
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/locale"
+)
+
+// The retry loops must respect a caller-imposed modeled deadline: a dropped
+// transfer whose timeout+backoff schedule does not fit in the remaining
+// budget fails fast with ErrDeadlineExceeded, charging at most what is left —
+// never sleeping out the full schedule past the deadline.
+
+func TestRetryBudgetCappedByDeadline(t *testing.T) {
+	rt := newRT(t, 4)
+	rt.WithFault(fault.Plan{Seed: 1, DropProb: 1, CrashLocale: -1}) // every attempt drops
+	pol := rt.RetryPolicy()
+
+	// Without a deadline, exhausting the retries charges the full backoff
+	// schedule; record it as the baseline.
+	full, err := retryExtra(rt, 0, 1, 0, "test")
+	if !errors.Is(err, fault.ErrRetriesExhausted) {
+		t.Fatalf("no deadline: got %v, want retries exhausted", err)
+	}
+	if full < pol.TimeoutNS {
+		t.Fatalf("full schedule charged %v, want at least one timeout %v", full, pol.TimeoutNS)
+	}
+
+	// With a budget smaller than one timeout, the loop must give up before
+	// the first re-sleep, charge at most the remaining budget, and return the
+	// typed deadline error.
+	budget := pol.TimeoutNS / 2
+	rt.DeadlineNS = rt.S.Elapsed() + budget
+	extra, err := retryExtra(rt, 0, 1, 0, "test")
+	if !errors.Is(err, locale.ErrDeadlineExceeded) {
+		t.Fatalf("budgeted retry: got %v, want ErrDeadlineExceeded", err)
+	}
+	if !errors.Is(err, locale.ErrCanceled) {
+		t.Fatalf("deadline error must also match ErrCanceled: %v", err)
+	}
+	if extra > budget {
+		t.Fatalf("charged %v past the %v budget", extra, budget)
+	}
+	if extra >= full {
+		t.Fatalf("budgeted retry charged the full schedule: %v >= %v", extra, full)
+	}
+
+	// An already-expired deadline aborts before any attempt is drawn.
+	rt2 := newRT(t, 4)
+	rt2.WithFault(fault.Plan{Seed: 1, DropProb: 1, CrashLocale: -1})
+	rt2.DeadlineNS = 0.5
+	rt2.S.Advance(0, 1) // push the modeled clock past the deadline
+	steps := rt2.Fault.Stats().Steps
+	if _, err := retryExtra(rt2, 0, 1, 0, "test"); !errors.Is(err, locale.ErrDeadlineExceeded) {
+		t.Fatalf("expired deadline: got %v", err)
+	}
+	if rt2.Fault.Stats().Steps != steps {
+		t.Error("expired deadline still drew fault attempts")
+	}
+}
+
+func TestCancelHookStopsCollectives(t *testing.T) {
+	rt := newRT(t, 4)
+	rt.WithFault(fault.StandardChaos(3))
+	canceled := false
+	rt.Cancel = func() error {
+		if canceled {
+			return locale.ErrCanceled
+		}
+		return nil
+	}
+	if _, err := Broadcast(rt, 0, []int64{1, 2, 3}); err != nil {
+		t.Fatalf("broadcast before cancel: %v", err)
+	}
+	canceled = true
+	if _, err := Broadcast(rt, 0, []int64{1, 2, 3}); !errors.Is(err, locale.ErrCanceled) {
+		t.Fatalf("broadcast after cancel: got %v, want ErrCanceled", err)
+	}
+}

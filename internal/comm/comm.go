@@ -57,6 +57,9 @@ func treeDepth(p int) float64 {
 // detector's timeline is built from the traffic the algorithms were sending
 // anyway, with no modeled cost of its own.
 func retryExtra(rt *locale.Runtime, src, dst int, resendNS float64, op string) (float64, error) {
+	if err := rt.Canceled(); err != nil {
+		return 0, fmt.Errorf("comm: %s %d→%d: %w", op, src, dst, err)
+	}
 	if rt.Fault == nil {
 		return 0, nil
 	}
@@ -87,7 +90,20 @@ func retryExtra(rt *locale.Runtime, src, dst int, resendNS float64, op string) (
 			return extra + pol.TimeoutNS, fmt.Errorf("comm: %s %d→%d: %w",
 				op, src, dst, &fault.RetryError{Op: op, Src: src, Dst: dst, Attempts: attempt})
 		}
-		extra += pol.TimeoutNS + backoff + resendNS
+		wait := pol.TimeoutNS + backoff + resendNS
+		// A caller-imposed modeled deadline caps the cumulative retry time:
+		// when the next timeout+backoff+resend would not fit in the remaining
+		// budget, charge only what is left and fail immediately instead of
+		// sleeping out the rest of the schedule.
+		if remaining := rt.DeadlineRemainingNS() - extra; wait > remaining {
+			if remaining > 0 {
+				extra += remaining
+			}
+			rt.S.NoteRetries(dst, int64(attempt-1))
+			return extra, fmt.Errorf("comm: %s %d→%d: retry budget exhausted after %d attempts: %w",
+				op, src, dst, attempt, locale.ErrDeadlineExceeded)
+		}
+		extra += wait
 		backoff *= 2
 		if backoff > pol.MaxBackoffNS {
 			backoff = pol.MaxBackoffNS

@@ -107,6 +107,18 @@ type ShmConfig struct {
 	// BFS to pick push vs pull per round (and by future shared-memory
 	// dispatch sites). Nil keeps the legacy alpha-threshold rule.
 	Insp *inspect.Inspector
+	// Cancel is an optional cooperative cancellation hook; the shared-memory
+	// algorithm loops (BFSShm, DOBFS) poll it at round boundaries and abort
+	// with its error. Nil means never canceled.
+	Cancel func() error
+}
+
+// Canceled polls the config's cancellation hook (nil-hook safe).
+func (cfg *ShmConfig) Canceled() error {
+	if cfg.Cancel == nil {
+		return nil
+	}
+	return cfg.Cancel()
 }
 
 // ShmStats reports the work a SpMSpV call performed.

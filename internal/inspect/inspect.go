@@ -241,6 +241,46 @@ func (in *Inspector) Observe(axis Axis, choice uint8, estimated, observed float6
 	e.ratio += calibAlpha * (r - e.ratio)
 }
 
+// AbsorbCalibration folds another inspector's calibration state into this
+// one, slot by slot: a slot this inspector has never observed adopts the
+// other's ratio outright, and a slot both have observed blends the other's
+// ratio in with the EWMA step — exactly as if the other inspector's last
+// observation had been fed to this one. Long-lived contexts use it to keep
+// learning across derived (cloned) contexts: each finished clone's inspector
+// is absorbed back into the parent, so the next clone starts from the
+// accumulated calibration instead of the parent's snapshot at derive time.
+// Decision rings are not merged — history stays with the stream that made it.
+func (in *Inspector) AbsorbCalibration(other *Inspector) {
+	if in == nil || other == nil {
+		return
+	}
+	for a := Axis(0); a < numAxes; a++ {
+		for c := 0; c < 3; c++ {
+			o := other.calib[a][c]
+			if !o.seen {
+				continue
+			}
+			e := &in.calib[a][c]
+			if !e.seen {
+				*e = o
+				continue
+			}
+			e.ratio += calibAlpha * (o.ratio - e.ratio)
+		}
+	}
+}
+
+// Calibration reports the EWMA observed/estimated ratio of an (axis, choice)
+// slot and whether it has ever been observed; tests use it to assert that
+// learning persists across context derivations.
+func (in *Inspector) Calibration(axis Axis, choice uint8) (ratio float64, seen bool) {
+	if in == nil {
+		return 0, false
+	}
+	e := in.calib[axis][choice%3]
+	return e.ratio, e.seen
+}
+
 // DecideComm picks fine vs bulk for op from the calibrated costs. A forced
 // strategy bypasses the comparison. reasonFine/reasonBulk name the signal the
 // caller derived each cost from; the winning side's reason is recorded.

@@ -10,7 +10,9 @@
 package locale
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/fault"
 	"repro/internal/health"
@@ -152,6 +154,19 @@ func OwnerOf(n, p, i int) int {
 	return k
 }
 
+// Cancellation errors. ErrDeadlineExceeded wraps ErrCanceled, so
+// errors.Is(err, ErrCanceled) catches every cooperative abort while
+// errors.Is(err, ErrDeadlineExceeded) distinguishes a budget expiry from an
+// explicit cancel.
+var (
+	// ErrCanceled is returned by Runtime.Canceled (and wrapped by every
+	// operation it aborts) when the runtime's cancel hook fires.
+	ErrCanceled = errors.New("locale: operation canceled")
+	// ErrDeadlineExceeded is returned when the runtime's modeled deadline
+	// passes. It wraps ErrCanceled.
+	ErrDeadlineExceeded = fmt.Errorf("locale: modeled deadline exceeded: %w", ErrCanceled)
+)
+
 // Runtime couples a grid with a simulator and execution parameters. All
 // GraphBLAS operations run through a Runtime: they execute real Go code on
 // real data while the Runtime charges the machine model for the structure of
@@ -204,6 +219,17 @@ type Runtime struct {
 	// gb surface sets this from its fusion mode; raw runtimes default to
 	// eager.
 	Fusion bool
+	// Cancel is an optional cooperative cancellation hook. Algorithm fixpoint
+	// loops and the collectives' retry loops poll it (via Canceled) at round
+	// and attempt boundaries; a non-nil return aborts the operation with that
+	// error at the next poll. The gb surface wires an expired context.Context
+	// in through this hook; raw runtimes default to never-canceled.
+	Cancel func() error
+	// DeadlineNS, when positive, is an absolute modeled-clock deadline:
+	// Canceled reports ErrDeadlineExceeded once the maximum locale clock
+	// passes it. The collectives additionally cap their retry backoff
+	// schedules by the remaining budget instead of sleeping them out.
+	DeadlineNS float64
 	// Insp is the optional inspector of the inspector–executor layer: when
 	// non-nil, the dispatching kernel wrappers of internal/core consult it to
 	// pick a communication variant (fine vs bulk, gather vs replicate, push
@@ -266,6 +292,36 @@ func (rt *Runtime) DownLocale() int {
 
 // RetryPolicy returns the runtime's retry policy with defaults filled in.
 func (rt *Runtime) RetryPolicy() fault.RetryPolicy { return rt.Retry.WithDefaults() }
+
+// Canceled reports whether the runtime's operation should abort: it returns
+// ErrDeadlineExceeded once the modeled clock passes DeadlineNS, then whatever
+// the Cancel hook reports (nil otherwise). Algorithms poll it at round
+// boundaries, so a cancel or deadline surfaces within one round of firing.
+func (rt *Runtime) Canceled() error {
+	if rt.DeadlineNS > 0 && rt.S.Elapsed() > rt.DeadlineNS {
+		return ErrDeadlineExceeded
+	}
+	if rt.Cancel != nil {
+		if err := rt.Cancel(); err != nil {
+			if errors.Is(err, ErrCanceled) {
+				return err
+			}
+			return fmt.Errorf("%w: %w", ErrCanceled, err)
+		}
+	}
+	return nil
+}
+
+// DeadlineRemainingNS returns the modeled time left before DeadlineNS, or
+// +Inf without a deadline. Collectives use it to cap retry backoff schedules.
+func (rt *Runtime) DeadlineRemainingNS() float64 {
+	if rt.DeadlineNS <= 0 {
+		return inf
+	}
+	return rt.DeadlineNS - rt.S.Elapsed()
+}
+
+var inf = math.Inf(1)
 
 // NoteRecovery appends one completed recovery to the runtime's log.
 func (rt *Runtime) NoteRecovery(r fault.Recovery) { rt.Recoveries = append(rt.Recoveries, r) }

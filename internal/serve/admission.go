@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"sync"
+	"time"
+)
+
+// Admission control: a per-tenant token bucket bounds each tenant's query
+// rate, and a global concurrency limiter with a bounded wait queue bounds the
+// total in-flight work. Over-capacity requests are shed fast — a 429 with a
+// Retry-After hint — instead of queueing without bound; that keeps the
+// admitted queries' latency bounded under saturation (the grid's capacity is
+// spent on work that will complete, not on a backlog nobody is waiting for
+// anymore).
+
+// tokenBucket is a classic leaky-bucket rate limiter on the wall clock:
+// rate tokens/second refill up to burst. The zero value admits nothing;
+// use newTokenBucket.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate float64, burst int, now time.Time) *tokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst), last: now}
+}
+
+// take consumes one token if available. When the bucket is empty it reports
+// how long until the next token accrues, for the Retry-After hint.
+func (b *tokenBucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+dt*b.rate)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	if b.rate <= 0 {
+		return false, time.Second
+	}
+	need := (1 - b.tokens) / b.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// tenants maps tenant names to their buckets, creating them on first use.
+type tenants struct {
+	mu    sync.Mutex
+	rate  float64
+	burst int
+	m     map[string]*tokenBucket
+}
+
+func newTenants(rate float64, burst int) *tenants {
+	return &tenants{rate: rate, burst: burst, m: make(map[string]*tokenBucket)}
+}
+
+func (t *tenants) bucket(name string, now time.Time) *tokenBucket {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.m[name]
+	if b == nil {
+		b = newTokenBucket(t.rate, t.burst, now)
+		t.m[name] = b
+	}
+	return b
+}
+
+// limiter is the global concurrency gate: up to cap queries run at once, up
+// to queue more wait (at most maxWait each), and everything beyond that is
+// shed immediately.
+type limiter struct {
+	sem     chan struct{}
+	mu      sync.Mutex
+	waiting int
+	queue   int
+	maxWait time.Duration
+}
+
+func newLimiter(capacity, queue int, maxWait time.Duration) *limiter {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	if maxWait <= 0 {
+		maxWait = 250 * time.Millisecond
+	}
+	return &limiter{sem: make(chan struct{}, capacity), queue: queue, maxWait: maxWait}
+}
+
+// acquire admits the caller, waits in the bounded queue, or sheds. A shed
+// returns ok=false with a Retry-After hint. ctx aborting while queued counts
+// as a shed (the client stopped waiting).
+func (l *limiter) acquire(ctx context.Context) (ok bool, retryAfter time.Duration) {
+	select {
+	case l.sem <- struct{}{}:
+		return true, 0
+	default:
+	}
+	l.mu.Lock()
+	if l.waiting >= l.queue {
+		l.mu.Unlock()
+		return false, l.maxWait
+	}
+	l.waiting++
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		l.waiting--
+		l.mu.Unlock()
+	}()
+	t := time.NewTimer(l.maxWait)
+	defer t.Stop()
+	select {
+	case l.sem <- struct{}{}:
+		return true, 0
+	case <-t.C:
+		return false, l.maxWait
+	case <-ctx.Done():
+		return false, l.maxWait
+	}
+}
+
+func (l *limiter) release() { <-l.sem }
+
+// inFlight returns how many queries currently hold a slot.
+func (l *limiter) inFlight() int { return len(l.sem) }

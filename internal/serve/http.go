@@ -1,0 +1,436 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/gb"
+)
+
+// HTTP surface. One mux, JSON in and out:
+//
+//	POST /query                  run a graph query (X-Tenant header names the tenant)
+//	GET  /graphs                 list loaded graphs
+//	POST /graphs/{name}/mutate   stage updates/deletes on a graph
+//	POST /graphs/{name}/flush    commit staged mutations as a new epoch
+//	GET  /healthz                liveness (always 200 while the process runs)
+//	GET  /readyz                 readiness (503 while draining or empty)
+//	GET  /metrics                Prometheus text: gbserve_* + gb_op_* counters
+//
+// Status codes carry the robustness envelope: 429 + Retry-After when admission
+// sheds, 499 when the client went away mid-query, 503 while draining, 504 when
+// the modeled budget expired. Every query response carries X-GB-Epoch and
+// X-GB-Stale headers naming the snapshot it was served from.
+
+// statusClientClosed is nginx's "client closed request" — the conventional
+// code for a query aborted because its requester stopped waiting.
+const statusClientClosed = 499
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	Graph  string `json:"graph"`
+	Op     string `json:"op"` // bfs | sssp | pagerank | cc | triangles
+	Source int    `json:"source"`
+
+	// TimeoutMS bounds wall-clock time (default Config.DefaultTimeout);
+	// BudgetMS bounds modeled time (default Config.DefaultBudgetNS).
+	TimeoutMS int     `json:"timeout_ms"`
+	BudgetMS  float64 `json:"budget_ms"`
+
+	// ChaosSeed > 0 runs the query on an isolated context under the standard
+	// chaos plan; CrashLocale (optional) additionally kills that locale at
+	// CrashStep, recovered per ChaosPolicy (default the server's policy).
+	ChaosSeed   int64  `json:"chaos_seed"`
+	ChaosPolicy string `json:"chaos_policy"` // redistribute | failover | besteffort
+	CrashLocale *int   `json:"crash_locale"`
+	CrashStep   int64  `json:"crash_step"`
+
+	// PageRank knobs (defaults 0.85, 1e-6, 100).
+	Damping float64 `json:"damping"`
+	Tol     float64 `json:"tol"`
+	MaxIter int     `json:"max_iter"`
+}
+
+// queryResponse is the POST /query result; op-specific fields are omitted
+// when empty.
+type queryResponse struct {
+	Graph string `json:"graph"`
+	Op    string `json:"op"`
+	Epoch uint64 `json:"epoch"`
+	Stale bool   `json:"stale,omitempty"`
+
+	Rounds int `json:"rounds,omitempty"`
+	Batch  int `json:"batch,omitempty"` // >1 when served from a coalesced MSBFS run
+
+	Levels     []int64   `json:"levels,omitempty"`
+	Parents    []int64   `json:"parents,omitempty"`
+	Dist       []float64 `json:"dist,omitempty"`
+	Ranks      []float64 `json:"ranks,omitempty"`
+	Labels     []int64   `json:"labels,omitempty"`
+	Components int       `json:"components,omitempty"`
+	Triangles  int64     `json:"triangles,omitempty"`
+
+	ModeledMS  float64 `json:"modeled_ms"`
+	Recoveries int     `json:"recoveries,omitempty"`
+	BestEffort bool    `json:"best_effort,omitempty"`
+	// FaultSteps is how many fault-plan draws the chaos run made — the unit
+	// crash_step counts in (clients probe with no crash, then aim inside).
+	FaultSteps int64 `json:"fault_steps,omitempty"`
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /graphs", s.handleGraphs)
+	mux.HandleFunc("POST /graphs/{name}/mutate", s.handleMutate)
+	mux.HandleFunc("POST /graphs/{name}/flush", s.handleFlush)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "uptime_s": time.Since(s.started).Seconds()})
+	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.writeMetrics(w)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func shed(w http.ResponseWriter, retryAfter time.Duration, reason string) {
+	secs := int(math.Ceil(retryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, http.StatusTooManyRequests, "shed: %s", reason)
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	epochs := map[string]uint64{}
+	for _, g := range s.graphNames() {
+		g.mu.Lock()
+		epochs[g.name] = g.stream.Epoch()
+		g.mu.Unlock()
+	}
+	body := map[string]any{
+		"ready":     s.Ready(),
+		"draining":  s.Draining(),
+		"graphs":    epochs,
+		"in_flight": s.limit.inFlight(),
+	}
+	if s.Ready() {
+		writeJSON(w, http.StatusOK, body)
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, body)
+}
+
+func (s *Server) handleGraphs(w http.ResponseWriter, _ *http.Request) {
+	type graphInfo struct {
+		Name    string `json:"name"`
+		Rows    int    `json:"rows"`
+		Cols    int    `json:"cols"`
+		NNZ     int    `json:"nnz"`
+		Epoch   uint64 `json:"epoch"`
+		Pending int    `json:"pending"`
+		Stale   bool   `json:"stale,omitempty"`
+	}
+	out := []graphInfo{}
+	for _, g := range s.graphNames() {
+		g.mu.Lock()
+		out = append(out, graphInfo{
+			Name: g.name, Rows: g.stream.NRows(), Cols: g.stream.NCols(),
+			NNZ: g.stream.NNZ(), Epoch: g.stream.Epoch(),
+			Pending: g.stream.Pending(), Stale: g.stream.Stale(),
+		})
+		g.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": out})
+}
+
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	g := s.graphByName(r.PathValue("name"))
+	if g == nil {
+		writeError(w, http.StatusNotFound, "graph %q not loaded", r.PathValue("name"))
+		return
+	}
+	var req struct {
+		Rows    []int     `json:"rows"`
+		Cols    []int     `json:"cols"`
+		Vals    []float64 `json:"vals"`
+		DelRows []int     `json:"del_rows"`
+		DelCols []int     `json:"del_cols"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	if len(req.Rows) != len(req.Cols) || len(req.Rows) != len(req.Vals) {
+		writeError(w, http.StatusBadRequest, "rows/cols/vals lengths differ: %d/%d/%d", len(req.Rows), len(req.Cols), len(req.Vals))
+		return
+	}
+	if len(req.DelRows) != len(req.DelCols) {
+		writeError(w, http.StatusBadRequest, "del_rows/del_cols lengths differ: %d/%d", len(req.DelRows), len(req.DelCols))
+		return
+	}
+	if err := g.mutate(req.Rows, req.Cols, req.Vals, req.DelRows, req.DelCols); err != nil {
+		writeError(w, http.StatusBadRequest, "mutate: %v", err)
+		return
+	}
+	g.mu.Lock()
+	pending := g.stream.Pending()
+	epoch := g.stream.Epoch()
+	g.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"pending": pending, "epoch": epoch})
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	g := s.graphByName(r.PathValue("name"))
+	if g == nil {
+		writeError(w, http.StatusNotFound, "graph %q not loaded", r.PathValue("name"))
+		return
+	}
+	epoch, stale, err := g.flush()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "flush: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"epoch": epoch, "stale": stale})
+}
+
+var validOps = map[string]bool{"bfs": true, "sssp": true, "pagerank": true, "cc": true, "triangles": true}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	tenant := r.Header.Get("X-Tenant")
+	if tenant == "" {
+		tenant = "default"
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	if !validOps[req.Op] {
+		writeError(w, http.StatusBadRequest, "unknown op %q (want bfs|sssp|pagerank|cc|triangles)", req.Op)
+		return
+	}
+	g := s.graphByName(req.Graph)
+	if g == nil {
+		writeError(w, http.StatusNotFound, "graph %q not loaded", req.Graph)
+		return
+	}
+	if req.Op != "cc" && req.Op != "triangles" && req.Op != "pagerank" {
+		if n := g.stream.NRows(); req.Source < 0 || req.Source >= n {
+			writeError(w, http.StatusBadRequest, "source %d outside graph of %d vertices", req.Source, n)
+			return
+		}
+	}
+
+	// Admission: the tenant's token bucket first, then the global limiter.
+	now := time.Now()
+	if ok, retry := s.tenants.bucket(tenant, now).take(now); !ok {
+		s.met.noteShed(tenant)
+		shed(w, retry, "tenant rate limit")
+		return
+	}
+	if ok, retry := s.limit.acquire(r.Context()); !ok {
+		s.met.noteShed(tenant)
+		shed(w, retry, "service at capacity")
+		return
+	}
+	defer s.limit.release()
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	budgetNS := s.cfg.DefaultBudgetNS
+	if req.BudgetMS > 0 {
+		budgetNS = req.BudgetMS * 1e6
+	}
+
+	start := time.Now()
+	resp, err := s.runQuery(ctx, g, &req, budgetNS)
+	elapsed := time.Since(start)
+
+	if err != nil {
+		status, outcome := http.StatusInternalServerError, outcomeError
+		switch {
+		case errors.Is(err, gb.ErrDeadlineExceeded) || errors.Is(err, context.DeadlineExceeded):
+			status, outcome = http.StatusGatewayTimeout, outcomeDeadline
+		case errors.Is(err, gb.ErrQueryCanceled) || errors.Is(err, context.Canceled):
+			status, outcome = statusClientClosed, outcomeCanceled
+		}
+		s.met.noteQuery(tenant, req.Op, outcome, elapsed.Seconds())
+		writeError(w, status, "%s: %v", req.Op, err)
+		return
+	}
+	s.met.noteQuery(tenant, req.Op, outcomeOK, elapsed.Seconds())
+	w.Header().Set("X-GB-Epoch", strconv.FormatUint(resp.Epoch, 10))
+	w.Header().Set("X-GB-Stale", strconv.FormatBool(resp.Stale))
+	if resp.BestEffort {
+		w.Header().Set("X-GB-BestEffort", "true")
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// runQuery dispatches one admitted query: the chaos path (isolated context),
+// the batched BFS path, or a solo run on a derived context.
+func (s *Server) runQuery(ctx context.Context, g *graph, req *queryRequest, budgetNS float64) (*queryResponse, error) {
+	if req.ChaosSeed > 0 || req.CrashLocale != nil {
+		return s.runChaos(ctx, g, req, budgetNS)
+	}
+	if req.Op == "bfs" && s.cfg.BatchWindow > 0 {
+		out := <-s.joinBFS(g, ctx, req.Source)
+		if out.err != nil {
+			return nil, out.err
+		}
+		return &queryResponse{
+			Graph: g.name, Op: req.Op, Epoch: out.epoch, Stale: out.stale,
+			Rounds: out.rounds, Batch: out.batch, Levels: out.levels,
+		}, nil
+	}
+
+	qc, m, epoch, stale, release := s.deriveQuery(g, ctx, budgetNS)
+	defer release()
+	resp := &queryResponse{Graph: g.name, Op: req.Op, Epoch: epoch, Stale: stale}
+	t0 := qc.Elapsed()
+	if err := runOp(qc, m, req, resp); err != nil {
+		return nil, err
+	}
+	resp.ModeledMS = (qc.Elapsed() - t0) * 1e3
+	return resp, nil
+}
+
+// runOp executes the op on the given context-bound matrix, filling resp.
+func runOp(qc *gb.Context, m *gb.Matrix[float64], req *queryRequest, resp *queryResponse) error {
+	switch req.Op {
+	case "bfs":
+		res, err := gb.BFS(qc, m, req.Source)
+		if err != nil {
+			return err
+		}
+		resp.Levels, resp.Parents, resp.Rounds = res.Level, res.Parent, res.Rounds
+	case "sssp":
+		dist, rounds, err := gb.SSSP(m, req.Source)
+		if err != nil {
+			return err
+		}
+		resp.Dist, resp.Rounds = dist, rounds
+	case "pagerank":
+		d, tol, iters := req.Damping, req.Tol, req.MaxIter
+		if d <= 0 || d >= 1 {
+			d = 0.85
+		}
+		if tol <= 0 {
+			tol = 1e-6
+		}
+		if iters <= 0 {
+			iters = 100
+		}
+		ranks, rounds, err := gb.PageRank(m, d, tol, iters)
+		if err != nil {
+			return err
+		}
+		resp.Ranks, resp.Rounds = ranks, rounds
+	case "cc":
+		labels, n, err := gb.ConnectedComponents(m)
+		if err != nil {
+			return err
+		}
+		resp.Labels, resp.Components = labels, n
+	case "triangles":
+		t, err := gb.TriangleCount(m)
+		if err != nil {
+			return err
+		}
+		resp.Triangles = t
+	default:
+		return fmt.Errorf("serve: unknown op %q", req.Op)
+	}
+	return nil
+}
+
+// runChaos serves a query under fault injection on a fully isolated context:
+// the committed epoch is gathered to a local CSR and redistributed on a fresh
+// grid, because crash recovery mutates the grid (locale adoption) and must
+// never leak into the shared base context's fault-free queries.
+func (s *Server) runChaos(ctx context.Context, g *graph, req *queryRequest, budgetNS float64) (*queryResponse, error) {
+	policy := s.cfg.Policy
+	switch req.ChaosPolicy {
+	case "":
+	case "redistribute":
+		policy = gb.Redistribute
+	case "failover":
+		policy = gb.Failover
+	case "besteffort":
+		policy = gb.BestEffort
+	default:
+		return nil, fmt.Errorf("serve: unknown chaos_policy %q", req.ChaosPolicy)
+	}
+	plan := gb.StandardChaosPlan(req.ChaosSeed)
+	if req.CrashLocale != nil {
+		plan.CrashLocale = *req.CrashLocale
+		plan.CrashStep = req.CrashStep
+		if plan.CrashStep <= 0 {
+			plan.CrashStep = 25
+		}
+	}
+
+	csr, epoch, stale, err := s.snapshotCSR(g, ctx)
+	if err != nil {
+		return nil, fmt.Errorf("serve: chaos snapshot: %w", err)
+	}
+	opts := []gb.Option{
+		gb.Locales(s.cfg.Locales), gb.Threads(s.cfg.Threads),
+		gb.WithRecoveryPolicy(policy), plan,
+	}
+	if s.cfg.Replicate || policy == gb.Failover {
+		opts = append(opts, gb.WithReplication())
+	}
+	cc, err := gb.New(opts...)
+	if err != nil {
+		return nil, fmt.Errorf("serve: chaos context: %w", err)
+	}
+	qc := cc.WithCancelContext(ctx)
+	if budgetNS > 0 {
+		qc = qc.WithModeledDeadline(budgetNS)
+	}
+	m := gb.MatrixFromCSR(qc, csr)
+
+	resp := &queryResponse{Graph: g.name, Op: req.Op, Epoch: epoch, Stale: stale}
+	t0 := qc.Elapsed()
+	if err := runOp(qc, m, req, resp); err != nil {
+		return nil, err
+	}
+	resp.ModeledMS = (qc.Elapsed() - t0) * 1e3
+	resp.FaultSteps = qc.FaultStats().Steps
+	resp.Recoveries = len(qc.Recoveries())
+	resp.BestEffort = policy == gb.BestEffort && resp.Recoveries > 0
+	resp.Stale = resp.Stale || resp.BestEffort
+	return resp, nil
+}

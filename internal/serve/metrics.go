@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// Per-tenant service metrics in the Prometheus text exposition format,
+// appended to the trace handler's gb_op_* aggregates on /metrics. Everything
+// is plain counters under one mutex — the service's own bookkeeping must not
+// contend with the queries it measures.
+
+// Query outcomes, the outcome label of gbserve_queries_total.
+const (
+	outcomeOK       = "ok"
+	outcomeError    = "error"
+	outcomeCanceled = "canceled"
+	outcomeDeadline = "deadline"
+)
+
+// qkey labels one query counter.
+type qkey struct {
+	tenant, op, outcome string
+}
+
+// latAgg accumulates wall-clock latency for one tenant.
+type latAgg struct {
+	sumSeconds float64
+	count      int64
+}
+
+type metrics struct {
+	mu        sync.Mutex
+	queries   map[qkey]int64
+	shed      map[string]int64 // by tenant
+	lat       map[string]*latAgg
+	batchRuns int64
+	batched   int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		queries: make(map[qkey]int64),
+		shed:    make(map[string]int64),
+		lat:     make(map[string]*latAgg),
+	}
+}
+
+func (m *metrics) noteQuery(tenant, op, outcome string, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queries[qkey{tenant, op, outcome}]++
+	a := m.lat[tenant]
+	if a == nil {
+		a = &latAgg{}
+		m.lat[tenant] = a
+	}
+	a.sumSeconds += seconds
+	a.count++
+}
+
+func (m *metrics) noteShed(tenant string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shed[tenant]++
+}
+
+func (m *metrics) noteBatch(size int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batchRuns++
+	m.batched += int64(size)
+}
+
+// write emits the service counters in deterministic (sorted-label) order.
+func (m *metrics) write(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprint(w, "# HELP gbserve_queries_total Queries by tenant, op and outcome.\n# TYPE gbserve_queries_total counter\n")
+	qkeys := make([]qkey, 0, len(m.queries))
+	for k := range m.queries {
+		qkeys = append(qkeys, k)
+	}
+	sort.Slice(qkeys, func(i, j int) bool {
+		a, b := qkeys[i], qkeys[j]
+		if a.tenant != b.tenant {
+			return a.tenant < b.tenant
+		}
+		if a.op != b.op {
+			return a.op < b.op
+		}
+		return a.outcome < b.outcome
+	})
+	for _, k := range qkeys {
+		fmt.Fprintf(w, "gbserve_queries_total{tenant=%q,op=%q,outcome=%q} %d\n", k.tenant, k.op, k.outcome, m.queries[k])
+	}
+
+	fmt.Fprint(w, "# HELP gbserve_shed_total Requests shed by admission control, by tenant.\n# TYPE gbserve_shed_total counter\n")
+	tenants := make([]string, 0, len(m.shed))
+	for t := range m.shed {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		fmt.Fprintf(w, "gbserve_shed_total{tenant=%q} %d\n", t, m.shed[t])
+	}
+
+	fmt.Fprint(w, "# HELP gbserve_query_seconds_sum Wall-clock query latency sum by tenant.\n# TYPE gbserve_query_seconds_sum counter\n")
+	lts := make([]string, 0, len(m.lat))
+	for t := range m.lat {
+		lts = append(lts, t)
+	}
+	sort.Strings(lts)
+	for _, t := range lts {
+		fmt.Fprintf(w, "gbserve_query_seconds_sum{tenant=%q} %g\n", t, m.lat[t].sumSeconds)
+	}
+	fmt.Fprint(w, "# HELP gbserve_query_seconds_count Completed queries by tenant.\n# TYPE gbserve_query_seconds_count counter\n")
+	for _, t := range lts {
+		fmt.Fprintf(w, "gbserve_query_seconds_count{tenant=%q} %d\n", t, m.lat[t].count)
+	}
+
+	fmt.Fprintf(w, "# HELP gbserve_batch_runs_total Coalesced MultiSourceBFS runs.\n# TYPE gbserve_batch_runs_total counter\ngbserve_batch_runs_total %d\n", m.batchRuns)
+	fmt.Fprintf(w, "# HELP gbserve_batched_queries_total BFS queries served from a coalesced run.\n# TYPE gbserve_batched_queries_total counter\ngbserve_batched_queries_total %d\n", m.batched)
+}
+
+// writeMetrics writes the service counters, per-graph epoch/stale gauges,
+// and (when a tracer is configured) the trace handler's gb_op_* aggregates.
+func (s *Server) writeMetrics(w io.Writer) {
+	s.met.write(w)
+
+	graphs := s.graphNames()
+	sort.Slice(graphs, func(i, j int) bool { return graphs[i].name < graphs[j].name })
+	fmt.Fprint(w, "# HELP gbserve_graph_epoch Committed epoch per graph.\n# TYPE gbserve_graph_epoch gauge\n")
+	for _, g := range graphs {
+		g.mu.Lock()
+		epoch := g.stream.Epoch()
+		g.mu.Unlock()
+		fmt.Fprintf(w, "gbserve_graph_epoch{graph=%q} %d\n", g.name, epoch)
+	}
+	fmt.Fprint(w, "# HELP gbserve_graph_stale_serves_total Flushes that served a stale epoch (BestEffort), per graph.\n# TYPE gbserve_graph_stale_serves_total counter\n")
+	for _, g := range graphs {
+		g.mu.Lock()
+		ss := g.stream.StaleServes()
+		g.mu.Unlock()
+		fmt.Fprintf(w, "gbserve_graph_stale_serves_total{graph=%q} %d\n", g.name, ss)
+	}
+
+	if s.cfg.Tracer != nil {
+		_ = trace.WritePrometheus(w, s.cfg.Tracer)
+	}
+}

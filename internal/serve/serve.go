@@ -1,0 +1,307 @@
+// Package serve implements the always-on graph query service behind
+// cmd/gbserve: distributed graphs are loaded (or generated) once at startup
+// and concurrent BFS/SSSP/PageRank/CC/triangle queries are served over HTTP
+// with a real robustness envelope — per-tenant token buckets and a global
+// concurrency limiter with a bounded wait queue (over-capacity requests get
+// fast 429s), cooperative cancellation and deadlines propagated into the
+// algorithm round loops (a gone client or an expired budget aborts within
+// one round with a typed error), a same-graph batcher that coalesces
+// concurrent BFS requests into one MultiSourceBFS run, snapshot-isolated
+// reads on the streaming matrices' committed epochs, and readiness/liveness
+// endpoints plus per-tenant Prometheus counters for the operators.
+//
+// Concurrency model. Every query runs on its own derived gb.Context — a
+// clone sharing the base context's grid, worker pool and scratch arena (all
+// safe for concurrent use) but carrying a private modeled clock, inspector
+// and cancellation state. Derivations, mutations, flushes and calibration
+// absorption are serialized per graph under a mutex; the queries themselves
+// run lock-free and in parallel. The base query context carries no tracer
+// (a tracer is bound to one simulator; sharing it across concurrent clones
+// would race) — the operator-facing tracer rides the load/mutate context,
+// which only ever runs under the graph lock.
+//
+// Chaos queries (a request carrying a fault plan) get a fully isolated
+// context and a private copy of the snapshot instead of a derived clone:
+// crash recovery mutates the shared grid (locale adoption), which must never
+// leak into concurrent fault-free queries on the same graph.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/gb"
+	"repro/internal/sparse"
+)
+
+// Config assembles a Server. The zero value of every field falls back to a
+// sensible default (see the field comments).
+type Config struct {
+	// Locales and Threads shape the modeled cluster every graph is
+	// distributed over (defaults 4 and 4).
+	Locales int
+	Threads int
+	// Policy is the crash-recovery policy of chaos queries and flushes
+	// (default Redistribute). Replicate adds chained-declustering block
+	// replicas, enabling Failover.
+	Policy    gb.RecoveryPolicy
+	Replicate bool
+	// EpochHistory is how many committed epochs stay pinnable while flushes
+	// advance (default 8 — deep enough that a long query's pinned snapshot
+	// survives the flushes that commit during it; see gb.EpochPolicy).
+	EpochHistory int
+	// BatchWindow is how long the first BFS request on a graph waits for
+	// companions before the coalesced MultiSourceBFS run starts. Zero
+	// disables batching: every BFS runs solo (and returns parents).
+	BatchWindow time.Duration
+	// MaxConcurrent bounds the queries running at once (default 8);
+	// MaxQueue bounds how many more may wait (default 16); MaxWait bounds
+	// how long each waits (default 250ms). Beyond that, requests shed.
+	MaxConcurrent int
+	MaxQueue      int
+	MaxWait       time.Duration
+	// TenantRate and TenantBurst shape each tenant's token bucket
+	// (defaults 100 queries/second, burst 20).
+	TenantRate  float64
+	TenantBurst int
+	// DefaultTimeout is the per-query wall-clock timeout when the request
+	// does not set one (default 10s).
+	DefaultTimeout time.Duration
+	// DefaultBudgetNS is the per-query modeled-time budget when the request
+	// does not set one; 0 means no modeled deadline by default.
+	DefaultBudgetNS float64
+	// Tracer, when non-nil, records load/mutate/flush spans and rides the
+	// /metrics endpoint. It must not be shared with anything else.
+	Tracer *gb.Trace
+}
+
+// withDefaults fills the zero fields.
+func (c Config) withDefaults() Config {
+	if c.Locales < 1 {
+		c.Locales = 4
+	}
+	if c.Threads < 1 {
+		c.Threads = 4
+	}
+	if c.EpochHistory < 1 {
+		c.EpochHistory = 8
+	}
+	if c.MaxConcurrent < 1 {
+		c.MaxConcurrent = 8
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 16
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 250 * time.Millisecond
+	}
+	if c.TenantRate <= 0 {
+		c.TenantRate = 100
+	}
+	if c.TenantBurst < 1 {
+		c.TenantBurst = 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// graph is one loaded graph: its streaming matrix, the two base contexts,
+// and the BFS batch being assembled.
+type graph struct {
+	name string
+	// mu serializes everything that touches the contexts' shared mutable
+	// state: query-context derivation, calibration absorption, mutations
+	// and flushes. Queries themselves run outside it.
+	mu sync.Mutex
+	// load is the context the graph was created on: it owns the streaming
+	// matrix and carries the operator tracer. Only used under mu.
+	load *gb.Context
+	// base is the tracer-less parent every query context derives from; its
+	// inspector accumulates the calibration absorbed back from finished
+	// queries.
+	base   *gb.Context
+	stream *gb.StreamingMatrix[float64]
+
+	batchMu sync.Mutex
+	batch   *bfsBatch
+}
+
+// Server is the query service. Create with New, add graphs with LoadGraph,
+// expose Handler over HTTP, stop with Drain.
+type Server struct {
+	cfg     Config
+	started time.Time
+
+	mu     sync.Mutex
+	graphs map[string]*graph
+
+	tenants *tenants
+	limit   *limiter
+	met     *metrics
+
+	draining atomic.Bool
+	inflight sync.WaitGroup
+}
+
+// New builds a Server; graphs are added with LoadGraph.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:     cfg,
+		started: time.Now(),
+		graphs:  make(map[string]*graph),
+		tenants: newTenants(cfg.TenantRate, cfg.TenantBurst),
+		limit:   newLimiter(cfg.MaxConcurrent, cfg.MaxQueue, cfg.MaxWait),
+		met:     newMetrics(),
+	}
+}
+
+// LoadGraph distributes a local CSR adjacency matrix over the configured
+// grid as epoch 0 of a streaming matrix and registers it under name.
+func (s *Server) LoadGraph(name string, a *sparse.CSR[float64]) error {
+	if name == "" {
+		return fmt.Errorf("serve: graph name must not be empty")
+	}
+	opts := []gb.Option{
+		gb.Locales(s.cfg.Locales), gb.Threads(s.cfg.Threads),
+		gb.EpochPolicy{History: s.cfg.EpochHistory},
+		gb.WithRecoveryPolicy(s.cfg.Policy),
+	}
+	if s.cfg.Replicate {
+		opts = append(opts, gb.WithReplication())
+	}
+	base, err := gb.New(opts...)
+	if err != nil {
+		return fmt.Errorf("serve: %s: %w", name, err)
+	}
+	load := base
+	if s.cfg.Tracer != nil {
+		// The tracer is bound to exactly one context (one simulator); the
+		// query parent stays tracer-less so concurrent clones never rebind
+		// a shared tracer.
+		load = base.WithTracer(s.cfg.Tracer)
+	}
+	stream := gb.StreamingMatrixFromCSR(load, a)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.graphs[name]; dup {
+		return fmt.Errorf("serve: graph %q already loaded", name)
+	}
+	s.graphs[name] = &graph{name: name, load: load, base: base, stream: stream}
+	return nil
+}
+
+// graphByName resolves a loaded graph.
+func (s *Server) graphByName(name string) *graph {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.graphs[name]
+}
+
+// graphNames returns the loaded graph names, unsorted.
+func (s *Server) graphNames() []*graph {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*graph, 0, len(s.graphs))
+	for _, g := range s.graphs {
+		out = append(out, g)
+	}
+	return out
+}
+
+// Ready reports whether the service should receive traffic: at least one
+// graph is loaded and it is not draining.
+func (s *Server) Ready() bool {
+	if s.draining.Load() {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.graphs) > 0
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain flips the server to draining — readiness goes false, new queries are
+// rejected with 503 — and waits for the in-flight queries to finish, or for
+// ctx to expire, whichever comes first. SIGTERM handling in cmd/gbserve
+// calls this before http.Server.Shutdown.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain aborted with queries in flight: %w", ctx.Err())
+	}
+}
+
+// deriveQuery builds the per-query context and snapshot under the graph
+// lock: a clone of the base context carrying the request's cancellation and
+// modeled budget, and the committed epoch pinned and rebound to it. The
+// returned release absorbs the query's inspector calibration back into the
+// base — the satellite of ROADMAP item 4: learning persists across the
+// requests a long-lived context serves.
+func (s *Server) deriveQuery(g *graph, ctx context.Context, budgetNS float64) (qc *gb.Context, m *gb.Matrix[float64], epoch uint64, stale bool, release func()) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	qc = g.base.WithCancelContext(ctx)
+	if budgetNS > 0 {
+		qc = qc.WithModeledDeadline(budgetNS)
+	}
+	sm, ep := g.stream.Matrix()
+	m = sm.WithContext(qc)
+	epoch, stale = ep, g.stream.Stale()
+	release = func() {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		g.base.AbsorbCalibration(qc)
+	}
+	return qc, m, epoch, stale, release
+}
+
+// mutate applies a batch of updates and deletes under the graph lock.
+func (g *graph) mutate(rows, cols []int, vals []float64, delRows, delCols []int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(rows) > 0 {
+		if err := g.stream.UpdateBatch(rows, cols, vals); err != nil {
+			return err
+		}
+	}
+	for k := range delRows {
+		if err := g.stream.Delete(delRows[k], delCols[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flush commits the pending mutations as a new epoch under the graph lock.
+func (g *graph) flush() (epoch uint64, stale bool, err error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	epoch, err = g.stream.Flush()
+	return epoch, g.stream.Stale(), err
+}
+
+// snapshotCSR gathers the committed epoch into a local CSR on a derived
+// context (chaos queries rebuild an isolated distribution from it).
+func (s *Server) snapshotCSR(g *graph, ctx context.Context) (*sparse.CSR[float64], uint64, bool, error) {
+	_, m, epoch, stale, release := s.deriveQuery(g, ctx, 0)
+	defer release()
+	csr, err := m.ToCSR()
+	return csr, epoch, stale, err
+}

@@ -1,0 +1,443 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/gb"
+	"repro/internal/sparse"
+)
+
+// testServer boots a Server with one ER graph loaded and returns it with its
+// httptest frontend.
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	if err := s.LoadGraph("g", sparse.ErdosRenyi[float64](300, 6, 17)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// post sends a query and decodes the JSON body whatever the status.
+func post(t *testing.T, ts *httptest.Server, path, tenant string, body any) (int, http.Header, map[string]any) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+path, bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s: undecodable body: %v", path, err)
+	}
+	return resp.StatusCode, resp.Header, out
+}
+
+func levelsOf(t *testing.T, body map[string]any) []int64 {
+	t.Helper()
+	raw, ok := body["levels"].([]any)
+	if !ok {
+		t.Fatalf("no levels in %v", body)
+	}
+	out := make([]int64, len(raw))
+	for i, v := range raw {
+		out[i] = int64(v.(float64))
+	}
+	return out
+}
+
+func TestQueryEndpointsBasics(t *testing.T) {
+	_, ts := testServer(t, Config{BatchWindow: 0})
+
+	// Reference run outside the server.
+	ref, err := gb.New(gb.Locales(4), gb.Threads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := gb.BFS(ref, gb.MatrixFromCSR(ref, sparse.ErdosRenyi[float64](300, 6, 17)), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	status, hdr, body := post(t, ts, "/query", "alice", map[string]any{"graph": "g", "op": "bfs", "source": 3})
+	if status != http.StatusOK {
+		t.Fatalf("bfs status %d: %v", status, body)
+	}
+	if hdr.Get("X-GB-Epoch") != "0" || hdr.Get("X-GB-Stale") != "false" {
+		t.Fatalf("snapshot headers wrong: epoch=%q stale=%q", hdr.Get("X-GB-Epoch"), hdr.Get("X-GB-Stale"))
+	}
+	got := levelsOf(t, body)
+	for i := range want.Level {
+		if got[i] != want.Level[i] {
+			t.Fatalf("served BFS diverges from library at vertex %d: %d vs %d", i, got[i], want.Level[i])
+		}
+	}
+
+	for _, op := range []string{"sssp", "pagerank", "cc", "triangles"} {
+		if status, _, body := post(t, ts, "/query", "", map[string]any{"graph": "g", "op": op, "source": 0}); status != http.StatusOK {
+			t.Fatalf("%s status %d: %v", op, status, body)
+		}
+	}
+
+	// Validation failures are typed client errors.
+	if status, _, _ := post(t, ts, "/query", "", map[string]any{"graph": "nope", "op": "bfs"}); status != http.StatusNotFound {
+		t.Fatalf("unknown graph: status %d, want 404", status)
+	}
+	if status, _, _ := post(t, ts, "/query", "", map[string]any{"graph": "g", "op": "sort"}); status != http.StatusBadRequest {
+		t.Fatalf("unknown op: status %d, want 400", status)
+	}
+	if status, _, _ := post(t, ts, "/query", "", map[string]any{"graph": "g", "op": "bfs", "source": 9999}); status != http.StatusBadRequest {
+		t.Fatalf("bad source: status %d, want 400", status)
+	}
+
+	// Health endpoints.
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+	resp, err = ts.Client().Get(ts.URL + "/readyz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+}
+
+// TestChaosQueriesCorrectOrFlagged is the acceptance criterion: under crash
+// chaos, every response is either bitwise-equal to the fault-free answer
+// (exact policies) or explicitly flagged best-effort — never a torn result.
+func TestChaosQueriesCorrectOrFlagged(t *testing.T) {
+	_, ts := testServer(t, Config{BatchWindow: 0})
+
+	_, _, ref := post(t, ts, "/query", "", map[string]any{"graph": "g", "op": "bfs", "source": 0})
+	want := levelsOf(t, ref)
+
+	for seed := int64(1); seed <= 3; seed++ {
+		// Probe: a crash-free chaos run reports its fault-step count, so the
+		// crash below can be planted squarely inside the algorithm's window.
+		status, _, probe := post(t, ts, "/query", "chaos", map[string]any{
+			"graph": "g", "op": "bfs", "source": 0, "chaos_seed": seed,
+		})
+		if status != http.StatusOK {
+			t.Fatalf("seed %d probe: status %d: %v", seed, status, probe)
+		}
+		steps, _ := probe["fault_steps"].(float64)
+		if steps < 4 {
+			t.Fatalf("seed %d probe: only %v fault steps, cannot plant a crash", seed, steps)
+		}
+		crashStep := int(steps) / 2
+
+		for _, pol := range []string{"redistribute", "failover"} {
+			status, hdr, body := post(t, ts, "/query", "chaos", map[string]any{
+				"graph": "g", "op": "bfs", "source": 0,
+				"chaos_seed": seed, "chaos_policy": pol,
+				"crash_locale": 2, "crash_step": crashStep,
+			})
+			if status != http.StatusOK {
+				t.Fatalf("seed %d %s: status %d: %v", seed, pol, status, body)
+			}
+			if recov, _ := body["recoveries"].(float64); recov < 1 {
+				t.Fatalf("seed %d %s: crash did not fire (recoveries=%v)", seed, pol, body["recoveries"])
+			}
+			if hdr.Get("X-GB-BestEffort") != "" {
+				t.Fatalf("seed %d %s: exact policy flagged best-effort", seed, pol)
+			}
+			got := levelsOf(t, body)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d %s: chaos BFS diverges from fault-free at vertex %d", seed, pol, i)
+				}
+			}
+		}
+
+		status, hdr, body := post(t, ts, "/query", "chaos", map[string]any{
+			"graph": "g", "op": "bfs", "source": 0,
+			"chaos_seed": seed, "chaos_policy": "besteffort",
+			"crash_locale": 2, "crash_step": crashStep,
+		})
+		if status != http.StatusOK {
+			t.Fatalf("seed %d besteffort: status %d: %v", seed, status, body)
+		}
+		if recov, _ := body["recoveries"].(float64); recov >= 1 {
+			// A fired best-effort recovery must be flagged on the response.
+			if hdr.Get("X-GB-BestEffort") != "true" || hdr.Get("X-GB-Stale") != "true" {
+				t.Fatalf("seed %d: best-effort degradation not flagged (headers %v)", seed, hdr)
+			}
+		}
+	}
+
+	// Chaos never leaks into the shared base context: the same fault-free
+	// query still answers bitwise-identically after all that crashing.
+	_, _, after := post(t, ts, "/query", "", map[string]any{"graph": "g", "op": "bfs", "source": 0})
+	got := levelsOf(t, after)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fault-free BFS changed after chaos queries at vertex %d", i)
+		}
+	}
+}
+
+func TestDeadlineAndTimeoutTyped(t *testing.T) {
+	_, ts := testServer(t, Config{BatchWindow: 0})
+
+	// A hopeless modeled budget: typed 504 within one round.
+	status, _, body := post(t, ts, "/query", "tina", map[string]any{
+		"graph": "g", "op": "pagerank", "budget_ms": 1e-9,
+	})
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("modeled deadline: status %d (%v), want 504", status, body)
+	}
+	if msg, _ := body["error"].(string); !strings.Contains(msg, "deadline") {
+		t.Fatalf("deadline error not typed: %v", body)
+	}
+
+	// An ample budget succeeds.
+	if status, _, body := post(t, ts, "/query", "tina", map[string]any{
+		"graph": "g", "op": "pagerank", "budget_ms": 1e12,
+	}); status != http.StatusOK {
+		t.Fatalf("ample budget: status %d (%v)", status, body)
+	}
+}
+
+func TestAdmissionSheddingUnderSaturation(t *testing.T) {
+	s, ts := testServer(t, Config{
+		MaxConcurrent: 1, MaxQueue: 1, MaxWait: 20 * time.Millisecond,
+		TenantRate: 1000, TenantBurst: 1000, BatchWindow: 0,
+	})
+
+	// Saturate deterministically: hold the only slot, so every concurrent
+	// request must queue (one, briefly) or shed. Queries on real graphs are
+	// fast enough that racing goroutines against each other is flaky; holding
+	// the slot pins the server at capacity for the whole burst.
+	if ok, _ := s.limit.acquire(context.Background()); !ok {
+		t.Fatal("could not take the only slot on an idle server")
+	}
+
+	const n = 6
+	statuses := make([]int, n)
+	retryAfter := make([]string, n)
+	durs := make([]time.Duration, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start := time.Now()
+			st, hdr, _ := post(t, ts, "/query", fmt.Sprintf("t%d", i%3), map[string]any{
+				"graph": "g", "op": "pagerank",
+			})
+			statuses[i], retryAfter[i], durs[i] = st, hdr.Get("Retry-After"), time.Since(start)
+		}(i)
+	}
+	wg.Wait()
+
+	shed := 0
+	for i, st := range statuses {
+		if st != http.StatusTooManyRequests {
+			t.Errorf("request %d admitted past a full server: status %d", i, st)
+			continue
+		}
+		shed++
+		if retryAfter[i] == "" {
+			t.Errorf("request %d shed without Retry-After", i)
+		}
+		if durs[i] > 2*time.Second {
+			t.Errorf("shed request %d took %v: sheds must be fast", i, durs[i])
+		}
+	}
+	if shed != n {
+		t.Fatalf("%d/%d requests shed at capacity", shed, n)
+	}
+
+	// Releasing the slot restores service: admitted queries complete.
+	s.limit.release()
+	if st, _, body := post(t, ts, "/query", "t0", map[string]any{"graph": "g", "op": "pagerank"}); st != http.StatusOK {
+		t.Fatalf("query after release: %d (%v)", st, body)
+	}
+
+	// The shed and ok counters surfaced on /metrics.
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), "gbserve_shed_total") || !strings.Contains(string(metrics), `outcome="ok"`) {
+		t.Fatalf("metrics missing shed/ok counters:\n%s", metrics)
+	}
+}
+
+func TestTenantRateLimitIsolation(t *testing.T) {
+	_, ts := testServer(t, Config{TenantRate: 0.001, TenantBurst: 1, BatchWindow: 0})
+
+	if st, _, body := post(t, ts, "/query", "alice", map[string]any{"graph": "g", "op": "cc"}); st != http.StatusOK {
+		t.Fatalf("alice's first query: %d (%v)", st, body)
+	}
+	st, hdr, _ := post(t, ts, "/query", "alice", map[string]any{"graph": "g", "op": "cc"})
+	if st != http.StatusTooManyRequests || hdr.Get("Retry-After") == "" {
+		t.Fatalf("alice's second query: status %d Retry-After %q, want 429 with hint", st, hdr.Get("Retry-After"))
+	}
+	// Another tenant's bucket is untouched.
+	if st, _, body := post(t, ts, "/query", "bob", map[string]any{"graph": "g", "op": "cc"}); st != http.StatusOK {
+		t.Fatalf("bob throttled by alice's bucket: %d (%v)", st, body)
+	}
+}
+
+func TestBFSBatcherCoalesces(t *testing.T) {
+	_, ts := testServer(t, Config{BatchWindow: 40 * time.Millisecond})
+
+	// Solo references, run outside the window (distinct op path: window 0
+	// means no batching, but here we just compare against the library).
+	ref, err := gb.New(gb.Locales(4), gb.Threads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := gb.MatrixFromCSR(ref, sparse.ErdosRenyi[float64](300, 6, 17))
+
+	sources := []int{0, 5, 9, 33}
+	got := make([][]int64, len(sources))
+	batches := make([]float64, len(sources))
+	var wg sync.WaitGroup
+	for i, src := range sources {
+		wg.Add(1)
+		go func(i, src int) {
+			defer wg.Done()
+			st, _, body := post(t, ts, "/query", "batch", map[string]any{"graph": "g", "op": "bfs", "source": src})
+			if st != http.StatusOK {
+				t.Errorf("source %d: status %d (%v)", src, st, body)
+				return
+			}
+			got[i] = levelsOf(t, body)
+			batches[i], _ = body["batch"].(float64)
+		}(i, src)
+	}
+	wg.Wait()
+
+	coalesced := 0.0
+	for i, src := range sources {
+		if got[i] == nil {
+			t.Fatal("missing batched result")
+		}
+		want, err := gb.BFS(ref, rm, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range want.Level {
+			if got[i][v] != want.Level[v] {
+				t.Fatalf("batched BFS from %d diverges at vertex %d: %d vs %d", src, v, got[i][v], want.Level[v])
+			}
+		}
+		if batches[i] > coalesced {
+			coalesced = batches[i]
+		}
+	}
+	if coalesced < 2 {
+		t.Fatalf("concurrent BFS requests never coalesced (max batch %v)", coalesced)
+	}
+}
+
+func TestMutateFlushAdvancesServedEpoch(t *testing.T) {
+	_, ts := testServer(t, Config{BatchWindow: 0})
+
+	st, _, body := post(t, ts, "/graphs/g/mutate", "", map[string]any{
+		"rows": []int{0, 1}, "cols": []int{1, 2}, "vals": []float64{9, 9},
+	})
+	if st != http.StatusOK {
+		t.Fatalf("mutate: %d (%v)", st, body)
+	}
+	if p, _ := body["pending"].(float64); p != 2 {
+		t.Fatalf("pending = %v, want 2", body["pending"])
+	}
+	if st, _, body = post(t, ts, "/graphs/g/flush", "", map[string]any{}); st != http.StatusOK {
+		t.Fatalf("flush: %d (%v)", st, body)
+	}
+	if e, _ := body["epoch"].(float64); e != 1 {
+		t.Fatalf("flush epoch = %v, want 1", body["epoch"])
+	}
+
+	// Queries now serve epoch 1, and the mutation is visible.
+	st, hdr, body := post(t, ts, "/query", "", map[string]any{"graph": "g", "op": "bfs", "source": 0})
+	if st != http.StatusOK {
+		t.Fatalf("query after flush: %d (%v)", st, body)
+	}
+	if hdr.Get("X-GB-Epoch") != "1" {
+		t.Fatalf("served epoch %q after flush, want 1", hdr.Get("X-GB-Epoch"))
+	}
+	if lv := levelsOf(t, body); lv[1] != 1 {
+		t.Fatalf("inserted edge 0->1 not visible: level[1] = %d", lv[1])
+	}
+}
+
+func TestDrainRejectsAndCompletes(t *testing.T) {
+	s, ts := testServer(t, Config{BatchWindow: 0})
+
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain with no queries in flight: %v", err)
+	}
+	if s.Ready() {
+		t.Fatal("still ready after drain")
+	}
+	if st, _, body := post(t, ts, "/query", "", map[string]any{"graph": "g", "op": "cc"}); st != http.StatusServiceUnavailable {
+		t.Fatalf("query during drain: %d (%v), want 503", st, body)
+	}
+	resp, err := ts.Client().Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain: %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestCanceledClientTypedOutcome drives a query whose client has given up and
+// asserts the server returns the typed 499, records the canceled outcome, and
+// leaks no admission slot. (That a mid-run cancel aborts within one round is
+// covered by the gb-level cancellation tests; racing a wall-clock cancel
+// against a real query here would flake.)
+func TestCanceledClientTypedOutcome(t *testing.T) {
+	s, _ := testServer(t, Config{BatchWindow: 0})
+
+	body, _ := json.Marshal(map[string]any{"graph": "g", "op": "pagerank"})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client is already gone when the query starts
+	req := httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader(body)).WithContext(ctx)
+	req.Header.Set("X-Tenant", "quitter")
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, req)
+
+	if rr.Code != statusClientClosed {
+		t.Fatalf("canceled query: status %d (%s), want 499", rr.Code, rr.Body.String())
+	}
+	var buf bytes.Buffer
+	s.met.write(&buf)
+	if !strings.Contains(buf.String(), `tenant="quitter",op="pagerank",outcome="canceled"`) {
+		t.Fatalf("canceled outcome not recorded:\n%s", buf.String())
+	}
+	if s.limit.inFlight() != 0 {
+		t.Fatalf("%d admission slots leaked after canceled query", s.limit.inFlight())
+	}
+}
